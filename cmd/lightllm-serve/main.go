@@ -1,0 +1,67 @@
+// Command lightllm-serve runs the streaming HTTP serving frontend over the
+// simulated GPU backend, with the Past-Future scheduler by default.
+//
+// Usage:
+//
+//	lightllm-serve -addr :8080 -model Llama2-7B-Chat -gpu A100-80G \
+//	               -scheduler past-future -timescale 100
+//
+// Timescale is simulated seconds per wall-clock second (100 = the demo runs
+// 100x faster than the modelled hardware; 1 = real-time pacing). Then:
+//
+//	curl -s localhost:8080/v1/generate -d '{"input_tokens":128,"max_new_tokens":256,"stream":true}'
+//	curl -s localhost:8080/v1/status
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"github.com/lightllm-go/lightllm"
+	"github.com/lightllm-go/lightllm/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		modelName = flag.String("model", "Llama2-7B-Chat", "model name")
+		gpu       = flag.String("gpu", "A100-80G", "GPU name")
+		tp        = flag.Int("tp", 1, "tensor-parallel degree")
+		sched     = flag.String("scheduler", "past-future", "scheduler: past-future|aggressive|conservative|oracle")
+		param     = flag.Float64("param", 0, "scheduler parameter (0 = family default)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		timescale = flag.Float64("timescale", 100, "simulated seconds per wall second (0 = unpaced)")
+		timeout   = flag.Float64("queue-timeout", 0, "abandon queued requests after this many simulated seconds (0 = never)")
+	)
+	flag.Parse()
+
+	eng, err := lightllm.NewServing(lightllm.ServingConfig{
+		Model:        *modelName,
+		GPU:          *gpu,
+		TP:           *tp,
+		Scheduler:    *sched,
+		Param:        *param,
+		Seed:         *seed,
+		QueueTimeout: *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lightllm-serve:", err)
+		os.Exit(1)
+	}
+	srv, err := server.New(server.Config{Engine: eng, Timescale: *timescale, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lightllm-serve:", err)
+		os.Exit(1)
+	}
+	go srv.Run()
+	defer srv.Close()
+
+	fmt.Printf("lightllm-serve: %s on %s x%d, scheduler %s, %d KV token slots, listening on %s\n",
+		*modelName, *gpu, *tp, *sched, eng.Pool().CapacityTokens(), *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "lightllm-serve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,102 @@
+// Command pfsim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pfsim -exp table1            # one experiment
+//	pfsim -exp all -scale 0.25   # everything, quarter scale
+//	pfsim -exp fig7 -models Llama2-7B -datasets ShareGPT-o1
+//
+// Experiments: table1, table2, fig1, fig3, fig4, fig5, fig6, fig7, fig8,
+// fig9, ablation, all. Scale 1.0 reproduces the paper's experiment sizes;
+// smaller scales preserve the qualitative shapes at a fraction of the
+// runtime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/lightllm-go/lightllm"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table1|table2|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|router|all")
+		scale    = flag.Float64("scale", 1.0, "experiment scale (1.0 = paper size)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		outPath  = flag.String("o", "", "write tables to this file instead of stdout")
+		models   = flag.String("models", "", "comma-separated model-name prefixes (fig7/fig9)")
+		datasets = flag.String("datasets", "", "comma-separated dataset prefixes (fig7)")
+		hardware = flag.String("hardware", "", "comma-separated hardware prefixes (fig9)")
+	)
+	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	opts := lightllm.BenchOptions{Seed: *seed, Scale: *scale, Out: out}
+
+	runners := map[string]func(){
+		"table1":   func() { lightllm.RunTable1(opts) },
+		"table2":   func() { lightllm.RunTable2(opts) },
+		"fig1":     func() { lightllm.RunFigure1(opts) },
+		"fig3":     func() { lightllm.RunFigure3(opts) },
+		"fig4":     func() { lightllm.RunFigure4(opts) },
+		"fig5":     func() { lightllm.RunFigure5(opts) },
+		"fig6":     func() { lightllm.RunFigure6(opts) },
+		"fig7":     func() { lightllm.RunFigure7(opts, split(*models), split(*datasets)) },
+		"fig8":     func() { lightllm.RunFigure8(opts) },
+		"fig9":     func() { lightllm.RunFigure9(opts, split(*models), split(*hardware)) },
+		"ablation": func() { lightllm.RunAblation(opts) },
+		"router":   func() { lightllm.RunRouter(opts) },
+		"predict":  func() { lightllm.RunPredictor(opts) },
+	}
+	order := []string{"fig1", "fig3", "fig4", "fig5", "fig6", "predict", "table1", "fig7", "fig8", "fig9", "table2", "ablation", "router"}
+
+	selected := strings.Split(strings.ToLower(*exp), ",")
+	var todo []string
+	for _, s := range selected {
+		s = strings.TrimSpace(s)
+		if s == "all" {
+			todo = order
+			break
+		}
+		if _, ok := runners[s]; !ok {
+			fmt.Fprintf(os.Stderr, "pfsim: unknown experiment %q\n", s)
+			os.Exit(2)
+		}
+		todo = append(todo, s)
+	}
+
+	for _, name := range todo {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "pfsim: running %s (scale %.3g)...\n", name, *scale)
+		runners[name]()
+		fmt.Fprintf(os.Stderr, "pfsim: %s done in %s\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func split(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

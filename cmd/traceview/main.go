@@ -1,0 +1,92 @@
+// Command traceview analyses output-length distribution similarity between
+// time windows of a trace (the paper's Figures 3 and 4 machinery), either
+// on the built-in synthetic traces or on a CSV trace produced by the
+// serving tools (column "output_tokens").
+//
+// Usage:
+//
+//	traceview -trace BurstGPT-API -n 40000 -window 1000
+//	traceview -csv run.csv -window 500 -matrix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/lightllm-go/lightllm/internal/rng"
+	"github.com/lightllm-go/lightllm/internal/trace"
+	"github.com/lightllm-go/lightllm/internal/workload"
+)
+
+func main() {
+	var (
+		traceName = flag.String("trace", "BurstGPT-Conv", "built-in trace name (see -list)")
+		csvPath   = flag.String("csv", "", "analyse output_tokens from this CSV instead")
+		n         = flag.Int("n", 40000, "number of synthetic requests")
+		window    = flag.Int("window", 1000, "window size in requests")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		matrix    = flag.Bool("matrix", false, "print the full similarity matrix")
+		list      = flag.Bool("list", false, "list built-in traces")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, tr := range workload.Figure3Traces() {
+			fmt.Println(tr.Label)
+		}
+		return
+	}
+
+	var lengths []int
+	var label string
+	if *csvPath != "" {
+		f, err := os.Open(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		recs, err := trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		for _, rec := range recs {
+			lengths = append(lengths, rec.Output)
+		}
+		label = *csvPath
+	} else {
+		var tr *workload.Trace
+		for _, t := range workload.Figure3Traces() {
+			if t.Label == *traceName {
+				tr = t
+				break
+			}
+		}
+		if tr == nil {
+			fatal(fmt.Errorf("unknown trace %q (use -list)", *traceName))
+		}
+		lengths = tr.Lengths(rng.New(*seed), *n)
+		label = tr.Label
+	}
+
+	if len(lengths) < 2**window {
+		fatal(fmt.Errorf("trace too short (%d) for window %d", len(lengths), *window))
+	}
+	m := workload.WindowSimilarityMatrix(lengths, *window)
+	fmt.Printf("trace: %s, %d requests, %d windows of %d\n", label, len(lengths), len(m), *window)
+	fmt.Printf("adjacent-window similarity (diagonal): %.3f\n", workload.DiagonalMean(m))
+	fmt.Printf("all-pairs similarity (global):         %.3f\n", workload.GlobalMean(m))
+	if *matrix {
+		for i := range m {
+			for j := range m[i] {
+				fmt.Printf("%.2f ", m[i][j])
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceview:", err)
+	os.Exit(1)
+}

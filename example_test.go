@@ -1,0 +1,53 @@
+package lightllm_test
+
+import (
+	"fmt"
+
+	"github.com/lightllm-go/lightllm"
+)
+
+// ExampleNewServing builds a deployment, serves a small batch workload,
+// and checks the paper's SLA.
+func ExampleNewServing() {
+	eng, err := lightllm.NewServing(lightllm.ServingConfig{
+		Model:     "Llama2-7B-Chat",
+		GPU:       "A100-80G",
+		Scheduler: "past-future",
+	})
+	if err != nil {
+		panic(err)
+	}
+	reqs := lightllm.BuildWorkload(lightllm.ShareGPT, lightllm.NewRNG(1), 10, 1, 256)
+	eng.SubmitAll(reqs)
+	res := eng.Run()
+	fmt.Println(len(res.Finished), "requests served,", res.Evictions, "evictions")
+	// Output: 10 requests served, 0 evictions
+}
+
+// ExampleNewScheduler shows the available scheduler families.
+func ExampleNewScheduler() {
+	for _, name := range []string{"past-future", "aggressive", "conservative", "oracle"} {
+		s, err := lightllm.NewScheduler(name, 0, 1)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(s.Name())
+	}
+	// Output:
+	// past-future(reserved=3%)
+	// aggressive(watermark=97%)
+	// conservative
+	// oracle
+}
+
+// ExampleSummarize computes goodput under the paper's 7B/13B SLA.
+func ExampleSummarize() {
+	eng, _ := lightllm.NewServing(lightllm.ServingConfig{
+		Model: "Llama2-7B-Chat", GPU: "A100-80G", Scheduler: "oracle",
+	})
+	eng.SubmitAll(lightllm.BuildWorkload(lightllm.ShareGPT, lightllm.NewRNG(2), 20, 1, 256))
+	res := eng.Run()
+	sum := lightllm.Summarize(res.Finished, lightllm.SLASmall, 0, res.Duration)
+	fmt.Println(sum.Total, "requests, SLA rate", sum.SLARate() == 1.0)
+	// Output: 20 requests, SLA rate true
+}

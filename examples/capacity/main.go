@@ -1,0 +1,46 @@
+// Capacity planning: how many concurrent chat clients can a deployment
+// sustain under the paper's SLA? Sweeps closed-loop client counts on a
+// simulated deployment and reports the goodput curve and the knee — the
+// kind of what-if a serving operator answers before buying GPUs.
+//
+//	go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/lightllm-go/lightllm"
+)
+
+func main() {
+	const duration, warmup = 200.0, 70.0
+	sla := lightllm.SLASmall
+
+	fmt.Printf("Llama2-13B-Chat on A100-80G, ShareGPT traffic, SLA %s\n\n", sla)
+	fmt.Printf("%8s %12s %12s %8s\n", "clients", "goodput", "throughput", "SLA%")
+
+	bestClients, bestGoodput := 0, 0.0
+	for _, clients := range []int{10, 25, 50, 100, 200, 400} {
+		eng, err := lightllm.NewServing(lightllm.ServingConfig{
+			Model:        "Llama2-13B-Chat",
+			GPU:          "A100-80G",
+			Scheduler:    "past-future",
+			QueueTimeout: sla.TTFT,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lightllm.NewClosedLoop(eng, lightllm.ShareGPT, lightllm.NewRNG(21), clients, 2048, 0, duration)
+		res := eng.RunUntil(duration)
+		sum := lightllm.Summarize(res.Finished, sla, warmup, duration)
+		sum.AddTimedOut(res.TimedOut, warmup, duration)
+		fmt.Printf("%8d %9.0f t/s %9.0f t/s %7.1f%%\n",
+			clients, sum.Goodput, sum.Throughput, sum.SLARate()*100)
+		if sum.Goodput > bestGoodput {
+			bestGoodput, bestClients = sum.Goodput, clients
+		}
+	}
+	fmt.Printf("\npeak goodput %.0f tok/s around %d clients — beyond the knee, extra\n", bestGoodput, bestClients)
+	fmt.Println("clients only add abandoned (SLA-violating) requests, not served tokens.")
+}

@@ -1,0 +1,50 @@
+// Codegen: a prefill-heavy code-completion service (long file contexts,
+// short completions — the paper's Distribution-3 regime) plus the
+// window-similarity analysis that justifies the Past-Future prediction:
+// adjacent time windows of a single service share their output-length
+// distribution.
+//
+//	go run ./examples/codegen
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/lightllm-go/lightllm"
+	"github.com/lightllm-go/lightllm/internal/rng"
+	"github.com/lightllm-go/lightllm/internal/workload"
+)
+
+func main() {
+	// Part 1: how stable is a code-completion trace's output distribution?
+	lengths := workload.InHouseCode.Lengths(rng.New(3), 20_000)
+	m := workload.WindowSimilarityMatrix(lengths, 1000)
+	fmt.Printf("code-completion trace, %d windows of 1000 requests:\n", len(m))
+	fmt.Printf("  adjacent-window similarity: %.3f\n", workload.DiagonalMean(m))
+	fmt.Printf("  all-pairs similarity:       %.3f\n", workload.GlobalMean(m))
+	fmt.Println("  -> recent history predicts the near future; the scheduler can trust its window")
+
+	// Part 2: serve the prefill-heavy load with past-future vs aggressive.
+	fmt.Printf("\n%-14s %10s %8s %10s %12s\n", "scheduler", "goodput", "SLA%", "evictions", "mem-util")
+	for _, sched := range []string{"aggressive", "past-future"} {
+		eng, err := lightllm.NewServing(lightllm.ServingConfig{
+			Model:        "Llama2-7B-Chat",
+			GPU:          "A100-80G",
+			Scheduler:    sched,
+			QueueTimeout: lightllm.SLASmall.TTFT,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		const duration, warmup = 600.0, 300.0 // let the cold start wash out
+		lightllm.NewClosedLoop(eng, lightllm.Distribution3, lightllm.NewRNG(11), 50, 4096, 0, duration)
+		res := eng.RunUntil(duration)
+		sum := lightllm.Summarize(res.Finished, lightllm.SLASmall, warmup, duration)
+		sum.AddTimedOut(res.TimedOut, warmup, duration)
+		fmt.Printf("%-14s %7.0f t/s %7.1f%% %10d %11.1f%%\n",
+			sched, sum.Goodput, sum.SLARate()*100, res.Evictions, res.MemUtilization*100)
+	}
+	fmt.Println("\nprefill-heavy loads are the aggressive scheduler's best case (outputs")
+	fmt.Println("are short, so ignoring them costs little) — and past-future still matches it.")
+}

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"github.com/lightllm-go/lightllm/internal/rng"
+	"github.com/lightllm-go/lightllm/internal/workload"
+)
+
+// Fig3Row summarises one trace's window-similarity matrix: the mean
+// similarity of adjacent windows (the diagonal pattern the Past-Future
+// scheduler exploits) versus all distinct window pairs.
+type Fig3Row struct {
+	TraceName string
+	Windows   int
+	Diagonal  float64
+	Global    float64
+}
+
+// Fig3Result holds a row per trace plus the raw matrices for plotting.
+type Fig3Result struct {
+	Rows     []Fig3Row
+	Matrices map[string][][]float64
+}
+
+// Row returns the row for the named trace, or nil.
+func (f *Fig3Result) Row(name string) *Fig3Row {
+	for i := range f.Rows {
+		if f.Rows[i].TraceName == name {
+			return &f.Rows[i]
+		}
+	}
+	return nil
+}
+
+// RunFigure3 reproduces Figure 3: cosine similarity of output-length
+// distributions between 1000-request windows on six service traces —
+// BurstGPT conversation/API, two in-house dialog services, in-house code
+// completion, and a Mooncake-like dialog trace.
+func RunFigure3(opts Options) *Fig3Result {
+	opts = opts.normalized()
+	n := scaled(40_000, opts.Scale, 6000)
+	window := 1000
+	if n/window < 5 {
+		window = n / 5
+	}
+	res := &Fig3Result{Matrices: map[string][][]float64{}}
+	tbl := &Table{
+		Title:  "Figure 3: window similarity of output-length distributions (window=1000)",
+		Header: []string{"Trace", "Windows", "DiagonalSim", "GlobalSim"},
+	}
+	seedStream := rng.New(opts.Seed)
+	for _, tr := range workload.Figure3Traces() {
+		lengths := tr.Lengths(seedStream.Split(), n)
+		m := workload.WindowSimilarityMatrix(lengths, window)
+		row := Fig3Row{
+			TraceName: tr.Label,
+			Windows:   len(m),
+			Diagonal:  workload.DiagonalMean(m),
+			Global:    workload.GlobalMean(m),
+		}
+		res.Rows = append(res.Rows, row)
+		res.Matrices[tr.Label] = m
+		tbl.Add(row.TraceName, itoa(row.Windows), f2(row.Diagonal), f2(row.Global))
+	}
+	tbl.Fprint(opts.Out)
+	return res
+}
+
+// Fig4Row is one (historical, running) window-size combination of Figure 4,
+// evaluated on the BurstGPT conversation and API traces.
+type Fig4Row struct {
+	HistSize, RunSize        int
+	ConvDiagonal, ConvGlobal float64
+	APIDiagonal, APIGlobal   float64
+}
+
+// Fig4Result holds the full window-size sweep.
+type Fig4Result struct {
+	Rows []Fig4Row
+}
+
+// Row returns the row for the given sizes, or nil.
+func (f *Fig4Result) Row(hist, run int) *Fig4Row {
+	for i := range f.Rows {
+		if f.Rows[i].HistSize == hist && f.Rows[i].RunSize == run {
+			return &f.Rows[i]
+		}
+	}
+	return nil
+}
+
+// RunFigure4 reproduces Figure 4: average adjacent-window (diagonal) and
+// cross-window (global) similarity under historical window sizes
+// {100..5000} × running window sizes {100..1000} on the BurstGPT traces.
+func RunFigure4(opts Options) *Fig4Result {
+	opts = opts.normalized()
+	n := scaled(60_000, opts.Scale, 12_000)
+	conv := workload.BurstGPTConv.Lengths(rng.New(opts.Seed), n)
+	api := workload.BurstGPTAPI.Lengths(rng.New(opts.Seed+1), n)
+
+	histSizes := []int{100, 200, 500, 1000, 2000, 5000}
+	runSizes := []int{100, 200, 500, 1000}
+
+	res := &Fig4Result{}
+	tbl := &Table{
+		Title:  "Figure 4: similarity vs historical/running window size (BurstGPT)",
+		Header: []string{"Hist", "Run", "ConvDiag", "ConvGlobal", "APIDiag", "APIGlobal"},
+	}
+	for _, h := range histSizes {
+		if h*4 > n {
+			continue // not enough trace at this scale
+		}
+		for _, rsz := range runSizes {
+			cd, cg := workload.PairSimilarity(conv, h, rsz)
+			ad, ag := workload.PairSimilarity(api, h, rsz)
+			row := Fig4Row{HistSize: h, RunSize: rsz, ConvDiagonal: cd, ConvGlobal: cg, APIDiagonal: ad, APIGlobal: ag}
+			res.Rows = append(res.Rows, row)
+			tbl.Add(itoa(h), itoa(rsz), f2(cd), f2(cg), f2(ad), f2(ag))
+		}
+	}
+	tbl.Fprint(opts.Out)
+	return res
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/lightllm-go/lightllm/internal/core"
+	"github.com/lightllm-go/lightllm/internal/engine"
+	"github.com/lightllm-go/lightllm/internal/hw"
+	"github.com/lightllm-go/lightllm/internal/model"
+	"github.com/lightllm-go/lightllm/internal/perf"
+	"github.com/lightllm-go/lightllm/internal/rng"
+	"github.com/lightllm-go/lightllm/internal/workload"
+)
+
+// Fig8Point is one scheduler configuration on the decoding-steps vs
+// evicted-requests plane (Figure 8's scatter).
+type Fig8Point struct {
+	Family      string // "conservative", "aggressive", "past-future", "optimum"
+	Param       float64
+	DecodeSteps int
+	EvictedFrac float64
+	Finished    int
+}
+
+// Fig8Result holds the full parameter sweep.
+type Fig8Result struct {
+	Points   []Fig8Point
+	Requests int
+}
+
+// Family returns all points of one scheduler family.
+func (f *Fig8Result) Family(name string) []Fig8Point {
+	var out []Fig8Point
+	for _, p := range f.Points {
+		if p.Family == name {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RunFigure8 reproduces Figure 8: scheduler parameter sweeps on a
+// varying-distribution load (ShareGPT-o1 followed by Distribution-1, -2,
+// -3 in sequence). Conservative overcommit and aggressive watermark trade
+// decoding steps against evictions along steep curves; Past-Future's
+// reserved-fraction curve sits on the lower-left frontier.
+func RunFigure8(opts Options) *Fig8Result {
+	opts = opts.normalized()
+	perPart := scaled(2000, opts.Scale, 100)
+	// The history window scales with the trace so the sliding-window
+	// adaptation is exercised at every Scale (at full scale: the paper's
+	// 1000-request window against 2000-request phases).
+	window := scaled(1000, opts.Scale, 50)
+	pm := perf.MustNew(perf.Config{Model: model.Llama2_7B, Cluster: hw.NewCluster(hw.A100_80G, 1)})
+
+	mkGen := func() workload.Generator {
+		return &workload.Concat{
+			Label: "ShareGPT-o1+D1+D2+D3",
+			Parts: []workload.Generator{
+				workload.ShareGPTO1, workload.Distribution1,
+				workload.Distribution2, workload.Distribution3,
+			},
+			PerPart: perPart,
+		}
+	}
+	n := perPart * 4
+	const maxNew = 6144
+
+	type cfg struct {
+		family string
+		param  float64
+		make   func(seed uint64) core.Scheduler
+	}
+	var cfgs []cfg
+	cfgs = append(cfgs, cfg{"optimum", 0, func(uint64) core.Scheduler { return core.NewOracle() }})
+	for _, oc := range []float64{1.00, 1.05, 1.10, 1.15, 1.20, 1.22} {
+		cfgs = append(cfgs, cfg{"conservative", oc, coMaker(oc)})
+	}
+	for _, wm := range []float64{0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90} {
+		cfgs = append(cfgs, cfg{"aggressive", wm, agMaker(wm)})
+	}
+	for _, rv := range []float64{0.03, 0.05, 0.10, 0.15, 0.20} {
+		cfgs = append(cfgs, cfg{"past-future", rv, pfMaker(rv)})
+	}
+
+	res := &Fig8Result{Requests: n}
+	tbl := &Table{
+		Title:  "Figure 8: parameter sweep on varying load (ShareGPT-o1 + D1 + D2 + D3)",
+		Header: []string{"Family", "Param", "DecodeSteps", "EvictedReqs", "Finished"},
+	}
+	for ci, c := range cfgs {
+		reqs := workload.Build(mkGen(), rng.New(opts.Seed), n, 1, maxNew)
+		eng := engine.MustNew(engine.Config{Perf: pm, Scheduler: c.make(opts.Seed + uint64(ci)), HistoryWindow: window})
+		eng.SubmitAll(reqs)
+		r := eng.Run()
+		pt := Fig8Point{
+			Family:      c.family,
+			Param:       c.param,
+			DecodeSteps: r.DecodeSteps,
+			EvictedFrac: float64(r.Evictions) / float64(n),
+			Finished:    len(r.Finished),
+		}
+		res.Points = append(res.Points, pt)
+		tbl.Add(pt.Family, fmt.Sprintf("%.2f", pt.Param), itoa(pt.DecodeSteps), pct(pt.EvictedFrac), itoa(pt.Finished))
+	}
+	tbl.Fprint(opts.Out)
+	return res
+}

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/lightllm-go/lightllm/internal/frameworks"
+	"github.com/lightllm-go/lightllm/internal/hw"
+	"github.com/lightllm-go/lightllm/internal/metrics"
+	"github.com/lightllm-go/lightllm/internal/model"
+	"github.com/lightllm-go/lightllm/internal/rng"
+	"github.com/lightllm-go/lightllm/internal/workload"
+)
+
+// Fig9Cell is one (model, hardware, framework) result: the framework's best
+// throughput and best goodput across client counts, mirroring Figure 9's
+// dashed (throughput) and solid (goodput) bars.
+type Fig9Cell struct {
+	Model     string
+	Hardware  string
+	Framework string
+	// MaxThroughput is the best raw token throughput over client counts.
+	MaxThroughput float64
+	// MaxGoodput is the best SLA-constrained throughput.
+	MaxGoodput float64
+	// GoodputFrac is MaxGoodput / MaxThroughput.
+	GoodputFrac float64
+}
+
+// Fig9Result holds every cell.
+type Fig9Result struct {
+	Cells []Fig9Cell
+}
+
+// Cell returns the (model-prefix, hardware-prefix, framework) cell, or nil.
+func (f *Fig9Result) Cell(modelPrefix, hwPrefix, framework string) *Fig9Cell {
+	for i := range f.Cells {
+		c := &f.Cells[i]
+		if startsWith(c.Model, modelPrefix) && startsWith(c.Hardware, hwPrefix) && c.Framework == framework {
+			return c
+		}
+	}
+	return nil
+}
+
+// Fig9Options filters the sweep.
+type Fig9Options struct {
+	Options
+	// Models filters model rows by prefix; empty = all.
+	Models []string
+	// Hardware filters cluster names by prefix; empty = all.
+	Hardware []string
+}
+
+// RunFigure9 reproduces Figure 9: end-to-end throughput and goodput of the
+// emulated frameworks (TGI, vLLM, DeepSpeed-MII, TensorRT-LLM, LightLLM) on
+// the ShareGPT workload (max_new_tokens = 2048) across hardware platforms.
+func RunFigure9(fopts Fig9Options) *Fig9Result {
+	opts := fopts.Options.normalized()
+	type setup struct {
+		spec     model.Spec
+		clusters []hw.Cluster
+		sla      metrics.SLA
+		clients  []int
+	}
+	smallClients := []int{50, 100, 200, 400}
+	bigClients := []int{200, 500, 1000}
+	if opts.Scale < 0.3 {
+		smallClients = []int{100, 400}
+		bigClients = []int{200, 1000}
+	}
+	setups := []setup{
+		{model.Llama2_7B,
+			[]hw.Cluster{hw.NewCluster(hw.A100_80G, 1), hw.NewCluster(hw.H800, 1), hw.NewCluster(hw.RTX4090, 1), hw.NewCluster(hw.A30, 1)},
+			metrics.SLASmall, smallClients},
+		{model.Llama2_13B,
+			[]hw.Cluster{hw.NewCluster(hw.A100_80G, 1), hw.NewCluster(hw.H800, 1), hw.NewCluster(hw.RTX4090, 2)},
+			metrics.SLASmall, smallClients},
+		{model.Llama2_70B,
+			[]hw.Cluster{hw.NewCluster(hw.A100_80G, 4), hw.NewCluster(hw.H800, 4), hw.NewCluster(hw.RTX4090, 8)},
+			metrics.SLALarge, bigClients},
+	}
+
+	duration := 600 * opts.Scale
+	if duration < 90 {
+		duration = 90
+	}
+	warmup := duration / 3
+
+	res := &Fig9Result{}
+	for _, st := range setups {
+		if !nameSelected(st.spec.Name, fopts.Models) {
+			continue
+		}
+		for _, cluster := range st.clusters {
+			if !nameSelected(cluster.Name(), fopts.Hardware) {
+				continue
+			}
+			tbl := &Table{
+				Title:  fmt.Sprintf("Figure 9: %s on %s (ShareGPT, max_new_tokens=2048, SLA %s)", st.spec.Name, cluster.Name(), st.sla),
+				Header: []string{"Framework", "MaxThroughput(tok/s)", "MaxGoodput(tok/s)", "Goodput/Throughput"},
+			}
+			seedHist := historySample(workload.ShareGPT, opts.Seed+99, 500, 2048)
+			for fi, preset := range frameworks.All() {
+				cell := Fig9Cell{Model: st.spec.Name, Hardware: cluster.Name(), Framework: preset.Name}
+				for _, clients := range st.clients {
+					seed := opts.Seed + uint64(fi*10_000+clients)
+					eng, err := preset.NewEngineOpts(st.spec, cluster, seed, frameworks.DeployOptions{
+						QueueTimeout: st.sla.TTFT,
+						SeedHistory:  seedHist,
+					})
+					if err != nil {
+						// Model does not fit this cluster with this preset.
+						continue
+					}
+					workload.NewClosedLoop(eng, workload.ShareGPT, rng.New(seed+3), clients, 2048, 0, duration)
+					r := eng.RunUntil(duration)
+					sum := metrics.Summarize(r.Finished, st.sla, warmup, duration)
+					sum.AddTimedOut(r.TimedOut, warmup, duration)
+					if sum.Throughput > cell.MaxThroughput {
+						cell.MaxThroughput = sum.Throughput
+					}
+					if sum.Goodput > cell.MaxGoodput {
+						cell.MaxGoodput = sum.Goodput
+					}
+				}
+				if cell.MaxThroughput > 0 {
+					cell.GoodputFrac = cell.MaxGoodput / cell.MaxThroughput
+				}
+				res.Cells = append(res.Cells, cell)
+				tbl.Add(cell.Framework, f0tok(cell.MaxThroughput), f0tok(cell.MaxGoodput), f2(cell.GoodputFrac))
+			}
+			tbl.Fprint(opts.Out)
+		}
+	}
+	return res
+}

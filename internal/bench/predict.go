@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"math"
+
+	"github.com/lightllm-go/lightllm/internal/dist"
+	"github.com/lightllm-go/lightllm/internal/rng"
+	"github.com/lightllm-go/lightllm/internal/workload"
+)
+
+// PredictRow quantifies the §3.2 predictor on one workload: the sliding
+// window is replayed over the request stream and, for every request, the
+// scheduler's draw is compared against the hidden actual length — at
+// admission (unconditional P(l)) and mid-generation (conditional P(l>l_t)
+// at 50% and 90% progress, the dynamic update).
+type PredictRow struct {
+	Workload string
+	// MAE0: mean |prediction − actual| / actual at admission time — the
+	// raw difficulty of the workload (heavy-tailed services are hard).
+	MAE0 float64
+	// Short0/Short50/Short90: mean underestimation shortfall
+	// E[max(0, actual − prediction)] / actual at 0%, 50%, and 90%
+	// generation progress. Underestimation is the eviction-risk direction;
+	// the conditional update P(l > l_t) bounds it by construction
+	// (prediction > l_t), so the shortfall must shrink with progress —
+	// this is the quantitative content of §3.2's dynamic update.
+	Short0  float64
+	Short50 float64
+	Short90 float64
+	// Under0: fraction of admission-time predictions below the actual
+	// length; ≈ E[U] = 1/2 for an i.i.d. draw from the true distribution.
+	Under0 float64
+	// UnderMax4: same with the max of 4 draws (the paper's small-batch
+	// repetition); ≈ E[U⁴] = 1/5 for i.i.d. draws.
+	UnderMax4 float64
+}
+
+// PredictResult holds one row per workload.
+type PredictResult struct {
+	Rows []PredictRow
+}
+
+// Row returns the row for a workload-name prefix, or nil.
+func (p *PredictResult) Row(prefix string) *PredictRow {
+	for i := range p.Rows {
+		if startsWith(p.Rows[i].Workload, prefix) {
+			return &p.Rows[i]
+		}
+	}
+	return nil
+}
+
+// predictStream describes one evaluated workload: a name and a length
+// stream supplier.
+type predictStream struct {
+	name    string
+	lengths func(r *rng.RNG, n int) []int
+}
+
+// RunPredictor evaluates the output-length predictor across workloads,
+// including a drifting API mixture where window staleness must show up as
+// higher error.
+func RunPredictor(opts Options) *PredictResult {
+	opts = opts.normalized()
+	n := scaled(20_000, opts.Scale, 3000)
+	window := 1000
+
+	genLengths := func(gen workload.Generator, maxNew int) func(r *rng.RNG, n int) []int {
+		return func(r *rng.RNG, n int) []int {
+			out := make([]int, n)
+			for i := range out {
+				_, o := gen.Sample(r)
+				if o > maxNew {
+					o = maxNew
+				}
+				out[i] = o
+			}
+			return out
+		}
+	}
+	streams := []predictStream{
+		{"ShareGPT", genLengths(workload.ShareGPT, 2048)},
+		{"ShareGPT-o1", genLengths(workload.ShareGPTO1, 8192)},
+		{"Distribution-1", genLengths(workload.Distribution1, 4096)},
+		{"BurstGPT-API", func(r *rng.RNG, n int) []int { return workload.BurstGPTAPI.Lengths(r, n) }},
+	}
+
+	res := &PredictResult{}
+	tbl := &Table{
+		Title:  "Predictor quality (§3.2): sliding-window sampling vs actual lengths",
+		Header: []string{"Workload", "MAE@0%", "Short@0%", "Short@50%", "Short@90%", "Under@0%", "Under(max4)"},
+	}
+	seedStream := rng.New(opts.Seed)
+	for _, st := range streams {
+		lengths := st.lengths(seedStream.Split(), n)
+		row := evaluatePredictor(st.name, lengths, window, seedStream.Split())
+		res.Rows = append(res.Rows, row)
+		tbl.Add(row.Workload, pct(row.MAE0), pct(row.Short0), pct(row.Short50), pct(row.Short90),
+			pct(row.Under0), pct(row.UnderMax4))
+	}
+	tbl.Fprint(opts.Out)
+	return res
+}
+
+// evaluatePredictor replays the window over the stream, predicting each
+// request before "serving" it and then feeding its actual length back.
+func evaluatePredictor(name string, lengths []int, window int, r *rng.RNG) PredictRow {
+	w := dist.NewWindow(window)
+	var mae0, short0, short50, short90, under0, underMax4 float64
+	var count int
+	for _, actual := range lengths {
+		if w.Len() >= 100 { // skip cold start; the paper warm-starts too
+			s := w.Sampler()
+			count++
+
+			pred := s.Sample(r)
+			mae0 += relErr(pred, actual)
+			short0 += shortfall(pred, actual)
+			if pred < actual {
+				under0++
+			}
+
+			// Conditional predictions mid-generation: the shortfall is
+			// bounded by the remaining fraction.
+			short50 += shortfall(conditional(s, r, actual/2, actual), actual)
+			short90 += shortfall(conditional(s, r, actual*9/10, actual), actual)
+
+			// Max of 4 draws (the paper's small-batch repetition).
+			max4 := 0
+			for k := 0; k < 4; k++ {
+				if v := s.Sample(r); v > max4 {
+					max4 = v
+				}
+			}
+			if max4 < actual {
+				underMax4++
+			}
+		}
+		w.Add(actual)
+	}
+	if count == 0 {
+		return PredictRow{Workload: name}
+	}
+	c := float64(count)
+	return PredictRow{
+		Workload:  name,
+		MAE0:      mae0 / c,
+		Short0:    short0 / c,
+		Short50:   short50 / c,
+		Short90:   short90 / c,
+		Under0:    under0 / c,
+		UnderMax4: underMax4 / c,
+	}
+}
+
+// shortfall is the underestimation magnitude as a fraction of the actual.
+func shortfall(pred, actual int) float64 {
+	if pred >= actual || actual == 0 {
+		return 0
+	}
+	return float64(actual-pred) / float64(actual)
+}
+
+// conditional draws from P(l > generated), falling back to the support max
+// (the scheduler falls back to max_new_tokens; the support max is the
+// closest cap-free analogue).
+func conditional(s *dist.Sampler, r *rng.RNG, generated, actual int) int {
+	if generated >= actual {
+		generated = actual - 1
+	}
+	if v, ok := s.SampleGreater(r, generated); ok {
+		return v
+	}
+	return s.Max()
+}
+
+func relErr(pred, actual int) float64 {
+	if actual == 0 {
+		return 0
+	}
+	return math.Abs(float64(pred-actual)) / float64(actual)
+}

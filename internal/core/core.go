@@ -1,0 +1,160 @@
+// Package core implements the paper's primary contribution: the Past-Future
+// request scheduler (§3, Algorithm 1) and the baseline schedulers it is
+// evaluated against (conservative, aggressive, and the theoretical-optimum
+// oracle).
+//
+// A scheduler's only job is the admission decision of continuous batching:
+// given the running batch, the KV-memory state, and the FCFS wait queue,
+// decide how many requests from the head of the queue join the batch now.
+//
+//   - The conservative scheduler (§2.4; TGI, DeepSpeed-MII) reserves
+//     input + max_new_tokens for every request — safe but wasteful.
+//   - The aggressive scheduler (§2.4; vLLM) admits on current usage only —
+//     high utilisation but frequent evictions once outputs grow.
+//   - The Past-Future scheduler predicts output lengths from the recent
+//     history window (the past) and computes the running batch's peak
+//     memory at every future completion point (the future, Eq. 2–4),
+//     admitting exactly when the peak stays under the reserve threshold.
+//   - The oracle applies the same future-peak computation to the hidden
+//     ground-truth lengths: the paper's "theoretical optimum".
+package core
+
+import (
+	"sort"
+
+	"github.com/lightllm-go/lightllm/internal/dist"
+	"github.com/lightllm-go/lightllm/internal/request"
+)
+
+// View is the engine state a scheduler sees when making an admission
+// decision. Schedulers must treat it as read-only except for the
+// PredictedLen scratch field on requests.
+type View struct {
+	// Now is the simulation time of this scheduling step.
+	Now float64
+	// CapacityTokens is the KV pool's logical capacity.
+	CapacityTokens int
+	// UsedTokens is the logical tokens currently allocated.
+	UsedTokens int
+	// FreeTokens is the physically free tokens (block-granular pools may
+	// have FreeTokens < CapacityTokens-UsedTokens due to fragmentation).
+	FreeTokens int
+	// Running is the current running batch.
+	Running []*request.Request
+	// History is the sliding window of actual output lengths of recently
+	// finished requests (the Past-Future scheduler's "past").
+	History *dist.Window
+	// ClassHistory, when non-nil, returns the per-service-class history
+	// window (nil for unseen classes). Class-aware schedulers prefer it
+	// over the global mixture for multi-tenant deployments.
+	ClassHistory func(class string) *dist.Window
+}
+
+// Scheduler decides admissions. Admit returns how many requests from the
+// head of queue (FCFS order) to admit in this iteration; implementations
+// stop at the first request that does not fit, exactly like Algorithm 1.
+type Scheduler interface {
+	Name() string
+	Admit(v *View, queue []*request.Request) int
+}
+
+// Entry is one request's memory trajectory as the estimator sees it:
+// Current tokens occupied now, and Remaining output tokens predicted before
+// it completes and releases everything.
+type Entry struct {
+	Current   int
+	Remaining int
+}
+
+// FutureRequiredMemory computes M* (Equations 2–4): the peak KV memory the
+// batch will need at any future time point, assuming each request generates
+// exactly its Remaining tokens and then frees its memory.
+//
+// Sorting by remaining length descending, the memory at the moment the i-th
+// request finishes is
+//
+//	M_i = Σ_{j≤i} Current_j + Remaining_i × i
+//
+// and M* = max_i M_i. The peak can only occur at a completion point: between
+// completions occupancy grows monotonically (+batch size per step).
+func FutureRequiredMemory(entries []Entry) int {
+	if len(entries) == 0 {
+		return 0
+	}
+	sorted := make([]Entry, len(entries))
+	copy(sorted, entries)
+	for i := range sorted {
+		if sorted[i].Remaining < 0 {
+			sorted[i].Remaining = 0 // finished-this-step requests hold memory but grow no further
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Remaining > sorted[j].Remaining })
+	peak := 0
+	prefix := 0
+	for i, e := range sorted {
+		prefix += e.Current
+		m := prefix + e.Remaining*(i+1)
+		if m > peak {
+			peak = m
+		}
+	}
+	return peak
+}
+
+// futurePeakWithCandidate computes M* for entries plus one extra candidate
+// without mutating entries. Used by admission loops that test queue heads
+// one at a time.
+func futurePeakWithCandidate(entries []Entry, cand Entry) int {
+	tmp := make([]Entry, len(entries)+1)
+	copy(tmp, entries)
+	tmp[len(entries)] = cand
+	return FutureRequiredMemory(tmp)
+}
+
+// trueEntries builds oracle entries (ground-truth remaining lengths) for a
+// batch; shared by the oracle scheduler and the metrics layer.
+func trueEntries(batch []*request.Request) []Entry {
+	entries := make([]Entry, 0, len(batch))
+	for _, r := range batch {
+		entries = append(entries, Entry{Current: r.Footprint(), Remaining: r.RemainingTrue()})
+	}
+	return entries
+}
+
+// TrueFutureRequiredMemory returns the ground-truth M* of a batch — what the
+// batch will actually need. The metrics layer records this after every
+// admission (Table 1's "Future Required Memory"); a value above capacity
+// means the admission has made a future eviction inevitable.
+func TrueFutureRequiredMemory(batch []*request.Request) int {
+	return FutureRequiredMemory(trueEntries(batch))
+}
+
+// PredictedBatchPeak estimates a batch's future peak memory from the
+// history window using deterministic conditional-quantile predictions —
+// the estimator applied outside the admission loop, as the paper's future
+// work proposes for load-aware request forwarding across service instances
+// (§7). Requests whose generated length exceeds the window's support (and
+// all requests during cold start) predict their max_new_tokens cap.
+func PredictedBatchPeak(batch []*request.Request, history *dist.Window, quantile float64) int {
+	var sampler *dist.Sampler
+	if history != nil {
+		sampler = history.Sampler()
+	}
+	entries := make([]Entry, 0, len(batch))
+	for _, r := range batch {
+		pred := r.MaxNewTokens
+		if sampler != nil {
+			if v, ok := sampler.QuantileGreater(quantile, r.Generated); ok {
+				pred = v
+			}
+		}
+		if pred > r.MaxNewTokens {
+			pred = r.MaxNewTokens
+		}
+		if pred <= r.Generated {
+			pred = r.Generated + 1
+		}
+		entries = append(entries, Entry{Current: r.Footprint(), Remaining: pred - r.Generated})
+	}
+	return FutureRequiredMemory(entries)
+}

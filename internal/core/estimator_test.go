@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// bruteForcePeak simulates the batch forward step by step: at step s every
+// request with Remaining ≥ s still holds Current + s tokens; requests
+// release everything the step after their last token. The estimator must
+// match this exactly.
+func bruteForcePeak(entries []Entry) int {
+	maxRem := 0
+	cur := 0
+	for _, e := range entries {
+		if e.Remaining > maxRem {
+			maxRem = e.Remaining
+		}
+		cur += e.Current
+	}
+	peak := cur // occupancy now
+	for s := 1; s <= maxRem; s++ {
+		m := 0
+		for _, e := range entries {
+			if e.Remaining >= s {
+				m += e.Current + s
+			}
+		}
+		if m > peak {
+			peak = m
+		}
+	}
+	return peak
+}
+
+func TestEstimatorEmpty(t *testing.T) {
+	if got := FutureRequiredMemory(nil); got != 0 {
+		t.Fatalf("empty M* = %d", got)
+	}
+}
+
+func TestEstimatorSingleRequest(t *testing.T) {
+	// One request: peak is its final footprint.
+	got := FutureRequiredMemory([]Entry{{Current: 10, Remaining: 5}})
+	if got != 15 {
+		t.Fatalf("M* = %d, want 15", got)
+	}
+}
+
+func TestEstimatorHandComputed(t *testing.T) {
+	// Three requests, worked by hand:
+	// sorted by remaining desc: B(5,4), Q(3,3), A(4,2)
+	// M1 = 5+4·1 = 9; M2 = 5+3+3·2 = 14; M3 = 5+3+4+2·3 = 18.
+	entries := []Entry{
+		{Current: 4, Remaining: 2}, // A
+		{Current: 5, Remaining: 4}, // B
+		{Current: 3, Remaining: 3}, // Q
+	}
+	if got := FutureRequiredMemory(entries); got != 18 {
+		t.Fatalf("M* = %d, want 18", got)
+	}
+}
+
+func TestEstimatorFigure5(t *testing.T) {
+	// Figure 5: scheduling the same queued request one step later lowers the
+	// batch's peak memory (paper's 19 → 18), because the running requests
+	// are one token closer to completion when the newcomer's growth peaks.
+	//
+	// Running: A (current 5, remaining 2), B (current 5, remaining 4).
+	// Queued Q: input 3, predicted output 3.
+	atT := []Entry{
+		{Current: 5, Remaining: 2}, // A at t
+		{Current: 5, Remaining: 4}, // B at t
+		{Current: 3, Remaining: 3}, // Q admitted at t
+	}
+	if got := FutureRequiredMemory(atT); got != 19 {
+		t.Fatalf("M* at t = %d, want 19", got)
+	}
+	// One decode step later A and B each grew by one token and have one
+	// fewer remaining; Q is admitted now instead.
+	atT1 := []Entry{
+		{Current: 6, Remaining: 1}, // A at t+1
+		{Current: 6, Remaining: 3}, // B at t+1
+		{Current: 3, Remaining: 3}, // Q admitted at t+1
+	}
+	if got := FutureRequiredMemory(atT1); got != 18 {
+		t.Fatalf("M* at t+1 = %d, want 18", got)
+	}
+}
+
+func TestEstimatorZeroRemaining(t *testing.T) {
+	// A request finishing this step holds memory now but adds no growth.
+	entries := []Entry{
+		{Current: 10, Remaining: 0},
+		{Current: 5, Remaining: 3},
+	}
+	// Peak: either now (15) or when the second finishes (5+3=8, after the
+	// first released). M1 = 5+3 = 8, M2 = 15+0 = 15.
+	if got := FutureRequiredMemory(entries); got != 15 {
+		t.Fatalf("M* = %d, want 15", got)
+	}
+}
+
+func TestEstimatorNegativeRemainingClamped(t *testing.T) {
+	got := FutureRequiredMemory([]Entry{{Current: 7, Remaining: -3}})
+	if got != 7 {
+		t.Fatalf("M* = %d, want 7", got)
+	}
+}
+
+func TestEstimatorAtLeastCurrentUsage(t *testing.T) {
+	entries := []Entry{{Current: 4, Remaining: 1}, {Current: 9, Remaining: 2}, {Current: 2, Remaining: 8}}
+	sum := 0
+	for _, e := range entries {
+		sum += e.Current
+	}
+	if got := FutureRequiredMemory(entries); got < sum {
+		t.Fatalf("M* = %d below current occupancy %d", got, sum)
+	}
+}
+
+func TestEstimatorTieRemaining(t *testing.T) {
+	// Equal remaining lengths: both finish the same step; peak is the total
+	// final footprint.
+	entries := []Entry{{Current: 3, Remaining: 5}, {Current: 4, Remaining: 5}}
+	if got := FutureRequiredMemory(entries); got != 3+4+5*2 {
+		t.Fatalf("M* = %d, want 17", got)
+	}
+}
+
+func TestEstimatorMatchesBruteForceQuick(t *testing.T) {
+	f := func(raw []struct{ C, R uint8 }) bool {
+		entries := make([]Entry, len(raw))
+		for i, x := range raw {
+			entries[i] = Entry{Current: int(x.C) + 1, Remaining: int(x.R % 32)}
+		}
+		return FutureRequiredMemory(entries) == bruteForcePeak(entries)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimatorMonotoneInAddedRequests(t *testing.T) {
+	// Property: adding a request never lowers M*.
+	f := func(raw []struct{ C, R uint8 }, c, r uint8) bool {
+		entries := make([]Entry, len(raw))
+		for i, x := range raw {
+			entries[i] = Entry{Current: int(x.C) + 1, Remaining: int(x.R % 32)}
+		}
+		base := FutureRequiredMemory(entries)
+		with := futurePeakWithCandidate(entries, Entry{Current: int(c) + 1, Remaining: int(r % 32)})
+		return with >= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimatorDoesNotMutateInput(t *testing.T) {
+	entries := []Entry{{Current: 1, Remaining: 9}, {Current: 2, Remaining: 1}}
+	FutureRequiredMemory(entries)
+	if entries[0].Remaining != 9 || entries[1].Current != 2 {
+		t.Fatal("estimator mutated its input")
+	}
+}
+
+func BenchmarkEstimator64(b *testing.B) {
+	entries := make([]Entry, 64)
+	for i := range entries {
+		entries[i] = Entry{Current: 1000 + i*13%997, Remaining: (i * 37) % 4096}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FutureRequiredMemory(entries)
+	}
+}
+
+func BenchmarkEstimator1024(b *testing.B) {
+	entries := make([]Entry, 1024)
+	for i := range entries {
+		entries[i] = Entry{Current: 1000 + i*13%997, Remaining: (i * 37) % 4096}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FutureRequiredMemory(entries)
+	}
+}

@@ -1,0 +1,452 @@
+// Package engine implements the continuous-batching serving engine the
+// schedulers plug into — the simulated counterpart of LightLLM's router +
+// inference backend (paper §2.3, §4).
+//
+// The engine is a step-level discrete-event simulator. Each call to Step
+// executes one engine iteration — a fused prefill over newly admitted
+// prompts, one decode step for the whole running batch, or (under the
+// splitfuse strategy) a mixed token-budget iteration — and advances the
+// simulated clock by that iteration's duration from the perf model. All
+// scheduling-visible state (KV token occupancy, queue, running batch,
+// history window of finished output lengths) is exact; only kernel
+// execution is abstracted into durations.
+//
+// Eviction semantics follow vLLM's recompute policy, which the paper's
+// aggressive baseline uses: when the next decode step cannot allocate one
+// token per running request, the most recently admitted requests are
+// evicted — their KV memory is freed, they re-queue at the *front* of the
+// wait queue, and on re-admission their prompt plus previously generated
+// tokens are recomputed in a fresh prefill. Evicted requests keep their
+// generated-token count (recomputation is deterministic) but their users
+// see a stalled stream: the gap shows up in MTPOT and breaks the SLA.
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+
+	"github.com/lightllm-go/lightllm/internal/core"
+	"github.com/lightllm-go/lightllm/internal/dist"
+	"github.com/lightllm-go/lightllm/internal/kv"
+	"github.com/lightllm-go/lightllm/internal/perf"
+	"github.com/lightllm-go/lightllm/internal/request"
+	"github.com/lightllm-go/lightllm/internal/stats"
+)
+
+// Strategy selects how iterations are composed.
+type Strategy int
+
+const (
+	// PrefillPriority runs admitted prompts as one fused prefill iteration
+	// before resuming decode — the default in LightLLM, vLLM, and TGI.
+	PrefillPriority Strategy = iota
+	// SplitFuse packs prefill chunks and decode tokens into fixed
+	// token-budget iterations (DeepSpeed-MII/FastGen).
+	SplitFuse
+	// StaticBatch disables continuous batching: fixed-size batches run to
+	// completion with padding, emulating the original (pre-serving-
+	// framework) multimodal implementations in Table 2.
+	StaticBatch
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case PrefillPriority:
+		return "prefill-priority"
+	case SplitFuse:
+		return "splitfuse"
+	case StaticBatch:
+		return "static-batch"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// EvictionPolicy selects how evicted requests recover their KV state
+// (§2.4 mentions both: "recomputation or swapping").
+type EvictionPolicy int
+
+const (
+	// Recompute re-encodes the prompt plus previously generated tokens in a
+	// fresh prefill on re-admission (vLLM's default preemption mode).
+	Recompute EvictionPolicy = iota
+	// Swap moves the KV cache to host memory on eviction and back across
+	// the PCIe link on re-admission — no recomputation, but the swap-in
+	// transfer stalls the admitting iteration.
+	Swap
+)
+
+// String implements fmt.Stringer.
+func (p EvictionPolicy) String() string {
+	switch p {
+	case Recompute:
+		return "recompute"
+	case Swap:
+		return "swap"
+	default:
+		return fmt.Sprintf("eviction(%d)", int(p))
+	}
+}
+
+// Hooks are optional observation callbacks. Nil hooks are skipped.
+type Hooks struct {
+	// OnAdmit fires after a batch of admissions, before their prefill runs.
+	OnAdmit func(now float64, admitted []*request.Request)
+	// OnToken fires for every emitted token (used by the streaming server).
+	OnToken func(now float64, r *request.Request)
+	// OnFinish fires when a request completes (closed-loop clients submit
+	// their next request from here).
+	OnFinish func(now float64, r *request.Request)
+	// OnEvict fires when a request is evicted from the running batch.
+	OnEvict func(now float64, r *request.Request)
+	// OnDrop fires when a queued request is abandoned via QueueTimeout.
+	OnDrop func(now float64, r *request.Request)
+	// OnFail fires when the engine drops a request as unservable.
+	OnFail func(now float64, r *request.Request)
+	// OnIteration fires after every engine iteration.
+	OnIteration func(now float64, it Iteration)
+}
+
+// Iteration describes one executed engine iteration for observers.
+type Iteration struct {
+	Kind      string // "prefill", "decode", "mixed", "static"
+	Duration  float64
+	BatchSize int
+	KVTokens  int
+}
+
+// Config configures an engine.
+type Config struct {
+	// Perf is the latency/capacity model of the deployment. Required.
+	Perf *perf.Model
+	// Scheduler makes admission decisions. Required unless Strategy is
+	// StaticBatch.
+	Scheduler core.Scheduler
+	// BlockSize is the KV allocation granularity (1 = LightLLM token
+	// granularity, 16 = vLLM paging). 0 selects 1.
+	BlockSize int
+	// HistoryWindow is the size of the finished-output-length window fed to
+	// the scheduler. 0 selects 1000 (the paper's setting).
+	HistoryWindow int
+	// Strategy selects the iteration composition.
+	Strategy Strategy
+	// SplitFuseBudget is the token budget per mixed iteration. 0 selects 512.
+	SplitFuseBudget int
+	// MaxPrefillTokens caps the prompt tokens fused into one prefill
+	// iteration under PrefillPriority (real frameworks' max batched-token
+	// knob): a smaller cap bounds how long decode stalls behind admissions,
+	// trading TTFT for MTPOT. 0 = unlimited. At least one request is always
+	// prefilled so oversized prompts still make progress.
+	MaxPrefillTokens int
+	// StaticBatchSize is the fixed batch size for StaticBatch. 0 selects 8.
+	StaticBatchSize int
+	// CapacityOverride replaces the perf model's KV capacity (tokens) for
+	// toy scenarios and tests. 0 keeps the model's capacity.
+	CapacityOverride int
+	// Eviction selects recompute (default) or swap recovery for evicted
+	// requests.
+	Eviction EvictionPolicy
+	// QueueTimeout, when positive, models SLA-aware clients: a request that
+	// has waited in the queue longer than this without receiving any token
+	// is abandoned (it never held KV memory, so abandonment is free). The
+	// goodput experiments set this to the SLA's TTFT budget; abandoned
+	// requests count as SLA violations. Requests that already streamed
+	// tokens (eviction re-queues) are never abandoned — their stall shows
+	// up as MTPOT instead.
+	QueueTimeout float64
+	// SeedHistory pre-populates the output-length history window, modelling
+	// a warm server that has been serving this workload (the paper notes
+	// cold start resolves "in a few minutes"; warm starts skip it).
+	SeedHistory []int
+	// ClassHistory additionally maintains one history window per request
+	// Class (service/task type). Class-aware schedulers can then predict
+	// from the request's own service distribution instead of the global
+	// mixture — an extension for the multi-tenant/API deployments whose
+	// mixed distributions the paper observes drifting (§3.2).
+	ClassHistory bool
+
+	Hooks Hooks
+}
+
+// Engine is the continuous-batching serving engine. Not safe for concurrent
+// use; the HTTP server serializes access.
+type Engine struct {
+	cfg       Config
+	pool      *kv.Pool
+	history   *dist.Window
+	classHist map[string]*dist.Window // per-class windows (ClassHistory)
+	sched     core.Scheduler
+	clock     float64
+	arrivals  arrivalHeap
+	seq       int64
+
+	queue      []*request.Request // FCFS wait queue; evictions push front
+	running    []*request.Request // decoding batch, admission order
+	prefilling []*prefillState    // splitfuse: prompts being chunked
+
+	// Counters and accumulators for Result.
+	finished        []*request.Request
+	failed          []*request.Request
+	timedOut        []*request.Request
+	decodeSteps     int
+	prefillIters    int
+	mixedIters      int
+	evictions       int
+	admissions      int
+	outputTokens    int64
+	inputTokens     int64
+	recomputeTokens int64
+	swapInTokens    int64
+	pendingSwapIn   float64 // swap-in seconds owed by the next iteration
+	memUtil         stats.TimeWeighted
+	physUtil        stats.TimeWeighted
+	futureReq       stats.Online
+	batchSize       stats.TimeWeighted
+	started         bool
+	startClock      float64
+	admitRetries    int
+
+	staticBatch []*request.Request // StaticBatch mode: the batch in flight
+}
+
+type prefillState struct {
+	req  *request.Request
+	need int // prompt tokens still to process
+}
+
+// New validates the configuration and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Perf == nil {
+		return nil, fmt.Errorf("engine: perf model is required")
+	}
+	if cfg.Scheduler == nil && cfg.Strategy != StaticBatch {
+		return nil, fmt.Errorf("engine: scheduler is required")
+	}
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = 1
+	}
+	if cfg.BlockSize < 0 {
+		return nil, fmt.Errorf("engine: negative block size %d", cfg.BlockSize)
+	}
+	if cfg.HistoryWindow == 0 {
+		cfg.HistoryWindow = 1000
+	}
+	if cfg.HistoryWindow < 0 {
+		return nil, fmt.Errorf("engine: negative history window %d", cfg.HistoryWindow)
+	}
+	if cfg.SplitFuseBudget == 0 {
+		cfg.SplitFuseBudget = 512
+	}
+	if cfg.StaticBatchSize == 0 {
+		cfg.StaticBatchSize = 8
+	}
+	capacity := cfg.Perf.CapacityTokens()
+	if cfg.CapacityOverride > 0 {
+		capacity = cfg.CapacityOverride
+	}
+	if cfg.QueueTimeout < 0 {
+		return nil, fmt.Errorf("engine: negative queue timeout %v", cfg.QueueTimeout)
+	}
+	e := &Engine{
+		cfg:     cfg,
+		pool:    kv.NewPool(capacity, cfg.BlockSize),
+		history: dist.NewWindow(cfg.HistoryWindow),
+		sched:   cfg.Scheduler,
+	}
+	if cfg.ClassHistory {
+		e.classHist = map[string]*dist.Window{}
+	}
+	for _, l := range cfg.SeedHistory {
+		e.history.Add(l)
+	}
+	return e, nil
+}
+
+// ClassWindow returns the history window for a service class, or nil when
+// per-class history is disabled or the class is unseen.
+func (e *Engine) ClassWindow(class string) *dist.Window {
+	if e.classHist == nil {
+		return nil
+	}
+	return e.classHist[class]
+}
+
+// recordFinishedLength feeds the global (and per-class) history windows.
+func (e *Engine) recordFinishedLength(class string, length int) {
+	e.history.Add(length)
+	if e.classHist == nil {
+		return
+	}
+	w, ok := e.classHist[class]
+	if !ok {
+		w = dist.NewWindow(e.cfg.HistoryWindow)
+		e.classHist[class] = w
+	}
+	w.Add(length)
+}
+
+// MustNew is New for statically valid configurations.
+func MustNew(cfg Config) *Engine {
+	e, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Clock returns the current simulated time in seconds.
+func (e *Engine) Clock() float64 { return e.clock }
+
+// Pool exposes the KV pool for observation (tests, server status page).
+func (e *Engine) Pool() *kv.Pool { return e.pool }
+
+// History exposes the finished-output-length window.
+func (e *Engine) History() *dist.Window { return e.history }
+
+// QueueLen returns the number of waiting requests.
+func (e *Engine) QueueLen() int { return len(e.queue) }
+
+// RunningRequests returns a copy of the running batch (including splitfuse
+// prompts in flight), for observers like the multi-replica router.
+func (e *Engine) RunningRequests() []*request.Request {
+	out := make([]*request.Request, 0, len(e.running)+len(e.prefilling)+len(e.staticBatch))
+	out = append(out, e.running...)
+	for _, p := range e.prefilling {
+		out = append(out, p.req)
+	}
+	out = append(out, e.staticBatch...)
+	return out
+}
+
+// QueuedRequests returns a copy of the wait queue.
+func (e *Engine) QueuedRequests() []*request.Request {
+	return append([]*request.Request(nil), e.queue...)
+}
+
+// RunningLen returns the size of the running batch (including prompts being
+// chunk-prefilled under splitfuse).
+func (e *Engine) RunningLen() int { return len(e.running) + len(e.prefilling) }
+
+// AddFinishHook chains f after any existing OnFinish hook. Closed-loop
+// clients use this to submit their next request on completion.
+func (e *Engine) AddFinishHook(f func(now float64, r *request.Request)) {
+	prev := e.cfg.Hooks.OnFinish
+	e.cfg.Hooks.OnFinish = func(now float64, r *request.Request) {
+		if prev != nil {
+			prev(now, r)
+		}
+		f(now, r)
+	}
+}
+
+// AddTokenHook chains f after any existing OnToken hook (streaming server).
+func (e *Engine) AddTokenHook(f func(now float64, r *request.Request)) {
+	prev := e.cfg.Hooks.OnToken
+	e.cfg.Hooks.OnToken = func(now float64, r *request.Request) {
+		if prev != nil {
+			prev(now, r)
+		}
+		f(now, r)
+	}
+}
+
+// AddEvictHook chains f after any existing OnEvict hook.
+func (e *Engine) AddEvictHook(f func(now float64, r *request.Request)) {
+	prev := e.cfg.Hooks.OnEvict
+	e.cfg.Hooks.OnEvict = func(now float64, r *request.Request) {
+		if prev != nil {
+			prev(now, r)
+		}
+		f(now, r)
+	}
+}
+
+// AddDropHook chains f after any existing OnDrop hook.
+func (e *Engine) AddDropHook(f func(now float64, r *request.Request)) {
+	prev := e.cfg.Hooks.OnDrop
+	e.cfg.Hooks.OnDrop = func(now float64, r *request.Request) {
+		if prev != nil {
+			prev(now, r)
+		}
+		f(now, r)
+	}
+}
+
+// AddFailHook chains f after any existing OnFail hook.
+func (e *Engine) AddFailHook(f func(now float64, r *request.Request)) {
+	prev := e.cfg.Hooks.OnFail
+	e.cfg.Hooks.OnFail = func(now float64, r *request.Request) {
+		if prev != nil {
+			prev(now, r)
+		}
+		f(now, r)
+	}
+}
+
+// failRequest records a request as unservable and fires OnFail.
+func (e *Engine) failRequest(r *request.Request) {
+	e.failed = append(e.failed, r)
+	if e.cfg.Hooks.OnFail != nil {
+		e.cfg.Hooks.OnFail(e.clock, r)
+	}
+}
+
+// AddIterationHook chains f after any existing OnIteration hook.
+func (e *Engine) AddIterationHook(f func(now float64, it Iteration)) {
+	prev := e.cfg.Hooks.OnIteration
+	e.cfg.Hooks.OnIteration = func(now float64, it Iteration) {
+		if prev != nil {
+			prev(now, it)
+		}
+		f(now, it)
+	}
+}
+
+// Submit schedules a request for arrival. Arrival times before the current
+// clock are clamped to now.
+func (e *Engine) Submit(r *request.Request) {
+	if r.ArrivalTime < e.clock {
+		r.ArrivalTime = e.clock
+	}
+	e.seq++
+	heap.Push(&e.arrivals, arrivalItem{r: r, seq: e.seq})
+}
+
+// SubmitAll submits every request in rs.
+func (e *Engine) SubmitAll(rs []*request.Request) {
+	for _, r := range rs {
+		e.Submit(r)
+	}
+}
+
+// Idle reports whether the engine has nothing to do now or in the future.
+func (e *Engine) Idle() bool {
+	return len(e.queue) == 0 && len(e.running) == 0 && len(e.prefilling) == 0 &&
+		len(e.staticBatch) == 0 && e.arrivals.Len() == 0
+}
+
+// arrival heap: orders pending submissions by arrival time, FIFO on ties.
+type arrivalItem struct {
+	r   *request.Request
+	seq int64
+}
+
+type arrivalHeap []arrivalItem
+
+func (h arrivalHeap) Len() int { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool {
+	if h[i].r.ArrivalTime != h[j].r.ArrivalTime {
+		return h[i].r.ArrivalTime < h[j].r.ArrivalTime
+	}
+	return h[i].seq < h[j].seq
+}
+func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(arrivalItem)) }
+func (h *arrivalHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

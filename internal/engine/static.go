@@ -1,0 +1,134 @@
+package engine
+
+import "github.com/lightllm-go/lightllm/internal/request"
+
+// stepStatic executes one iteration of the static-batching mode (Table 2's
+// "origin" multimodal implementations): fixed-size batches, every prompt
+// padded to the longest in the batch, and the batch runs until its *longest*
+// output finishes — no request joins or leaves mid-flight.
+func (e *Engine) stepStatic() bool {
+	if len(e.staticBatch) == 0 {
+		if len(e.queue) == 0 {
+			// Wait for arrivals, if any.
+			if e.arrivals.Len() > 0 {
+				next := e.arrivals[0].r.ArrivalTime
+				if next > e.clock {
+					e.observe(next)
+					e.clock = next
+				}
+				e.moveArrivals()
+				return true
+			}
+			return false
+		}
+		return e.formStaticBatch()
+	}
+	return e.stepStaticDecode()
+}
+
+// formStaticBatch admits up to StaticBatchSize requests, pads every prompt
+// to the batch maximum, and runs the fused (padded) prefill.
+func (e *Engine) formStaticBatch() bool {
+	take := e.cfg.StaticBatchSize
+	if take > len(e.queue) {
+		take = len(e.queue)
+	}
+	maxIn := 0
+	for _, r := range e.queue[:take] {
+		if r.InputLen > maxIn {
+			maxIn = r.InputLen
+		}
+	}
+	// Reduce the batch until the padded prompts fit in memory.
+	for take > 0 && !e.pool.CanAllocate(maxIn*take) {
+		take--
+		maxIn = 0
+		for _, r := range e.queue[:take] {
+			if r.InputLen > maxIn {
+				maxIn = r.InputLen
+			}
+		}
+	}
+	if take == 0 {
+		head := e.queue[0]
+		e.queue = e.queue[1:]
+		e.failRequest(head)
+		return true
+	}
+	batch := e.queue[:take]
+	e.queue = e.queue[take:]
+	for _, r := range batch {
+		if !e.pool.Allocate(r.ID, maxIn) { // padded to the longest prompt
+			e.failRequest(r)
+			continue
+		}
+		r.State = request.Running
+		r.Admissions++
+		e.admissions++
+		e.inputTokens += int64(r.InputLen)
+		e.staticBatch = append(e.staticBatch, r)
+	}
+	if len(e.staticBatch) == 0 {
+		return true
+	}
+	// Padded prefill: compute cost covers maxIn tokens per request. First
+	// tokens are emitted by the following decode steps.
+	dur := e.cfg.Perf.PrefillTime(maxIn * len(e.staticBatch))
+	e.clock += dur
+	e.prefillIters++
+	e.observe(e.clock)
+	e.iterationHook("static", dur, len(e.staticBatch))
+	return true
+}
+
+// stepStaticDecode runs one decode step at full batch width: finished
+// requests still occupy a batch lane (padding) until the longest completes.
+func (e *Engine) stepStaticDecode() bool {
+	n := len(e.staticBatch)
+	kvTokens := e.pool.UsedTokens() + n
+	dur := e.cfg.Perf.DecodeTime(n, kvTokens)
+	e.clock += dur
+	e.decodeSteps++
+	allDone := true
+	for _, r := range e.staticBatch {
+		e.pool.Extend(r.ID, 1) // padding: every lane grows
+		if r.Done() {
+			continue // finished lane, pure padding waste
+		}
+		r.EmitToken(e.clock)
+		if e.cfg.Hooks.OnToken != nil {
+			e.cfg.Hooks.OnToken(e.clock, r)
+		}
+		e.outputTokens++
+		if !r.Done() {
+			allDone = false
+		}
+	}
+	e.finishStaticDone()
+	if allDone {
+		// Whole batch complete: release all lanes.
+		for _, r := range e.staticBatch {
+			e.pool.Free(r.ID)
+		}
+		e.staticBatch = e.staticBatch[:0]
+	}
+	e.observe(e.clock)
+	e.iterationHook("static", dur, n)
+	return true
+}
+
+// finishStaticDone records completions (metrics + history) while keeping
+// the lanes allocated until the batch drains.
+func (e *Engine) finishStaticDone() {
+	for _, r := range e.staticBatch {
+		if r.State == request.Finished || !r.Done() {
+			continue
+		}
+		r.Finish(e.clock)
+		e.recordFinishedLength(r.Class, r.TrueOutputLen)
+		e.finished = append(e.finished, r)
+		if e.cfg.Hooks.OnFinish != nil {
+			e.cfg.Hooks.OnFinish(e.clock, r)
+		}
+	}
+}

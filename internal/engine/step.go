@@ -1,0 +1,416 @@
+package engine
+
+import (
+	"container/heap"
+
+	"github.com/lightllm-go/lightllm/internal/core"
+	"github.com/lightllm-go/lightllm/internal/request"
+)
+
+// maxAdmitRetries bounds re-asking a sampling scheduler about an otherwise
+// unservable queue head before the engine fails the request.
+const maxAdmitRetries = 3
+
+// Step executes one engine iteration and returns false when the engine is
+// fully drained (no queue, no batch, no future arrivals).
+func (e *Engine) Step() bool {
+	if e.Idle() {
+		return false
+	}
+	if !e.started {
+		e.started = true
+		if e.arrivals.Len() > 0 && e.arrivals[0].r.ArrivalTime > e.clock {
+			e.clock = e.arrivals[0].r.ArrivalTime
+		}
+		e.startClock = e.clock
+		e.memUtil.Start(e.clock)
+		e.physUtil.Start(e.clock)
+		e.batchSize.Start(e.clock)
+	}
+	e.moveArrivals()
+	e.dropExpired()
+
+	if e.cfg.Strategy == StaticBatch {
+		return e.stepStatic()
+	}
+
+	var admitted []*request.Request
+	if len(e.queue) > 0 {
+		admitted = e.admit()
+	}
+
+	switch e.cfg.Strategy {
+	case SplitFuse:
+		for _, r := range admitted {
+			need := r.Footprint()
+			if r.Swapped {
+				// Swap recovery needs no chunked recompute; the transfer
+				// cost is charged to the next mixed iteration.
+				e.pendingSwapIn += e.cfg.Perf.SwapTime(need)
+				e.swapInTokens += int64(need)
+				r.Swapped = false
+				need = 0
+			}
+			e.prefilling = append(e.prefilling, &prefillState{req: r, need: need})
+		}
+		if len(e.running)+len(e.prefilling) > 0 {
+			e.runMixed()
+			return true
+		}
+	default: // PrefillPriority
+		if len(admitted) > 0 {
+			e.runPrefill(admitted)
+			return true
+		}
+		if len(e.running) > 0 {
+			e.runDecode()
+			return true
+		}
+	}
+
+	// Nothing is running and nothing was admitted.
+	if e.arrivals.Len() > 0 {
+		next := e.arrivals[0].r.ArrivalTime
+		if next > e.clock {
+			e.observe(next) // idle gap: occupancy holds (zero) until arrival
+			e.clock = next
+		}
+		e.moveArrivals()
+		return true
+	}
+	if len(e.queue) > 0 {
+		// No memory can ever free (empty batch) and the scheduler refuses
+		// the head. Retry a few times for sampling schedulers, then fail it.
+		e.admitRetries++
+		if e.admitRetries >= maxAdmitRetries {
+			head := e.queue[0]
+			e.queue = e.queue[1:]
+			e.failRequest(head)
+			e.admitRetries = 0
+		}
+		return true
+	}
+	return false
+}
+
+// moveArrivals transfers due arrivals into the FCFS queue.
+func (e *Engine) moveArrivals() {
+	for e.arrivals.Len() > 0 && e.arrivals[0].r.ArrivalTime <= e.clock {
+		it := heap.Pop(&e.arrivals).(arrivalItem)
+		e.queue = append(e.queue, it.r)
+	}
+}
+
+// dropExpired abandons queued requests whose TTFT deadline has passed
+// (QueueTimeout semantics; see Config). Re-queued evicted requests, which
+// have already streamed tokens, are exempt.
+func (e *Engine) dropExpired() {
+	if e.cfg.QueueTimeout <= 0 || len(e.queue) == 0 {
+		return
+	}
+	kept := e.queue[:0]
+	for _, r := range e.queue {
+		if r.FirstTokenAt < 0 && e.clock-r.ArrivalTime > e.cfg.QueueTimeout {
+			r.DroppedAt = e.clock
+			e.timedOut = append(e.timedOut, r)
+			if e.cfg.Hooks.OnDrop != nil {
+				e.cfg.Hooks.OnDrop(e.clock, r)
+			}
+			continue
+		}
+		kept = append(kept, r)
+	}
+	e.queue = kept
+}
+
+// admit asks the scheduler for a FCFS prefix, allocates prompt memory, and
+// removes the admitted requests from the queue.
+func (e *Engine) admit() []*request.Request {
+	batchView := e.running
+	if len(e.prefilling) > 0 {
+		batchView = make([]*request.Request, 0, len(e.running)+len(e.prefilling))
+		batchView = append(batchView, e.running...)
+		for _, p := range e.prefilling {
+			batchView = append(batchView, p.req)
+		}
+	}
+	v := &core.View{
+		Now:            e.clock,
+		CapacityTokens: e.pool.CapacityTokens(),
+		UsedTokens:     e.pool.UsedTokens(),
+		FreeTokens:     e.pool.FreeTokens(),
+		Running:        batchView,
+		History:        e.history,
+	}
+	if e.classHist != nil {
+		v.ClassHistory = e.ClassWindow
+	}
+	n := e.sched.Admit(v, e.queue)
+	if n <= 0 {
+		return nil
+	}
+	admitted := make([]*request.Request, 0, n)
+	prefillTokens := 0
+	for i := 0; i < n; i++ {
+		r := e.queue[0]
+		if e.cfg.Strategy == PrefillPriority && e.cfg.MaxPrefillTokens > 0 &&
+			len(admitted) > 0 && prefillTokens+r.Footprint() > e.cfg.MaxPrefillTokens {
+			break // prefill budget reached; the rest stay queued for later
+		}
+		if !e.pool.Allocate(r.ID, r.Footprint()) {
+			break // block fragmentation: physically infeasible, stop here
+		}
+		prefillTokens += r.Footprint()
+		e.queue = e.queue[1:]
+		r.State = request.Running
+		r.Admissions++
+		e.admissions++
+		e.inputTokens += int64(r.InputLen)
+		if r.Generated > 0 && !r.Swapped {
+			e.recomputeTokens += int64(r.Footprint())
+		}
+		admitted = append(admitted, r)
+	}
+	if len(admitted) == 0 {
+		return nil
+	}
+	e.admitRetries = 0
+	if e.cfg.Hooks.OnAdmit != nil {
+		e.cfg.Hooks.OnAdmit(e.clock, admitted)
+	}
+	// Record the ground-truth future peak of the post-admission batch
+	// (Table 1's "Future Required Memory").
+	batch := make([]*request.Request, 0, len(batchView)+len(admitted))
+	batch = append(batch, batchView...)
+	batch = append(batch, admitted...)
+	peak := core.TrueFutureRequiredMemory(batch)
+	e.futureReq.Add(float64(peak) / float64(e.pool.CapacityTokens()))
+	return admitted
+}
+
+// ensureExtendable evicts running requests (most recently admitted first)
+// until every request in grow can gain one token. Returns the requests that
+// remain extendable; if even a lone request cannot grow, it is failed.
+func (e *Engine) ensureExtendable(grow []*request.Request) {
+	for {
+		need := 0
+		for _, r := range grow {
+			if e.pool.Allocated(r.ID) { // evicted entries drop out
+				need += e.pool.BlocksNeededToExtendByOne(r.ID)
+			}
+		}
+		if need <= e.pool.FreeBlocks() {
+			return
+		}
+		switch {
+		case len(e.running) > 1:
+			e.evictLast()
+		case len(e.running) == 1:
+			// A single running request that cannot grow: unservable.
+			victim := e.running[0]
+			e.running = e.running[:0]
+			e.pool.Free(victim.ID)
+			e.failRequest(victim)
+		default:
+			return // nothing evictable; callers handle failed extensions
+		}
+	}
+}
+
+// evictLast evicts the most recently admitted running request (vLLM's
+// recompute preemption): free its memory and push it to the queue front.
+func (e *Engine) evictLast() {
+	victim := e.running[len(e.running)-1]
+	e.running = e.running[:len(e.running)-1]
+	e.pool.Free(victim.ID)
+	victim.State = request.Waiting
+	victim.Evictions++
+	if e.cfg.Eviction == Swap {
+		victim.Swapped = true // KV parked in host memory
+	}
+	e.evictions++
+	e.queue = append([]*request.Request{victim}, e.queue...)
+	if e.cfg.Hooks.OnEvict != nil {
+		e.cfg.Hooks.OnEvict(e.clock, victim)
+	}
+}
+
+// runPrefill executes one fused prefill iteration over the admitted prompts
+// (prefill-priority strategy): decode pauses while the admitted prompts are
+// encoded; the newcomers join the running batch and emit their first token
+// at the next decode step. This matches the paper's memory model exactly: a
+// request admitted with l_t generated tokens occupies l_p + l_t slots and
+// grows by one per decode step until its predicted length.
+func (e *Engine) runPrefill(admitted []*request.Request) {
+	promptTokens := 0
+	swapTokens := 0
+	for _, r := range admitted {
+		if r.Swapped {
+			// Swap recovery: the KV state streams back over the host link
+			// instead of being recomputed.
+			swapTokens += r.Footprint()
+			r.Swapped = false
+			e.swapInTokens += int64(r.Footprint())
+			continue
+		}
+		promptTokens += r.Footprint() // recompute re-encodes generated tokens
+	}
+	dur := e.cfg.Perf.PrefillTime(promptTokens) + e.cfg.Perf.SwapTime(swapTokens)
+	e.clock += dur
+	e.prefillIters++
+	e.running = append(e.running, admitted...)
+	e.observe(e.clock)
+	e.iterationHook("prefill", dur, len(admitted))
+}
+
+// runDecode executes one decode step: every running request emits one token.
+func (e *Engine) runDecode() {
+	e.ensureExtendable(e.running)
+	if len(e.running) == 0 {
+		return
+	}
+	n := len(e.running)
+	kvTokens := e.pool.UsedTokens() + n
+	dur := e.cfg.Perf.DecodeTime(n, kvTokens)
+	e.clock += dur
+	e.decodeSteps++
+	for _, r := range e.running {
+		if !e.pool.Extend(r.ID, 1) {
+			// ensureExtendable guarantees space; defensive requeue.
+			e.requeue(r)
+			continue
+		}
+		r.EmitToken(e.clock)
+		if e.cfg.Hooks.OnToken != nil {
+			e.cfg.Hooks.OnToken(e.clock, r)
+		}
+		e.outputTokens++
+	}
+	e.completeDone()
+	e.observe(e.clock)
+	e.iterationHook("decode", dur, n)
+}
+
+// runMixed executes one splitfuse iteration: all running requests decode one
+// token, and leftover token budget advances queued prompt chunks.
+func (e *Engine) runMixed() {
+	decodeTokens := len(e.running)
+	budget := e.cfg.SplitFuseBudget
+	if budget < decodeTokens {
+		budget = decodeTokens // decode always proceeds
+	}
+	chunk := budget - decodeTokens
+	chunkUsed := 0
+	var finishedPrefills []*request.Request
+	for _, p := range e.prefilling {
+		if p.need == 0 { // swapped-in request: ready immediately
+			finishedPrefills = append(finishedPrefills, p.req)
+			continue
+		}
+		if chunk == 0 {
+			continue
+		}
+		take := p.need
+		if take > chunk {
+			take = chunk
+		}
+		p.need -= take
+		chunk -= take
+		chunkUsed += take
+		if p.need == 0 {
+			finishedPrefills = append(finishedPrefills, p.req)
+		}
+	}
+	// Drop completed prefills from the chunk pipeline (FIFO prefix).
+	remaining := e.prefilling[:0]
+	for _, p := range e.prefilling {
+		if p.need > 0 {
+			remaining = append(remaining, p)
+		}
+	}
+	e.prefilling = remaining
+
+	e.ensureExtendable(e.running)
+
+	computeTokens := decodeTokens + chunkUsed
+	kvTokens := e.pool.UsedTokens() + len(e.running)
+	dur := e.cfg.Perf.MixedTime(computeTokens, kvTokens) + e.pendingSwapIn
+	e.pendingSwapIn = 0
+	e.clock += dur
+	e.mixedIters++
+	e.decodeSteps++ // a mixed iteration advances decoding by one step
+
+	for _, r := range e.running {
+		if !e.pool.Extend(r.ID, 1) {
+			e.requeue(r) // defensive; ensureExtendable guarantees space
+			continue
+		}
+		r.EmitToken(e.clock)
+		if e.cfg.Hooks.OnToken != nil {
+			e.cfg.Hooks.OnToken(e.clock, r)
+		}
+		e.outputTokens++
+	}
+	// Fully chunked prompts join the running batch; their first token is
+	// emitted on the next mixed iteration, like prefill-priority admission.
+	e.running = append(e.running, finishedPrefills...)
+	e.completeDone()
+	e.observe(e.clock)
+	e.iterationHook("mixed", dur, computeTokens)
+}
+
+// requeue returns a request to the queue front after a failed extension.
+func (e *Engine) requeue(r *request.Request) {
+	if e.pool.Allocated(r.ID) {
+		e.pool.Free(r.ID)
+	}
+	for i, rr := range e.running {
+		if rr == r {
+			e.running = append(e.running[:i], e.running[i+1:]...)
+			break
+		}
+	}
+	r.State = request.Waiting
+	r.Evictions++
+	e.evictions++
+	e.queue = append([]*request.Request{r}, e.queue...)
+	if e.cfg.Hooks.OnEvict != nil {
+		e.cfg.Hooks.OnEvict(e.clock, r)
+	}
+}
+
+// completeDone finishes every running request whose output is complete:
+// memory is released and the actual output length feeds the history window.
+func (e *Engine) completeDone() {
+	kept := e.running[:0]
+	for _, r := range e.running {
+		if !r.Done() {
+			kept = append(kept, r)
+			continue
+		}
+		e.pool.Free(r.ID)
+		r.Finish(e.clock)
+		e.recordFinishedLength(r.Class, r.TrueOutputLen)
+		e.finished = append(e.finished, r)
+		if e.cfg.Hooks.OnFinish != nil {
+			e.cfg.Hooks.OnFinish(e.clock, r)
+		}
+	}
+	e.running = kept
+}
+
+// observe records occupancy and batch-size time series at time t.
+func (e *Engine) observe(t float64) {
+	capacity := float64(e.pool.CapacityTokens())
+	e.memUtil.Observe(t, float64(e.pool.UsedTokens())/capacity)
+	e.physUtil.Observe(t, float64(e.pool.PhysicalUsedTokens())/capacity)
+	e.batchSize.Observe(t, float64(len(e.running)+len(e.prefilling)+len(e.staticBatch)))
+}
+
+func (e *Engine) iterationHook(kind string, dur float64, batch int) {
+	if e.cfg.Hooks.OnIteration != nil {
+		e.cfg.Hooks.OnIteration(e.clock, Iteration{
+			Kind: kind, Duration: dur, BatchSize: batch, KVTokens: e.pool.UsedTokens(),
+		})
+	}
+}

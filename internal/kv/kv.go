@@ -1,0 +1,220 @@
+// Package kv implements the KV-cache memory pool the serving engine
+// allocates request state from.
+//
+// The pool is block-granular: LightLLM's TokenAttention corresponds to
+// BlockSize = 1 (token-exact allocation, zero internal fragmentation);
+// vLLM's PagedAttention corresponds to BlockSize = 16 (a request's last
+// block is partially used, wasting up to BlockSize-1 slots). Schedulers see
+// logical token counts; the pool additionally accounts the physical blocks
+// so fragmentation shows up in memory-utilisation metrics and in the
+// block-size ablation.
+package kv
+
+import "fmt"
+
+// Pool is a KV-cache allocator over a fixed number of token slots.
+// It is not safe for concurrent use; the engine owns it single-threaded.
+type Pool struct {
+	capacityTokens int
+	blockSize      int
+	totalBlocks    int
+	freeBlocks     int
+	allocs         map[int64]*alloc
+
+	logicalUsed int // sum of allocated logical tokens
+	peakLogical int
+	peakBlocks  int
+}
+
+type alloc struct {
+	tokens int // logical tokens
+	blocks int // physical blocks
+}
+
+// NewPool creates a pool with the given capacity in token slots and block
+// size. Capacity is rounded down to a whole number of blocks.
+func NewPool(capacityTokens, blockSize int) *Pool {
+	if capacityTokens <= 0 || blockSize <= 0 {
+		panic(fmt.Sprintf("kv: invalid pool capacity=%d blockSize=%d", capacityTokens, blockSize))
+	}
+	total := capacityTokens / blockSize
+	if total == 0 {
+		panic("kv: capacity smaller than one block")
+	}
+	return &Pool{
+		capacityTokens: total * blockSize,
+		blockSize:      blockSize,
+		totalBlocks:    total,
+		freeBlocks:     total,
+		allocs:         make(map[int64]*alloc),
+	}
+}
+
+// CapacityTokens returns the usable capacity in token slots.
+func (p *Pool) CapacityTokens() int { return p.capacityTokens }
+
+// BlockSize returns the allocation granularity in tokens.
+func (p *Pool) BlockSize() int { return p.blockSize }
+
+// UsedTokens returns the logical token slots in use (what schedulers count).
+func (p *Pool) UsedTokens() int { return p.logicalUsed }
+
+// PhysicalUsedTokens returns block-granular usage including fragmentation.
+func (p *Pool) PhysicalUsedTokens() int {
+	return (p.totalBlocks - p.freeBlocks) * p.blockSize
+}
+
+// FreeTokens returns the physical free token slots.
+func (p *Pool) FreeTokens() int { return p.freeBlocks * p.blockSize }
+
+// FragmentationWaste returns physical-minus-logical usage: slots lost to
+// partially filled blocks.
+func (p *Pool) FragmentationWaste() int { return p.PhysicalUsedTokens() - p.logicalUsed }
+
+// PeakUsedTokens returns the high-water mark of logical usage.
+func (p *Pool) PeakUsedTokens() int { return p.peakLogical }
+
+// Allocated reports whether the request holds an allocation.
+func (p *Pool) Allocated(id int64) bool {
+	_, ok := p.allocs[id]
+	return ok
+}
+
+// AllocatedTokens returns the logical tokens held by the request (0 if none).
+func (p *Pool) AllocatedTokens(id int64) int {
+	if a, ok := p.allocs[id]; ok {
+		return a.tokens
+	}
+	return 0
+}
+
+// ActiveRequests returns the number of live allocations.
+func (p *Pool) ActiveRequests() int { return len(p.allocs) }
+
+func blocksFor(tokens, blockSize int) int {
+	return (tokens + blockSize - 1) / blockSize
+}
+
+// CanAllocate reports whether a fresh allocation of the given logical size
+// would succeed right now.
+func (p *Pool) CanAllocate(tokens int) bool {
+	return blocksFor(tokens, p.blockSize) <= p.freeBlocks
+}
+
+// Allocate reserves tokens slots for the request. It returns false (and
+// changes nothing) if the pool lacks physical space. Allocating twice for
+// the same id panics — the engine must Free (eviction) before re-admitting.
+func (p *Pool) Allocate(id int64, tokens int) bool {
+	if tokens <= 0 {
+		panic(fmt.Sprintf("kv: allocate %d tokens for request %d", tokens, id))
+	}
+	if _, dup := p.allocs[id]; dup {
+		panic(fmt.Sprintf("kv: double allocation for request %d", id))
+	}
+	need := blocksFor(tokens, p.blockSize)
+	if need > p.freeBlocks {
+		return false
+	}
+	p.freeBlocks -= need
+	p.allocs[id] = &alloc{tokens: tokens, blocks: need}
+	p.logicalUsed += tokens
+	p.notePeaks()
+	return true
+}
+
+// FreeBlocks returns the number of free physical blocks.
+func (p *Pool) FreeBlocks() int { return p.freeBlocks }
+
+// BlocksNeededToExtendByOne returns how many new blocks (0 or 1) extending
+// the request by one token would consume. Unknown ids panic.
+func (p *Pool) BlocksNeededToExtendByOne(id int64) int {
+	a, ok := p.allocs[id]
+	if !ok {
+		panic(fmt.Sprintf("kv: extend-need of unallocated request %d", id))
+	}
+	return blocksFor(a.tokens+1, p.blockSize) - a.blocks
+}
+
+// CanExtend reports whether growing the request by extra tokens fits.
+func (p *Pool) CanExtend(id int64, extra int) bool {
+	a, ok := p.allocs[id]
+	if !ok {
+		return false
+	}
+	need := blocksFor(a.tokens+extra, p.blockSize) - a.blocks
+	return need <= p.freeBlocks
+}
+
+// Extend grows an existing allocation by extra tokens, returning false if
+// physical space is exhausted. Extending an unknown id panics.
+func (p *Pool) Extend(id int64, extra int) bool {
+	if extra <= 0 {
+		panic(fmt.Sprintf("kv: extend by %d tokens", extra))
+	}
+	a, ok := p.allocs[id]
+	if !ok {
+		panic(fmt.Sprintf("kv: extend of unallocated request %d", id))
+	}
+	need := blocksFor(a.tokens+extra, p.blockSize) - a.blocks
+	if need > p.freeBlocks {
+		return false
+	}
+	p.freeBlocks -= need
+	a.blocks += need
+	a.tokens += extra
+	p.logicalUsed += extra
+	p.notePeaks()
+	return true
+}
+
+// Free releases the request's allocation and returns the logical tokens it
+// held. Freeing an unknown id panics: a double free is an engine bug.
+func (p *Pool) Free(id int64) int {
+	a, ok := p.allocs[id]
+	if !ok {
+		panic(fmt.Sprintf("kv: free of unallocated request %d", id))
+	}
+	p.freeBlocks += a.blocks
+	p.logicalUsed -= a.tokens
+	delete(p.allocs, id)
+	return a.tokens
+}
+
+// Utilization returns logical usage as a fraction of capacity.
+func (p *Pool) Utilization() float64 {
+	return float64(p.logicalUsed) / float64(p.capacityTokens)
+}
+
+// CheckInvariants verifies internal accounting; tests call it after
+// operation sequences. It returns an error rather than panicking so
+// property tests can report the failing sequence.
+func (p *Pool) CheckInvariants() error {
+	usedBlocks := 0
+	logical := 0
+	for id, a := range p.allocs {
+		if a.tokens <= 0 || a.blocks <= 0 {
+			return fmt.Errorf("kv: request %d has empty allocation", id)
+		}
+		if a.blocks != blocksFor(a.tokens, p.blockSize) {
+			return fmt.Errorf("kv: request %d blocks=%d tokens=%d inconsistent", id, a.blocks, a.tokens)
+		}
+		usedBlocks += a.blocks
+		logical += a.tokens
+	}
+	if usedBlocks+p.freeBlocks != p.totalBlocks {
+		return fmt.Errorf("kv: blocks leak: used=%d free=%d total=%d", usedBlocks, p.freeBlocks, p.totalBlocks)
+	}
+	if logical != p.logicalUsed {
+		return fmt.Errorf("kv: logical usage drift: %d vs %d", logical, p.logicalUsed)
+	}
+	return nil
+}
+
+func (p *Pool) notePeaks() {
+	if p.logicalUsed > p.peakLogical {
+		p.peakLogical = p.logicalUsed
+	}
+	if used := p.totalBlocks - p.freeBlocks; used > p.peakBlocks {
+		p.peakBlocks = used
+	}
+}

@@ -1,0 +1,283 @@
+package kv
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocateFree(t *testing.T) {
+	p := NewPool(100, 1)
+	if !p.Allocate(1, 40) {
+		t.Fatal("allocate failed")
+	}
+	if p.UsedTokens() != 40 || p.FreeTokens() != 60 {
+		t.Fatalf("used=%d free=%d", p.UsedTokens(), p.FreeTokens())
+	}
+	if got := p.Free(1); got != 40 {
+		t.Fatalf("freed %d", got)
+	}
+	if p.UsedTokens() != 0 || p.FreeTokens() != 100 {
+		t.Fatal("free did not restore pool")
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocateRejectsWhenFull(t *testing.T) {
+	p := NewPool(100, 1)
+	if !p.Allocate(1, 100) {
+		t.Fatal("allocate failed")
+	}
+	if p.Allocate(2, 1) {
+		t.Fatal("allocation beyond capacity succeeded")
+	}
+	if p.UsedTokens() != 100 {
+		t.Fatal("failed allocation mutated pool")
+	}
+}
+
+func TestExtend(t *testing.T) {
+	p := NewPool(100, 1)
+	p.Allocate(1, 10)
+	if !p.Extend(1, 5) {
+		t.Fatal("extend failed")
+	}
+	if p.AllocatedTokens(1) != 15 {
+		t.Fatalf("allocated = %d", p.AllocatedTokens(1))
+	}
+	if p.Free(1) != 15 {
+		t.Fatal("free returned wrong size")
+	}
+}
+
+func TestExtendRejectsWhenFull(t *testing.T) {
+	p := NewPool(10, 1)
+	p.Allocate(1, 10)
+	if p.Extend(1, 1) {
+		t.Fatal("extend beyond capacity succeeded")
+	}
+	if p.AllocatedTokens(1) != 10 {
+		t.Fatal("failed extend mutated allocation")
+	}
+}
+
+func TestBlockFragmentation(t *testing.T) {
+	p := NewPool(160, 16)
+	p.Allocate(1, 17) // needs 2 blocks = 32 physical
+	if p.UsedTokens() != 17 {
+		t.Fatalf("logical = %d", p.UsedTokens())
+	}
+	if p.PhysicalUsedTokens() != 32 {
+		t.Fatalf("physical = %d", p.PhysicalUsedTokens())
+	}
+	if p.FragmentationWaste() != 15 {
+		t.Fatalf("waste = %d", p.FragmentationWaste())
+	}
+}
+
+func TestBlockExtendWithinBlock(t *testing.T) {
+	p := NewPool(160, 16)
+	p.Allocate(1, 10)
+	if p.PhysicalUsedTokens() != 16 {
+		t.Fatal("one block expected")
+	}
+	// Extending within the same block consumes no new physical space.
+	if !p.Extend(1, 6) {
+		t.Fatal("extend failed")
+	}
+	if p.PhysicalUsedTokens() != 16 {
+		t.Fatalf("physical grew to %d inside a block", p.PhysicalUsedTokens())
+	}
+	if !p.Extend(1, 1) {
+		t.Fatal("extend crossing block failed")
+	}
+	if p.PhysicalUsedTokens() != 32 {
+		t.Fatalf("physical = %d after crossing block", p.PhysicalUsedTokens())
+	}
+}
+
+func TestTokenGranularityNoWaste(t *testing.T) {
+	p := NewPool(1000, 1)
+	p.Allocate(1, 123)
+	p.Allocate(2, 456)
+	if p.FragmentationWaste() != 0 {
+		t.Fatalf("token-granular pool wasted %d", p.FragmentationWaste())
+	}
+}
+
+func TestCanAllocateAndExtend(t *testing.T) {
+	p := NewPool(32, 16)
+	if !p.CanAllocate(32) {
+		t.Fatal("CanAllocate(32) = false")
+	}
+	p.Allocate(1, 20) // 2 blocks
+	if p.CanAllocate(1) {
+		t.Fatal("no free blocks, CanAllocate should be false")
+	}
+	if !p.CanExtend(1, 12) { // stays in 2 blocks
+		t.Fatal("CanExtend within block = false")
+	}
+	if p.CanExtend(1, 13) { // needs block 3
+		t.Fatal("CanExtend beyond capacity = true")
+	}
+	if p.CanExtend(99, 1) {
+		t.Fatal("CanExtend of unknown id = true")
+	}
+}
+
+func TestDoubleAllocatePanics(t *testing.T) {
+	p := NewPool(100, 1)
+	p.Allocate(1, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double allocate did not panic")
+		}
+	}()
+	p.Allocate(1, 10)
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	p := NewPool(100, 1)
+	p.Allocate(1, 10)
+	p.Free(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	p.Free(1)
+}
+
+func TestExtendUnknownPanics(t *testing.T) {
+	p := NewPool(100, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("extend unknown did not panic")
+		}
+	}()
+	p.Extend(7, 1)
+}
+
+func TestCapacityRoundsToBlocks(t *testing.T) {
+	p := NewPool(100, 16) // 6 blocks = 96 tokens
+	if p.CapacityTokens() != 96 {
+		t.Fatalf("capacity = %d, want 96", p.CapacityTokens())
+	}
+}
+
+func TestPeakTracking(t *testing.T) {
+	p := NewPool(100, 1)
+	p.Allocate(1, 60)
+	p.Allocate(2, 30)
+	p.Free(1)
+	if p.PeakUsedTokens() != 90 {
+		t.Fatalf("peak = %d", p.PeakUsedTokens())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	p := NewPool(200, 1)
+	p.Allocate(1, 50)
+	if got := p.Utilization(); got != 0.25 {
+		t.Fatalf("utilization = %v", got)
+	}
+}
+
+func TestActiveRequests(t *testing.T) {
+	p := NewPool(100, 1)
+	p.Allocate(1, 10)
+	p.Allocate(2, 10)
+	if p.ActiveRequests() != 2 {
+		t.Fatalf("active = %d", p.ActiveRequests())
+	}
+	p.Free(1)
+	if p.ActiveRequests() != 1 || p.Allocated(1) || !p.Allocated(2) {
+		t.Fatal("active bookkeeping wrong after free")
+	}
+}
+
+func TestFreeBlocksAndExtendNeed(t *testing.T) {
+	p := NewPool(64, 16) // 4 blocks
+	if p.FreeBlocks() != 4 {
+		t.Fatalf("free blocks = %d", p.FreeBlocks())
+	}
+	p.Allocate(1, 15)
+	if p.FreeBlocks() != 3 {
+		t.Fatalf("free blocks after alloc = %d", p.FreeBlocks())
+	}
+	// 15 → 16 stays within the block; 16 → 17 needs one more.
+	if p.BlocksNeededToExtendByOne(1) != 0 {
+		t.Fatal("extend 15→16 should need 0 blocks")
+	}
+	p.Extend(1, 1)
+	if p.BlocksNeededToExtendByOne(1) != 1 {
+		t.Fatal("extend 16→17 should need 1 block")
+	}
+}
+
+func TestBlocksNeededUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown id did not panic")
+		}
+	}()
+	NewPool(16, 1).BlocksNeededToExtendByOne(42)
+}
+
+func TestQuickConservation(t *testing.T) {
+	// Property: after any sequence of alloc/extend/free operations, the
+	// pool's accounting is self-consistent and freeing everything restores
+	// full capacity.
+	type op struct {
+		Kind   uint8
+		ID     uint8
+		Tokens uint8
+	}
+	f := func(ops []op, blockPow uint8) bool {
+		blockSize := 1 << (blockPow % 5) // 1..16
+		p := NewPool(4096, blockSize)
+		live := map[int64]bool{}
+		for _, o := range ops {
+			id := int64(o.ID % 8)
+			tokens := int(o.Tokens%64) + 1
+			switch o.Kind % 3 {
+			case 0:
+				if !live[id] {
+					if p.Allocate(id, tokens) {
+						live[id] = true
+					}
+				}
+			case 1:
+				if live[id] {
+					p.Extend(id, tokens)
+				}
+			case 2:
+				if live[id] {
+					p.Free(id)
+					delete(live, id)
+				}
+			}
+			if err := p.CheckInvariants(); err != nil {
+				return false
+			}
+		}
+		for id := range live {
+			p.Free(id)
+		}
+		return p.UsedTokens() == 0 && p.FreeTokens() == p.CapacityTokens() &&
+			p.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAllocateFree(b *testing.B) {
+	p := NewPool(1_000_000, 1)
+	for i := 0; i < b.N; i++ {
+		id := int64(i % 1000)
+		p.Allocate(id, 100)
+		p.Free(id)
+	}
+}

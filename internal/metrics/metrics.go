@@ -1,0 +1,147 @@
+// Package metrics computes the paper's service-level metrics from finished
+// requests: TTFT (time to first token), TPOT (time per output token), MTPOT
+// (maximum TPOT within a request), SLA attainment, throughput, and goodput —
+// throughput counted only over requests that met the SLA (§2.5, §5.1).
+package metrics
+
+import (
+	"fmt"
+
+	"github.com/lightllm-go/lightllm/internal/request"
+	"github.com/lightllm-go/lightllm/internal/stats"
+)
+
+// SLA is a service-level agreement on per-request latency metrics.
+type SLA struct {
+	// TTFT is the maximum time to first token, seconds.
+	TTFT float64
+	// MTPOT is the maximum inter-token gap, seconds.
+	MTPOT float64
+}
+
+// The paper's SLA settings (§5.1): (10 s, 1.5 s) for 7B/13B models and
+// (15 s, 5 s) for the 70B model.
+var (
+	SLASmall = SLA{TTFT: 10, MTPOT: 1.5}
+	SLALarge = SLA{TTFT: 15, MTPOT: 5}
+)
+
+// Met reports whether a finished request satisfied the SLA.
+func (s SLA) Met(r *request.Request) bool {
+	ttft := r.TTFT()
+	return ttft >= 0 && ttft <= s.TTFT && r.MTPOT() <= s.MTPOT
+}
+
+// String implements fmt.Stringer.
+func (s SLA) String() string {
+	return fmt.Sprintf("TTFT<%.0fs MTPOT<%.1fs", s.TTFT, s.MTPOT)
+}
+
+// Summary aggregates one run's finished requests over a measurement window.
+type Summary struct {
+	// Window is the measurement span in simulated seconds.
+	Window float64
+	// Total counts requests finishing (or abandoned) inside the window.
+	Total int
+	// SLAOK counts requests that met the SLA.
+	SLAOK int
+	// TimedOut counts requests abandoned in the queue past their TTFT
+	// budget (always SLA violations, contributing zero good tokens).
+	TimedOut int
+	// ViolatedTTFT / ViolatedMTPOT break down the violations (a request can
+	// appear in both).
+	ViolatedTTFT  int
+	ViolatedMTPOT int
+
+	// OutputTokens / GoodTokens are output-token totals (all / SLA-meeting).
+	OutputTokens int64
+	GoodTokens   int64
+	// Throughput is OutputTokens per second of window.
+	Throughput float64
+	// Goodput is GoodTokens per second of window — the paper's headline
+	// metric.
+	Goodput float64
+
+	MeanTTFT  float64
+	P99TTFT   float64
+	MeanTPOT  float64
+	P99TPOT   float64
+	MeanMTPOT float64
+	P99MTPOT  float64
+	// MeanEvictions is the average evictions per finished request.
+	MeanEvictions float64
+}
+
+// SLARate returns the fraction of requests meeting the SLA.
+func (s Summary) SLARate() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.SLAOK) / float64(s.Total)
+}
+
+// Summarize computes a Summary over requests finishing in (from, to].
+// Requests finishing outside the window (warm-up, post-deadline stragglers)
+// are excluded, as are unfinished requests.
+func Summarize(finished []*request.Request, sla SLA, from, to float64) Summary {
+	if to <= from {
+		panic(fmt.Sprintf("metrics: empty window [%v, %v]", from, to))
+	}
+	s := Summary{Window: to - from}
+	var ttfts, tpots, mtpots []float64
+	var evictions int
+	for _, r := range finished {
+		if r.FinishedAt <= from || r.FinishedAt > to {
+			continue
+		}
+		s.Total++
+		s.OutputTokens += int64(r.Generated)
+		ttfts = append(ttfts, r.TTFT())
+		tpots = append(tpots, r.TPOT())
+		mtpots = append(mtpots, r.MTPOT())
+		evictions += r.Evictions
+		ok := sla.Met(r)
+		if ok {
+			s.SLAOK++
+			s.GoodTokens += int64(r.Generated)
+		}
+		if r.TTFT() < 0 || r.TTFT() > sla.TTFT {
+			s.ViolatedTTFT++
+		}
+		if r.MTPOT() > sla.MTPOT {
+			s.ViolatedMTPOT++
+		}
+	}
+	s.Throughput = float64(s.OutputTokens) / s.Window
+	s.Goodput = float64(s.GoodTokens) / s.Window
+	if s.Total > 0 {
+		s.MeanTTFT = stats.Mean(ttfts)
+		s.P99TTFT = stats.Percentile(ttfts, 0.99)
+		s.MeanTPOT = stats.Mean(tpots)
+		s.P99TPOT = stats.Percentile(tpots, 0.99)
+		s.MeanMTPOT = stats.Mean(mtpots)
+		s.P99MTPOT = stats.Percentile(mtpots, 0.99)
+		s.MeanEvictions = float64(evictions) / float64(s.Total)
+	}
+	return s
+}
+
+// AddTimedOut folds queue-abandoned requests (DroppedAt in (from, to]) into
+// the summary: each counts as one request violating the TTFT SLA with zero
+// good tokens. Throughput/goodput rates are unchanged (no tokens flowed).
+func (s *Summary) AddTimedOut(dropped []*request.Request, from, to float64) {
+	for _, r := range dropped {
+		if r.DroppedAt <= from || r.DroppedAt > to {
+			continue
+		}
+		s.Total++
+		s.TimedOut++
+		s.ViolatedTTFT++
+	}
+}
+
+// String renders a one-line summary for logs and tables.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d sla=%.1f%% goodput=%.0f tok/s throughput=%.0f tok/s p99ttft=%.2fs p99mtpot=%.2fs",
+		s.Total, s.SLARate()*100, s.Goodput, s.Throughput, s.P99TTFT, s.P99MTPOT)
+}

@@ -1,0 +1,182 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/lightllm-go/lightllm/internal/request"
+)
+
+// finishedReq fabricates a finished request with the given timing.
+func finishedReq(id int64, arrival, firstToken float64, gaps []float64) *request.Request {
+	r := request.New(id, 10, len(gaps)+1, 4096, arrival)
+	r.EmitToken(firstToken)
+	t := firstToken
+	for _, g := range gaps {
+		t += g
+		r.EmitToken(t)
+	}
+	r.Finish(t)
+	return r
+}
+
+func TestSLAMet(t *testing.T) {
+	sla := SLA{TTFT: 2, MTPOT: 1}
+	good := finishedReq(1, 0, 1.0, []float64{0.5, 0.5})
+	if !sla.Met(good) {
+		t.Fatal("good request failed SLA")
+	}
+	lateFirst := finishedReq(2, 0, 3.0, []float64{0.5})
+	if sla.Met(lateFirst) {
+		t.Fatal("TTFT violation passed SLA")
+	}
+	stalled := finishedReq(3, 0, 1.0, []float64{0.5, 2.0})
+	if sla.Met(stalled) {
+		t.Fatal("MTPOT violation passed SLA")
+	}
+}
+
+func TestSLAUnstartedRequestFails(t *testing.T) {
+	r := request.New(1, 10, 5, 10, 0) // never emitted a token
+	if (SLA{TTFT: 10, MTPOT: 10}).Met(r) {
+		t.Fatal("request without first token passed SLA")
+	}
+}
+
+func TestSummarizeCounts(t *testing.T) {
+	sla := SLA{TTFT: 2, MTPOT: 1}
+	reqs := []*request.Request{
+		finishedReq(1, 0, 1, []float64{0.5, 0.5}), // ok, 3 tokens
+		finishedReq(2, 0, 5, []float64{0.5}),      // TTFT violation, 2 tokens
+		finishedReq(3, 0, 1, []float64{3.0}),      // MTPOT violation, 2 tokens
+	}
+	s := Summarize(reqs, sla, 0, 10)
+	if s.Total != 3 || s.SLAOK != 1 {
+		t.Fatalf("total=%d ok=%d", s.Total, s.SLAOK)
+	}
+	if s.ViolatedTTFT != 1 || s.ViolatedMTPOT != 1 {
+		t.Fatalf("violations ttft=%d mtpot=%d", s.ViolatedTTFT, s.ViolatedMTPOT)
+	}
+	if s.OutputTokens != 7 || s.GoodTokens != 3 {
+		t.Fatalf("tokens=%d good=%d", s.OutputTokens, s.GoodTokens)
+	}
+	if math.Abs(s.Goodput-0.3) > 1e-12 {
+		t.Fatalf("goodput = %v, want 0.3", s.Goodput)
+	}
+	if math.Abs(s.Throughput-0.7) > 1e-12 {
+		t.Fatalf("throughput = %v, want 0.7", s.Throughput)
+	}
+	if math.Abs(s.SLARate()-1.0/3) > 1e-12 {
+		t.Fatalf("sla rate = %v", s.SLARate())
+	}
+}
+
+func TestSummarizeWindowFiltering(t *testing.T) {
+	sla := SLA{TTFT: 10, MTPOT: 10}
+	early := finishedReq(1, 0, 0.5, []float64{0.5}) // finishes at 1.0
+	late := finishedReq(2, 0, 8.0, []float64{0.5})  // finishes at 8.5
+	s := Summarize([]*request.Request{early, late}, sla, 2, 10)
+	if s.Total != 1 {
+		t.Fatalf("window filter kept %d", s.Total)
+	}
+	// Boundary: finish exactly at `from` is excluded, at `to` included.
+	s2 := Summarize([]*request.Request{early}, sla, 1.0, 2.0)
+	if s2.Total != 0 {
+		t.Fatal("finish at window start should be excluded")
+	}
+	s3 := Summarize([]*request.Request{early}, sla, 0.5, 1.0)
+	if s3.Total != 1 {
+		t.Fatal("finish at window end should be included")
+	}
+}
+
+func TestSummarizeUnfinishedExcluded(t *testing.T) {
+	r := request.New(1, 10, 5, 10, 0)
+	r.EmitToken(1) // running, not finished
+	s := Summarize([]*request.Request{r}, SLA{TTFT: 10, MTPOT: 10}, 0, 10)
+	if s.Total != 0 {
+		t.Fatal("unfinished request counted")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil, SLASmall, 0, 10)
+	if s.Total != 0 || s.Goodput != 0 || s.SLARate() != 0 {
+		t.Fatal("empty summary not zeroed")
+	}
+}
+
+func TestSummarizePercentiles(t *testing.T) {
+	sla := SLA{TTFT: 100, MTPOT: 100}
+	var reqs []*request.Request
+	for i := 0; i < 100; i++ {
+		// TTFT = i * 0.01
+		reqs = append(reqs, finishedReq(int64(i), 0, float64(i)*0.01, []float64{0.1}))
+	}
+	s := Summarize(reqs, sla, 0, 10)
+	if s.P99TTFT < 0.97 || s.P99TTFT > 0.99 {
+		t.Fatalf("p99 ttft = %v", s.P99TTFT)
+	}
+	if math.Abs(s.MeanTTFT-0.495) > 1e-9 {
+		t.Fatalf("mean ttft = %v", s.MeanTTFT)
+	}
+}
+
+func TestSummarizeEvictionsMean(t *testing.T) {
+	a := finishedReq(1, 0, 1, []float64{0.1})
+	a.Evictions = 2
+	b := finishedReq(2, 0, 1, []float64{0.1})
+	s := Summarize([]*request.Request{a, b}, SLASmall, 0, 10)
+	if s.MeanEvictions != 1 {
+		t.Fatalf("mean evictions = %v", s.MeanEvictions)
+	}
+}
+
+func TestSummarizePanicsOnEmptyWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty window did not panic")
+		}
+	}()
+	Summarize(nil, SLASmall, 5, 5)
+}
+
+func TestAddTimedOut(t *testing.T) {
+	good := finishedReq(1, 0, 1, []float64{0.5})
+	s := Summarize([]*request.Request{good}, SLA{TTFT: 5, MTPOT: 5}, 0, 10)
+	dropped := request.New(2, 10, 5, 10, 0)
+	dropped.DroppedAt = 4.0
+	outside := request.New(3, 10, 5, 10, 0)
+	outside.DroppedAt = 20.0 // past the window: excluded
+	s.AddTimedOut([]*request.Request{dropped, outside}, 0, 10)
+	if s.Total != 2 || s.TimedOut != 1 || s.ViolatedTTFT != 1 {
+		t.Fatalf("after drops: total=%d timedout=%d ttftviol=%d", s.Total, s.TimedOut, s.ViolatedTTFT)
+	}
+	// Goodput unchanged (drops contribute no tokens), SLA rate halves.
+	if s.GoodTokens != 2 {
+		t.Fatalf("good tokens = %d", s.GoodTokens)
+	}
+	if s.SLARate() != 0.5 {
+		t.Fatalf("sla rate = %v", s.SLARate())
+	}
+}
+
+func TestPaperSLAConstants(t *testing.T) {
+	if SLASmall.TTFT != 10 || SLASmall.MTPOT != 1.5 {
+		t.Fatalf("small SLA = %+v", SLASmall)
+	}
+	if SLALarge.TTFT != 15 || SLALarge.MTPOT != 5 {
+		t.Fatalf("large SLA = %+v", SLALarge)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if !strings.Contains(SLASmall.String(), "TTFT<10s") {
+		t.Fatalf("SLA string = %q", SLASmall.String())
+	}
+	s := Summarize(nil, SLASmall, 0, 1)
+	if !strings.Contains(s.String(), "goodput") {
+		t.Fatalf("summary string = %q", s.String())
+	}
+}

@@ -1,0 +1,119 @@
+// Package model describes the LLM architectures used in the paper's
+// evaluation (Llama-2 7B/13B/70B and the multimodal Qwen-VL-Chat and
+// LLaVA-1.5 models) at the level of detail the serving simulator needs:
+// parameter count (weight bytes, FLOPs/token), KV-cache bytes per token
+// (layers × KV heads × head dim), and the number of image tokens a
+// multimodal request injects into the prompt.
+package model
+
+import "fmt"
+
+// Spec describes one model architecture.
+type Spec struct {
+	// Name is the display name used in experiment tables.
+	Name string
+	// Params is the total parameter count.
+	Params int64
+	// Layers is the number of transformer layers.
+	Layers int
+	// Hidden is the model (embedding) dimension.
+	Hidden int
+	// Heads is the number of attention heads.
+	Heads int
+	// KVHeads is the number of key/value heads (== Heads without GQA).
+	KVHeads int
+	// BytesPerParam is the weight precision (2 for fp16/bf16).
+	BytesPerParam int
+	// ImageTokens is the number of prompt tokens a single image expands to
+	// (0 for text-only models).
+	ImageTokens int
+}
+
+// Validate reports a configuration error, if any.
+func (s Spec) Validate() error {
+	switch {
+	case s.Params <= 0:
+		return fmt.Errorf("model %s: non-positive params", s.Name)
+	case s.Layers <= 0 || s.Hidden <= 0 || s.Heads <= 0 || s.KVHeads <= 0:
+		return fmt.Errorf("model %s: non-positive architecture dims", s.Name)
+	case s.Hidden%s.Heads != 0:
+		return fmt.Errorf("model %s: hidden %d not divisible by heads %d", s.Name, s.Hidden, s.Heads)
+	case s.KVHeads > s.Heads:
+		return fmt.Errorf("model %s: more KV heads than heads", s.Name)
+	case s.BytesPerParam <= 0:
+		return fmt.Errorf("model %s: non-positive bytes/param", s.Name)
+	}
+	return nil
+}
+
+// HeadDim returns the per-head dimension.
+func (s Spec) HeadDim() int { return s.Hidden / s.Heads }
+
+// KVBytesPerToken returns the KV-cache bytes one token occupies:
+// 2 (K and V) × layers × KV heads × head dim × bytes.
+func (s Spec) KVBytesPerToken() int64 {
+	return 2 * int64(s.Layers) * int64(s.KVHeads) * int64(s.HeadDim()) * int64(s.BytesPerParam)
+}
+
+// WeightBytes returns the total bytes of model weights.
+func (s Spec) WeightBytes() int64 { return s.Params * int64(s.BytesPerParam) }
+
+// FLOPsPerToken returns the forward-pass FLOPs for one token
+// (the standard 2 × params approximation; attention score FLOPs are
+// second-order for the sequence lengths in the paper's workloads).
+func (s Spec) FLOPsPerToken() float64 { return 2 * float64(s.Params) }
+
+// Predefined model specs. Architecture numbers follow the published model
+// cards; Params are the exact reported counts.
+var (
+	// Llama2_7B is Llama-2-7B-Chat (paper's main evaluation model).
+	Llama2_7B = Spec{
+		Name: "Llama2-7B-Chat", Params: 6_738_000_000,
+		Layers: 32, Hidden: 4096, Heads: 32, KVHeads: 32, BytesPerParam: 2,
+	}
+	// Llama2_13B is Llama-2-13B-Chat.
+	Llama2_13B = Spec{
+		Name: "Llama2-13B-Chat", Params: 13_016_000_000,
+		Layers: 40, Hidden: 5120, Heads: 40, KVHeads: 40, BytesPerParam: 2,
+	}
+	// Llama2_70B is Llama-2-70B-Chat (grouped-query attention: 8 KV heads).
+	Llama2_70B = Spec{
+		Name: "Llama2-70B-Chat", Params: 68_977_000_000,
+		Layers: 80, Hidden: 8192, Heads: 64, KVHeads: 8, BytesPerParam: 2,
+	}
+	// QwenVLChat is Qwen-VL-Chat: Qwen-7B LLM plus a ViT whose resampler
+	// emits 256 image tokens per image.
+	QwenVLChat = Spec{
+		Name: "Qwen-VL-Chat", Params: 9_600_000_000,
+		Layers: 32, Hidden: 4096, Heads: 32, KVHeads: 32, BytesPerParam: 2,
+		ImageTokens: 256,
+	}
+	// LLaVA15_7B is LLaVA-1.5-7B (Vicuna-7B base, 576 image tokens from the
+	// CLIP ViT-L/336px encoder).
+	LLaVA15_7B = Spec{
+		Name: "LLaVA-1.5-7B", Params: 7_063_000_000,
+		Layers: 32, Hidden: 4096, Heads: 32, KVHeads: 32, BytesPerParam: 2,
+		ImageTokens: 576,
+	}
+	// LLaVA15_13B is LLaVA-1.5-13B.
+	LLaVA15_13B = Spec{
+		Name: "LLaVA-1.5-13B", Params: 13_350_000_000,
+		Layers: 40, Hidden: 5120, Heads: 40, KVHeads: 40, BytesPerParam: 2,
+		ImageTokens: 576,
+	}
+)
+
+// All lists every predefined spec (for table-driven tests and CLIs).
+func All() []Spec {
+	return []Spec{Llama2_7B, Llama2_13B, Llama2_70B, QwenVLChat, LLaVA15_7B, LLaVA15_13B}
+}
+
+// ByName returns the predefined spec with the given name.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("model: unknown model %q", name)
+}

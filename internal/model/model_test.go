@@ -1,0 +1,86 @@
+package model
+
+import "testing"
+
+func TestAllSpecsValid(t *testing.T) {
+	for _, s := range All() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestKVBytesPerTokenLlama7B(t *testing.T) {
+	// 2 (K,V) * 32 layers * 32 kv-heads * 128 head-dim * 2 bytes = 524288.
+	if got := Llama2_7B.KVBytesPerToken(); got != 524288 {
+		t.Fatalf("7B KV bytes/token = %d, want 524288", got)
+	}
+}
+
+func TestKVBytesPerTokenLlama70BGQA(t *testing.T) {
+	// GQA: 8 KV heads. 2 * 80 * 8 * 128 * 2 = 327680 — less than the 7B
+	// model despite 10x the parameters. This is why 70B KV capacity is huge.
+	if got := Llama2_70B.KVBytesPerToken(); got != 327680 {
+		t.Fatalf("70B KV bytes/token = %d, want 327680", got)
+	}
+	if Llama2_70B.KVBytesPerToken() >= Llama2_13B.KVBytesPerToken() {
+		t.Fatal("GQA 70B should have smaller KV/token than 13B")
+	}
+}
+
+func TestWeightBytes(t *testing.T) {
+	if got := Llama2_7B.WeightBytes(); got != 2*6_738_000_000 {
+		t.Fatalf("7B weight bytes = %d", got)
+	}
+}
+
+func TestFLOPsPerToken(t *testing.T) {
+	if got := Llama2_13B.FLOPsPerToken(); got != 2*13_016_000_000 {
+		t.Fatalf("13B FLOPs/token = %v", got)
+	}
+}
+
+func TestHeadDim(t *testing.T) {
+	for _, s := range All() {
+		if s.HeadDim() != 128 {
+			t.Errorf("%s head dim = %d, want 128", s.Name, s.HeadDim())
+		}
+	}
+}
+
+func TestImageTokens(t *testing.T) {
+	if Llama2_7B.ImageTokens != 0 {
+		t.Fatal("text model must have 0 image tokens")
+	}
+	if QwenVLChat.ImageTokens != 256 {
+		t.Fatalf("Qwen-VL image tokens = %d", QwenVLChat.ImageTokens)
+	}
+	if LLaVA15_7B.ImageTokens != 576 || LLaVA15_13B.ImageTokens != 576 {
+		t.Fatal("LLaVA-1.5 must use 576 image tokens")
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("Llama2-7B-Chat")
+	if err != nil || s.Params != Llama2_7B.Params {
+		t.Fatalf("ByName failed: %v", err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name should error")
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{Name: "p0", Params: 0, Layers: 1, Hidden: 8, Heads: 2, KVHeads: 2, BytesPerParam: 2},
+		{Name: "l0", Params: 1, Layers: 0, Hidden: 8, Heads: 2, KVHeads: 2, BytesPerParam: 2},
+		{Name: "div", Params: 1, Layers: 1, Hidden: 9, Heads: 2, KVHeads: 2, BytesPerParam: 2},
+		{Name: "kv", Params: 1, Layers: 1, Hidden: 8, Heads: 2, KVHeads: 4, BytesPerParam: 2},
+		{Name: "bp", Params: 1, Layers: 1, Hidden: 8, Heads: 2, KVHeads: 2, BytesPerParam: 0},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %s should be invalid", s.Name)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package perf is the analytic GPU latency model behind the serving
+// simulator. It substitutes for the paper's CUDA/Triton backend (see
+// DESIGN.md §1): the scheduler experiments only need iteration *durations*
+// that scale the way real hardware scales —
+//
+//   - prefill is compute-bound: time ≈ prompt_tokens × FLOPs/token ÷
+//     achievable FLOPs, floored by one pass over the weights;
+//   - decode is bandwidth-bound: every step streams the full weights plus
+//     the active KV cache, so time grows with the batch's KV footprint;
+//   - each iteration pays a fixed framework overhead (scheduler + launch
+//     latency), which differs between the emulated frameworks;
+//   - splitfuse/chunked-prefill iterations mix both cost terms.
+//
+// Efficiency factors (fraction of peak FLOPs/bandwidth achieved) are fixed
+// calibration constants, not fitted per experiment.
+package perf
+
+import (
+	"fmt"
+
+	"github.com/lightllm-go/lightllm/internal/hw"
+	"github.com/lightllm-go/lightllm/internal/model"
+)
+
+// Config describes one model deployment whose iteration times we model.
+type Config struct {
+	Model   model.Spec
+	Cluster hw.Cluster
+
+	// FlopsEfficiency is the fraction of peak tensor FLOPs achieved by
+	// prefill GEMMs. 0 selects the default (0.55).
+	FlopsEfficiency float64
+	// BandwidthEfficiency is the fraction of peak memory bandwidth achieved
+	// by decode. 0 selects the default (0.80).
+	BandwidthEfficiency float64
+	// IterOverhead is the fixed per-iteration framework overhead in seconds
+	// (CPU scheduling, kernel launches, tokenization hand-off). 0 selects
+	// the default (3 ms). Negative disables the default and means zero.
+	IterOverhead float64
+	// Speedup is a static kernel-quality multiplier (>1 = faster than the
+	// reference implementation; TensorRT-LLM uses ~1.25). 0 selects 1.0.
+	Speedup float64
+}
+
+const (
+	defaultFlopsEff = 0.55
+	defaultBwEff    = 0.80
+	defaultOverhead = 0.003
+)
+
+// Model computes iteration latencies for one deployment.
+type Model struct {
+	spec     model.Spec
+	cluster  hw.Cluster
+	capacity int
+
+	flops    float64 // achievable FLOP/s
+	bw       float64 // achievable bytes/s
+	overhead float64 // seconds per iteration
+}
+
+// New validates the config and derives the deployment's KV capacity.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	capacity, err := cfg.Cluster.KVCapacityTokens(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	fe := cfg.FlopsEfficiency
+	if fe == 0 {
+		fe = defaultFlopsEff
+	}
+	be := cfg.BandwidthEfficiency
+	if be == 0 {
+		be = defaultBwEff
+	}
+	if fe <= 0 || fe > 1 || be <= 0 || be > 1 {
+		return nil, fmt.Errorf("perf: efficiency factors must be in (0,1], got flops=%v bw=%v", fe, be)
+	}
+	oh := cfg.IterOverhead
+	if oh == 0 {
+		oh = defaultOverhead
+	} else if oh < 0 {
+		oh = 0
+	}
+	sp := cfg.Speedup
+	if sp == 0 {
+		sp = 1.0
+	}
+	if sp < 0 {
+		return nil, fmt.Errorf("perf: negative speedup %v", sp)
+	}
+	return &Model{
+		spec:     cfg.Model,
+		cluster:  cfg.Cluster,
+		capacity: capacity,
+		flops:    cfg.Cluster.EffectiveFLOPS() * fe * sp,
+		bw:       cfg.Cluster.EffectiveBandwidth() * be * sp,
+		overhead: oh,
+	}, nil
+}
+
+// MustNew is New for static configurations known to be valid.
+func MustNew(cfg Config) *Model {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Spec returns the model architecture being served.
+func (m *Model) Spec() model.Spec { return m.spec }
+
+// Cluster returns the hardware configuration.
+func (m *Model) Cluster() hw.Cluster { return m.cluster }
+
+// CapacityTokens returns the KV-cache capacity in token slots.
+func (m *Model) CapacityTokens() int { return m.capacity }
+
+// Overhead returns the fixed per-iteration overhead in seconds.
+func (m *Model) Overhead() float64 { return m.overhead }
+
+// PrefillTime returns the duration of one prefill iteration processing
+// promptTokens total prompt tokens (possibly from several fused requests).
+func (m *Model) PrefillTime(promptTokens int) float64 {
+	if promptTokens <= 0 {
+		return 0
+	}
+	compute := float64(promptTokens) * m.spec.FLOPsPerToken() / m.flops
+	weights := float64(m.spec.WeightBytes()) / m.bw
+	return m.overhead + maxf(compute, weights)
+}
+
+// DecodeTime returns the duration of one decode step for a batch of
+// batchSize requests whose KV caches total kvTokens tokens.
+func (m *Model) DecodeTime(batchSize, kvTokens int) float64 {
+	if batchSize <= 0 {
+		return 0
+	}
+	compute := float64(batchSize) * m.spec.FLOPsPerToken() / m.flops
+	bytes := float64(m.spec.WeightBytes()) + float64(kvTokens)*float64(m.spec.KVBytesPerToken())
+	memory := bytes / m.bw
+	return m.overhead + maxf(compute, memory)
+}
+
+// MixedTime returns the duration of one splitfuse iteration that processes
+// computeTokens tokens of work (decode tokens plus prefill-chunk tokens)
+// against a running KV footprint of kvTokens.
+func (m *Model) MixedTime(computeTokens, kvTokens int) float64 {
+	if computeTokens <= 0 {
+		return 0
+	}
+	compute := float64(computeTokens) * m.spec.FLOPsPerToken() / m.flops
+	bytes := float64(m.spec.WeightBytes()) + float64(kvTokens)*float64(m.spec.KVBytesPerToken())
+	memory := bytes / m.bw
+	return m.overhead + maxf(compute, memory)
+}
+
+// SwapTime returns the time to move tokens' worth of KV cache across the
+// host link (one direction) — the cost of swap-based eviction recovery.
+func (m *Model) SwapTime(tokens int) float64 {
+	if tokens <= 0 {
+		return 0
+	}
+	bytes := float64(tokens) * float64(m.spec.KVBytesPerToken())
+	return bytes / m.cluster.GPU.HostLink()
+}
+
+// DecodeTokensPerSec returns the steady-state decode throughput at the given
+// operating point, a convenience for capacity-planning examples.
+func (m *Model) DecodeTokensPerSec(batchSize, kvTokens int) float64 {
+	t := m.DecodeTime(batchSize, kvTokens)
+	if t == 0 {
+		return 0
+	}
+	return float64(batchSize) / t
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,55 @@
+package perf
+
+import (
+	"testing"
+
+	"github.com/lightllm-go/lightllm/internal/hw"
+	"github.com/lightllm-go/lightllm/internal/model"
+)
+
+func TestSwapTimeScalesWithTokens(t *testing.T) {
+	m := MustNew(Config{Model: model.Llama2_7B, Cluster: hw.NewCluster(hw.A100_80G, 1)})
+	t1 := m.SwapTime(1000)
+	t2 := m.SwapTime(2000)
+	if t1 <= 0 {
+		t.Fatalf("swap time %v", t1)
+	}
+	if t2 < 1.9*t1 || t2 > 2.1*t1 {
+		t.Fatalf("swap time not linear: %v vs %v", t1, t2)
+	}
+	if m.SwapTime(0) != 0 || m.SwapTime(-5) != 0 {
+		t.Fatal("zero/negative tokens should cost nothing")
+	}
+}
+
+func TestSwapTimeMagnitude(t *testing.T) {
+	// 10k tokens × 0.5 MB ≈ 5.2 GB over 25 GB/s PCIe ≈ 0.2 s: a swap-in is
+	// much cheaper than recomputing a 10k-token prefill only when compute
+	// is the bottleneck; both should be sub-second here.
+	m := MustNew(Config{Model: model.Llama2_7B, Cluster: hw.NewCluster(hw.A100_80G, 1)})
+	st := m.SwapTime(10_000)
+	if st < 0.05 || st > 1.0 {
+		t.Fatalf("swap time %vs implausible", st)
+	}
+}
+
+func TestHostLinkDefault(t *testing.T) {
+	g := hw.GPU{Name: "x", MemBytes: 1, BandwidthBytesPerSec: 1, FLOPS: 1}
+	if g.HostLink() != 25e9 {
+		t.Fatalf("default host link %v", g.HostLink())
+	}
+	g.HostLinkBytesPerSec = 50e9
+	if g.HostLink() != 50e9 {
+		t.Fatalf("explicit host link %v", g.HostLink())
+	}
+}
+
+func TestGPUByName(t *testing.T) {
+	g, err := hw.GPUByName("A30")
+	if err != nil || g.Name != "A30" {
+		t.Fatalf("GPUByName: %v %v", g, err)
+	}
+	if _, err := hw.GPUByName("TPU"); err == nil {
+		t.Fatal("unknown GPU accepted")
+	}
+}

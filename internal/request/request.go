@@ -1,0 +1,173 @@
+// Package request defines the request lifecycle the serving engine and the
+// schedulers operate on, together with per-request SLA bookkeeping (time to
+// first token, per-output-token gaps).
+//
+// A request arrives with a prompt of InputLen tokens, a cap of MaxNewTokens,
+// and a ground-truth output length TrueOutputLen that is *hidden from every
+// scheduler except the oracle* — it models the moment the LLM emits EOS.
+// The request's KV footprint at any instant is InputLen + Generated tokens.
+package request
+
+import "fmt"
+
+// State is a request's lifecycle phase.
+type State int
+
+const (
+	// Waiting: in the queue (newly arrived or re-queued after eviction).
+	Waiting State = iota
+	// Running: in the running batch, holding KV memory.
+	Running
+	// Finished: all output tokens delivered; memory released.
+	Finished
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Waiting:
+		return "waiting"
+	case Running:
+		return "running"
+	case Finished:
+		return "finished"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Request is one generation request. Fields in the first block are immutable
+// after construction; the engine mutates the runtime block.
+type Request struct {
+	ID          int64
+	ClientID    int
+	Class       string // service/task type, used by trace analysis
+	ArrivalTime float64
+	InputLen    int
+	// TrueOutputLen is the hidden ground-truth number of output tokens
+	// (already clamped to MaxNewTokens by New). Only the oracle scheduler
+	// and the metrics layer may read it.
+	TrueOutputLen int
+	MaxNewTokens  int
+
+	// Runtime state, owned by the engine.
+	State      State
+	Generated  int // output tokens emitted so far (kept across evictions)
+	Evictions  int // times this request was evicted from the running batch
+	Admissions int // times this request was admitted (1 + re-admissions)
+
+	// SLA bookkeeping.
+	FirstTokenAt float64 // timestamp of first output token; <0 until set
+	LastEmitAt   float64 // timestamp of most recent output token
+	MaxGap       float64 // max gap between consecutive output tokens (MTPOT)
+	FinishedAt   float64 // completion timestamp; <0 until finished
+	DroppedAt    float64 // queue-timeout abandonment timestamp; <0 if never
+
+	// Swapped marks a request whose KV cache sits in host memory after a
+	// swap-policy eviction; re-admission pays a swap-in transfer instead of
+	// prompt recomputation.
+	Swapped bool
+
+	// PredictedLen is scheduler scratch space: the current predicted total
+	// output length (Past-Future resamples it every step).
+	PredictedLen int
+}
+
+// New constructs a request. trueOutputLen is clamped to [1, maxNewTokens]:
+// a generation always emits at least one token (the prefill's output) and
+// never exceeds the cap.
+func New(id int64, inputLen, trueOutputLen, maxNewTokens int, arrival float64) *Request {
+	if inputLen <= 0 {
+		panic(fmt.Sprintf("request %d: non-positive input length %d", id, inputLen))
+	}
+	if maxNewTokens <= 0 {
+		panic(fmt.Sprintf("request %d: non-positive max_new_tokens %d", id, maxNewTokens))
+	}
+	if trueOutputLen < 1 {
+		trueOutputLen = 1
+	}
+	if trueOutputLen > maxNewTokens {
+		trueOutputLen = maxNewTokens
+	}
+	return &Request{
+		ID:            id,
+		ArrivalTime:   arrival,
+		InputLen:      inputLen,
+		TrueOutputLen: trueOutputLen,
+		MaxNewTokens:  maxNewTokens,
+		State:         Waiting,
+		FirstTokenAt:  -1,
+		LastEmitAt:    -1,
+		FinishedAt:    -1,
+		DroppedAt:     -1,
+	}
+}
+
+// Footprint returns the KV tokens the request occupies while running.
+func (r *Request) Footprint() int { return r.InputLen + r.Generated }
+
+// RemainingTrue returns the ground-truth tokens still to generate.
+// Scheduler code other than the oracle must not call this.
+func (r *Request) RemainingTrue() int { return r.TrueOutputLen - r.Generated }
+
+// Done reports whether every output token has been emitted.
+func (r *Request) Done() bool { return r.Generated >= r.TrueOutputLen }
+
+// EmitToken records one output token at the given time, maintaining TTFT
+// and inter-token-gap statistics. The engine calls this once per request per
+// prefill/decode iteration.
+func (r *Request) EmitToken(now float64) {
+	if r.Done() {
+		panic(fmt.Sprintf("request %d: token emitted past completion", r.ID))
+	}
+	if r.FirstTokenAt < 0 {
+		r.FirstTokenAt = now
+	} else if gap := now - r.LastEmitAt; gap > r.MaxGap {
+		r.MaxGap = gap
+	}
+	r.LastEmitAt = now
+	r.Generated++
+}
+
+// Finish marks completion at the given time.
+func (r *Request) Finish(now float64) {
+	if !r.Done() {
+		panic(fmt.Sprintf("request %d: finished with %d of %d tokens", r.ID, r.Generated, r.TrueOutputLen))
+	}
+	r.State = Finished
+	r.FinishedAt = now
+}
+
+// TTFT returns the time to first token, or -1 if none was emitted.
+func (r *Request) TTFT() float64 {
+	if r.FirstTokenAt < 0 {
+		return -1
+	}
+	return r.FirstTokenAt - r.ArrivalTime
+}
+
+// TPOT returns the mean time per output token after the first, or 0 for
+// single-token outputs.
+func (r *Request) TPOT() float64 {
+	if r.Generated < 2 || r.FirstTokenAt < 0 {
+		return 0
+	}
+	return (r.LastEmitAt - r.FirstTokenAt) / float64(r.Generated-1)
+}
+
+// MTPOT returns the maximum inter-token gap (0 for single-token outputs).
+func (r *Request) MTPOT() float64 { return r.MaxGap }
+
+// Latency returns total time from arrival to completion, or -1 if running.
+func (r *Request) Latency() float64 {
+	if r.FinishedAt < 0 {
+		return -1
+	}
+	return r.FinishedAt - r.ArrivalTime
+}
+
+// String implements fmt.Stringer for debug output.
+func (r *Request) String() string {
+	return fmt.Sprintf("req(%d %s in=%d out=%d/%d evict=%d)",
+		r.ID, r.State, r.InputLen, r.Generated, r.TrueOutputLen, r.Evictions)
+}

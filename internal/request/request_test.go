@@ -1,0 +1,154 @@
+package request
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewClampsOutputLen(t *testing.T) {
+	r := New(1, 100, 5000, 2048, 0)
+	if r.TrueOutputLen != 2048 {
+		t.Fatalf("output not clamped to max_new_tokens: %d", r.TrueOutputLen)
+	}
+	r2 := New(2, 100, 0, 2048, 0)
+	if r2.TrueOutputLen != 1 {
+		t.Fatalf("output not clamped up to 1: %d", r2.TrueOutputLen)
+	}
+}
+
+func TestNewPanicsOnBadInput(t *testing.T) {
+	for _, c := range []struct{ in, max int }{{0, 10}, {-5, 10}, {10, 0}} {
+		func() {
+			defer func() { _ = recover() }()
+			New(1, c.in, 5, c.max, 0)
+			t.Fatalf("New(in=%d,max=%d) did not panic", c.in, c.max)
+		}()
+	}
+}
+
+func TestFootprintGrowsWithGeneration(t *testing.T) {
+	r := New(1, 50, 3, 10, 0)
+	if r.Footprint() != 50 {
+		t.Fatalf("initial footprint = %d", r.Footprint())
+	}
+	r.EmitToken(1.0)
+	if r.Footprint() != 51 {
+		t.Fatalf("footprint after one token = %d", r.Footprint())
+	}
+}
+
+func TestTTFTAndGaps(t *testing.T) {
+	r := New(1, 10, 3, 10, 5.0) // arrives at t=5
+	r.EmitToken(7.0)            // first token: TTFT = 2
+	r.EmitToken(7.5)            // gap 0.5
+	r.EmitToken(9.0)            // gap 1.5
+	if got := r.TTFT(); got != 2.0 {
+		t.Fatalf("TTFT = %v", got)
+	}
+	if got := r.MTPOT(); got != 1.5 {
+		t.Fatalf("MTPOT = %v", got)
+	}
+	if got := r.TPOT(); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("TPOT = %v, want 1.0", got)
+	}
+}
+
+func TestTTFTUnsetIsMinusOne(t *testing.T) {
+	r := New(1, 10, 3, 10, 0)
+	if r.TTFT() != -1 {
+		t.Fatal("TTFT before first token should be -1")
+	}
+}
+
+func TestSingleTokenRequestMetrics(t *testing.T) {
+	r := New(1, 10, 1, 10, 0)
+	r.EmitToken(0.3)
+	if !r.Done() {
+		t.Fatal("single-token request should be done")
+	}
+	if r.MTPOT() != 0 || r.TPOT() != 0 {
+		t.Fatal("single-token gaps should be 0")
+	}
+}
+
+func TestEmitPastCompletionPanics(t *testing.T) {
+	r := New(1, 10, 1, 10, 0)
+	r.EmitToken(0.1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("emit past completion did not panic")
+		}
+	}()
+	r.EmitToken(0.2)
+}
+
+func TestFinishLifecycle(t *testing.T) {
+	r := New(1, 10, 2, 10, 1.0)
+	r.EmitToken(2.0)
+	r.EmitToken(3.0)
+	r.Finish(3.0)
+	if r.State != Finished {
+		t.Fatalf("state = %v", r.State)
+	}
+	if got := r.Latency(); got != 2.0 {
+		t.Fatalf("latency = %v", got)
+	}
+}
+
+func TestFinishEarlyPanics(t *testing.T) {
+	r := New(1, 10, 5, 10, 0)
+	r.EmitToken(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("early finish did not panic")
+		}
+	}()
+	r.Finish(1)
+}
+
+func TestLatencyBeforeFinish(t *testing.T) {
+	r := New(1, 10, 2, 10, 0)
+	if r.Latency() != -1 {
+		t.Fatal("latency before finish should be -1")
+	}
+}
+
+func TestEvictionGapCountsTowardMTPOT(t *testing.T) {
+	// A request evicted after its second token resumes much later; the gap
+	// across the eviction must be its MTPOT.
+	r := New(1, 10, 3, 10, 0)
+	r.EmitToken(1.0)
+	r.EmitToken(1.05)
+	// evicted here; resumes 4 seconds later
+	r.EmitToken(5.05)
+	if got := r.MTPOT(); math.Abs(got-4.0) > 1e-12 {
+		t.Fatalf("MTPOT across eviction = %v, want 4.0", got)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Waiting.String() != "waiting" || Running.String() != "running" || Finished.String() != "finished" {
+		t.Fatal("state strings wrong")
+	}
+	if !strings.HasPrefix(State(99).String(), "state(") {
+		t.Fatal("unknown state string wrong")
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	r := New(7, 10, 3, 10, 0)
+	s := r.String()
+	if !strings.Contains(s, "req(7") || !strings.Contains(s, "in=10") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestRemainingTrue(t *testing.T) {
+	r := New(1, 10, 5, 10, 0)
+	r.EmitToken(1)
+	r.EmitToken(2)
+	if r.RemainingTrue() != 3 {
+		t.Fatalf("remaining = %d", r.RemainingTrue())
+	}
+}

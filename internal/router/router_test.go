@@ -1,0 +1,233 @@
+package router
+
+import (
+	"testing"
+
+	"github.com/lightllm-go/lightllm/internal/core"
+	"github.com/lightllm-go/lightllm/internal/engine"
+	"github.com/lightllm-go/lightllm/internal/hw"
+	"github.com/lightllm-go/lightllm/internal/model"
+	"github.com/lightllm-go/lightllm/internal/perf"
+	"github.com/lightllm-go/lightllm/internal/request"
+	"github.com/lightllm-go/lightllm/internal/rng"
+	"github.com/lightllm-go/lightllm/internal/workload"
+)
+
+func replicas(t *testing.T, n, capacity int) []*engine.Engine {
+	t.Helper()
+	pm := perf.MustNew(perf.Config{Model: model.Llama2_7B, Cluster: hw.NewCluster(hw.A100_80G, 1)})
+	out := make([]*engine.Engine, n)
+	for i := range out {
+		out[i] = engine.MustNew(engine.Config{
+			Perf: pm,
+			Scheduler: core.MustNewPastFuture(core.PastFutureConfig{
+				Reserved: 0.05, Rng: rng.New(uint64(i + 1)),
+			}),
+			CapacityOverride: capacity,
+		})
+	}
+	return out
+}
+
+func poissonReqs(n int, rate float64, seed uint64) []*request.Request {
+	r := rng.New(seed)
+	reqs := workload.Build(workload.ShareGPT, r, n, 1, 512)
+	workload.AssignPoissonArrivals(reqs, r, rate, 0)
+	return reqs
+}
+
+func TestRouterValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("no replicas accepted")
+	}
+	if _, err := New(Config{Replicas: replicas(t, 2, 1000), Quantile: 1.5}); err == nil {
+		t.Fatal("bad quantile accepted")
+	}
+	if _, err := New(Config{
+		Replicas: replicas(t, 2, 1000),
+		Scale:    &AutoScale{Min: 0, Max: 2},
+	}); err == nil {
+		t.Fatal("bad autoscale bounds accepted")
+	}
+}
+
+func TestRoundRobinBalances(t *testing.T) {
+	r, err := New(Config{Replicas: replicas(t, 4, 50_000), Policy: RoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := r.Serve(poissonReqs(200, 20, 1), 1e9)
+	counts := r.RoutedCounts()
+	for i, c := range counts {
+		if c != 50 {
+			t.Fatalf("replica %d got %d requests: %v", i, c, counts)
+		}
+	}
+	total := 0
+	for _, res := range results {
+		total += len(res.Finished)
+	}
+	if total != 200 {
+		t.Fatalf("finished %d of 200", total)
+	}
+	if r.Imbalance() != 0 {
+		t.Fatalf("round robin imbalance %v", r.Imbalance())
+	}
+}
+
+func TestAllRequestsServedOnce(t *testing.T) {
+	for _, pol := range []Policy{RoundRobin, LeastLoaded, FutureHeadroom} {
+		r, err := New(Config{Replicas: replicas(t, 3, 50_000), Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs := poissonReqs(120, 30, 2)
+		results := r.Serve(reqs, 1e9)
+		seen := map[int64]bool{}
+		for _, res := range results {
+			for _, req := range res.Finished {
+				if seen[req.ID] {
+					t.Fatalf("%v: request %d served twice", pol, req.ID)
+				}
+				seen[req.ID] = true
+			}
+		}
+		if len(seen) != 120 {
+			t.Fatalf("%v: served %d of 120", pol, len(seen))
+		}
+	}
+}
+
+func TestFutureHeadroomAvoidsLoadedReplica(t *testing.T) {
+	// Replica 0 is pre-loaded with long-running requests; the headroom
+	// policy must steer arrivals to replica 1.
+	reps := replicas(t, 2, 20_000)
+	for i := 0; i < 8; i++ {
+		reps[0].Submit(request.New(int64(1000+i), 1000, 1000, 1200, 0))
+	}
+	r, err := New(Config{Replicas: reps, Policy: FutureHeadroom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := poissonReqs(40, 50, 3)
+	r.Serve(reqs, 1e9)
+	counts := r.RoutedCounts()
+	if counts[1] <= counts[0] {
+		t.Fatalf("headroom routing did not avoid the loaded replica: %v", counts)
+	}
+}
+
+func TestLeastLoadedAvoidsQueuedReplica(t *testing.T) {
+	reps := replicas(t, 2, 20_000)
+	for i := 0; i < 30; i++ {
+		reps[0].Submit(request.New(int64(1000+i), 2000, 500, 600, 0))
+	}
+	r, err := New(Config{Replicas: reps, Policy: LeastLoaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Serve(poissonReqs(40, 50, 4), 1e9)
+	counts := r.RoutedCounts()
+	if counts[1] <= counts[0] {
+		t.Fatalf("least-loaded routing did not avoid the queued replica: %v", counts)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if RoundRobin.String() != "round-robin" || LeastLoaded.String() != "least-loaded" ||
+		FutureHeadroom.String() != "future-headroom" {
+		t.Fatal("policy strings wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Fatal("unknown policy string empty")
+	}
+}
+
+func TestAutoscaleOutUnderLoad(t *testing.T) {
+	// Small replicas + heavy traffic: the router must scale from 1 to more
+	// active replicas.
+	reps := replicas(t, 4, 8_000)
+	r, err := New(Config{
+		Replicas: reps,
+		Policy:   FutureHeadroom,
+		Scale:    &AutoScale{Min: 1, Max: 4, HighWater: 0.6, LowWater: 0.1, ActivationDelay: 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ActiveReplicas() != 1 {
+		t.Fatalf("initial active = %d", r.ActiveReplicas())
+	}
+	reqs := poissonReqs(300, 40, 5)
+	r.Serve(reqs, 1e9)
+	out, _ := r.ScaleEvents()
+	if out == 0 {
+		t.Fatal("no scale-out under heavy load")
+	}
+	if r.ActiveReplicas() < 2 {
+		t.Fatalf("active replicas %d after heavy load", r.ActiveReplicas())
+	}
+}
+
+func TestAutoscaleInWhenIdle(t *testing.T) {
+	reps := replicas(t, 3, 8_000)
+	r, err := New(Config{
+		Replicas: reps,
+		Policy:   LeastLoaded,
+		Scale:    &AutoScale{Min: 1, Max: 3, HighWater: 0.7, LowWater: 0.2, ActivationDelay: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: heavy burst forces scale-out. Phase 2: a long trickle lets
+	// load fall below the low-water mark, triggering scale-in.
+	burst := poissonReqs(200, 50, 6)
+	trickle := workload.Build(workload.ShareGPT, rng.New(7), 60, 10_000, 256)
+	rr := rng.New(8)
+	workload.AssignPoissonArrivals(trickle, rr, 0.5, 120) // slow arrivals after the burst
+	all := append(burst, trickle...)
+	r.Serve(all, 1e9)
+	up, down := r.ScaleEvents()
+	if up == 0 {
+		t.Fatal("no scale-out during burst")
+	}
+	if down == 0 {
+		t.Fatal("no scale-in during trickle")
+	}
+}
+
+func TestHeadroomBeatsRoundRobinOnSkewedLoad(t *testing.T) {
+	// Heterogeneous request sizes create load skew that round-robin cannot
+	// see. At moderate utilisation (near the knee, where queueing is
+	// transient rather than saturated), estimator-driven routing yields
+	// lower queueing delay: mean TTFT must beat round-robin.
+	meanTTFT := func(policy Policy) float64 {
+		reps := replicas(t, 3, 30_000)
+		r, err := New(Config{Replicas: reps, Policy: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := workload.Uniform{Label: "skewed", InLo: 100, InHi: 4000, OutLo: 50, OutHi: 2000}
+		rr := rng.New(9)
+		reqs := workload.Build(gen, rr, 300, 1, 2048)
+		workload.AssignPoissonArrivals(reqs, rr, 1.3, 0)
+		results := r.Serve(reqs, 1e9)
+		var sum float64
+		var n int
+		for _, res := range results {
+			for _, req := range res.Finished {
+				sum += req.TTFT()
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatal("nothing finished")
+		}
+		return sum / float64(n)
+	}
+	hr := meanTTFT(FutureHeadroom)
+	rrob := meanTTFT(RoundRobin)
+	if hr >= rrob {
+		t.Fatalf("future-headroom mean TTFT %.2fs not below round-robin %.2fs", hr, rrob)
+	}
+}

@@ -1,0 +1,294 @@
+// Package server exposes the serving engine over HTTP as a live,
+// streaming generate API — the LightLLM-style frontend of this
+// reproduction. The engine's simulated GPU iterations are paced against
+// wall-clock time (configurable timescale), so the server behaves like a
+// real deployment: requests queue, batch continuously, stream tokens, and
+// are subject to the Past-Future scheduler's admission decisions.
+//
+// Endpoints:
+//
+//	POST /v1/generate  {"input_tokens":N, "max_new_tokens":M,
+//	                    "output_tokens":K (optional; simulated EOS point),
+//	                    "stream":bool}
+//	GET  /v1/status    engine state (clock, queue, batch, KV occupancy)
+//	GET  /healthz      liveness
+//
+// Responses carry per-request SLA metrics (TTFT, TPOT, MTPOT) computed on
+// the simulated clock.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/lightllm-go/lightllm/internal/engine"
+	"github.com/lightllm-go/lightllm/internal/request"
+	"github.com/lightllm-go/lightllm/internal/rng"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Engine is the serving engine (required). The server takes ownership:
+	// all access goes through the server's lock.
+	Engine *engine.Engine
+	// Timescale is simulated seconds advanced per wall-clock second.
+	// 1.0 = real time; 0 = as fast as possible (tests, batch replay).
+	Timescale float64
+	// Seed drives the fallback output-length sampler for requests that do
+	// not specify output_tokens.
+	Seed uint64
+	// DefaultMaxNew caps outputs when the client omits max_new_tokens.
+	// 0 selects 2048.
+	DefaultMaxNew int
+}
+
+// Server is the HTTP frontend. Create with New, start the engine driver
+// with Run (usually in a goroutine), and serve Handler.
+type Server struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	eng   *engine.Engine
+	r     *rng.RNG
+	subs  map[int64]chan event
+	next  int64
+	close bool
+
+	timescale     float64
+	defaultMaxNew int
+}
+
+type event struct {
+	kind  string // "token", "finish", "drop", "fail"
+	index int
+	t     float64
+}
+
+// New validates the config and wires the engine hooks.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("server: engine is required")
+	}
+	if cfg.Timescale < 0 {
+		return nil, fmt.Errorf("server: negative timescale")
+	}
+	if cfg.DefaultMaxNew == 0 {
+		cfg.DefaultMaxNew = 2048
+	}
+	s := &Server{
+		eng:           cfg.Engine,
+		r:             rng.New(cfg.Seed),
+		subs:          map[int64]chan event{},
+		timescale:     cfg.Timescale,
+		defaultMaxNew: cfg.DefaultMaxNew,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.eng.AddTokenHook(func(now float64, r *request.Request) {
+		s.notify(r.ID, event{kind: "token", index: r.Generated, t: now})
+	})
+	s.eng.AddFinishHook(func(now float64, r *request.Request) {
+		s.notify(r.ID, event{kind: "finish", t: now})
+	})
+	s.eng.AddDropHook(func(now float64, r *request.Request) {
+		s.notify(r.ID, event{kind: "drop", t: now})
+	})
+	return s, nil
+}
+
+// notify delivers an event to the request's subscriber, if any. Called with
+// s.mu held (hooks fire inside engine steps, which run under the lock).
+func (s *Server) notify(id int64, ev event) {
+	if ch, ok := s.subs[id]; ok {
+		ch <- ev
+		if ev.kind != "token" {
+			close(ch)
+			delete(s.subs, id)
+		}
+	}
+}
+
+// Run drives the engine until Close: it executes engine steps while work
+// exists, sleeping simulated durations scaled by the timescale, and blocks
+// while idle.
+func (s *Server) Run() {
+	for {
+		s.mu.Lock()
+		for s.eng.Idle() && !s.close {
+			s.cond.Wait()
+		}
+		if s.close {
+			s.mu.Unlock()
+			return
+		}
+		before := s.eng.Clock()
+		s.eng.Step()
+		dt := s.eng.Clock() - before
+		s.mu.Unlock()
+		if s.timescale > 0 && dt > 0 {
+			time.Sleep(time.Duration(dt / s.timescale * float64(time.Second)))
+		}
+	}
+}
+
+// Close stops Run. In-flight streams receive no further events.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.close = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Handler returns the HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/generate", s.handleGenerate)
+	mux.HandleFunc("/v1/status", s.handleStatus)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// generateRequest is the POST /v1/generate body.
+type generateRequest struct {
+	InputTokens  int  `json:"input_tokens"`
+	MaxNewTokens int  `json:"max_new_tokens"`
+	OutputTokens int  `json:"output_tokens"` // optional simulated EOS point
+	Stream       bool `json:"stream"`
+}
+
+// generateResponse is the non-streaming response (and the final streaming
+// event payload).
+type generateResponse struct {
+	ID           int64   `json:"id"`
+	OutputTokens int     `json:"output_tokens"`
+	TTFT         float64 `json:"ttft"`
+	TPOT         float64 `json:"tpot"`
+	MTPOT        float64 `json:"mtpot"`
+	Latency      float64 `json:"latency"`
+	Evictions    int     `json:"evictions"`
+	Status       string  `json:"status"` // "ok" | "dropped" | "failed"
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var body generateRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if body.InputTokens <= 0 {
+		http.Error(w, "input_tokens must be positive", http.StatusBadRequest)
+		return
+	}
+	maxNew := body.MaxNewTokens
+	if maxNew <= 0 {
+		maxNew = s.defaultMaxNew
+	}
+
+	s.mu.Lock()
+	s.next++
+	id := s.next
+	out := body.OutputTokens
+	if out <= 0 {
+		// Simulated EOS point: drawn from a ShareGPT-like distribution.
+		out = int(s.r.LogNormal(5.3, 0.9)) + 1
+	}
+	r := request.New(id, body.InputTokens, out, maxNew, s.eng.Clock())
+	ch := make(chan event, maxNew+8)
+	s.subs[id] = ch
+	s.eng.Submit(r)
+	s.cond.Signal()
+	s.mu.Unlock()
+
+	if body.Stream {
+		s.streamResponse(w, r, ch)
+		return
+	}
+	status := "ok"
+	for ev := range ch {
+		switch ev.kind {
+		case "drop":
+			status = "dropped"
+		case "fail":
+			status = "failed"
+		}
+	}
+	writeJSON(w, s.response(r, status))
+}
+
+// streamResponse writes one JSON line per token, then a final summary line.
+func (s *Server) streamResponse(w http.ResponseWriter, r *request.Request, ch chan event) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	status := "ok"
+	enc := json.NewEncoder(w)
+	for ev := range ch {
+		switch ev.kind {
+		case "token":
+			_ = enc.Encode(map[string]interface{}{"id": r.ID, "token": ev.index, "t": ev.t})
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case "drop":
+			status = "dropped"
+		case "fail":
+			status = "failed"
+		}
+	}
+	_ = enc.Encode(s.response(r, status))
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (s *Server) response(r *request.Request, status string) generateResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return generateResponse{
+		ID:           r.ID,
+		OutputTokens: r.Generated,
+		TTFT:         r.TTFT(),
+		TPOT:         r.TPOT(),
+		MTPOT:        r.MTPOT(),
+		Latency:      r.Latency(),
+		Evictions:    r.Evictions,
+		Status:       status,
+	}
+}
+
+// statusResponse is GET /v1/status.
+type statusResponse struct {
+	Clock       float64 `json:"clock"`
+	Queue       int     `json:"queue"`
+	Running     int     `json:"running"`
+	KVUsed      int     `json:"kv_used_tokens"`
+	KVCapacity  int     `json:"kv_capacity_tokens"`
+	Utilization float64 `json:"kv_utilization"`
+	HistoryLen  int     `json:"history_window_len"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, req *http.Request) {
+	s.mu.Lock()
+	resp := statusResponse{
+		Clock:       s.eng.Clock(),
+		Queue:       s.eng.QueueLen(),
+		Running:     s.eng.RunningLen(),
+		KVUsed:      s.eng.Pool().UsedTokens(),
+		KVCapacity:  s.eng.Pool().CapacityTokens(),
+		Utilization: s.eng.Pool().Utilization(),
+		HistoryLen:  s.eng.History().Len(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

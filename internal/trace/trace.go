@@ -1,0 +1,160 @@
+// Package trace imports and exports per-request records in CSV and JSON so
+// experiment outputs can be inspected, plotted, or replayed outside Go.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/lightllm-go/lightllm/internal/request"
+)
+
+// Record is the flat, serialisable view of one served request.
+type Record struct {
+	ID        int64   `json:"id"`
+	Class     string  `json:"class"`
+	Arrival   float64 `json:"arrival"`
+	Input     int     `json:"input_tokens"`
+	Output    int     `json:"output_tokens"`
+	TTFT      float64 `json:"ttft"`
+	TPOT      float64 `json:"tpot"`
+	MTPOT     float64 `json:"mtpot"`
+	Finish    float64 `json:"finish"`
+	Evictions int     `json:"evictions"`
+}
+
+// FromRequest converts a finished request into a Record.
+func FromRequest(r *request.Request) Record {
+	return Record{
+		ID:        r.ID,
+		Class:     r.Class,
+		Arrival:   r.ArrivalTime,
+		Input:     r.InputLen,
+		Output:    r.Generated,
+		TTFT:      r.TTFT(),
+		TPOT:      r.TPOT(),
+		MTPOT:     r.MTPOT(),
+		Finish:    r.FinishedAt,
+		Evictions: r.Evictions,
+	}
+}
+
+// FromRequests converts a slice of finished requests.
+func FromRequests(rs []*request.Request) []Record {
+	out := make([]Record, len(rs))
+	for i, r := range rs {
+		out[i] = FromRequest(r)
+	}
+	return out
+}
+
+var csvHeader = []string{"id", "class", "arrival", "input_tokens", "output_tokens", "ttft", "tpot", "mtpot", "finish", "evictions"}
+
+// WriteCSV writes records with a header row.
+func WriteCSV(w io.Writer, recs []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		row := []string{
+			strconv.FormatInt(r.ID, 10),
+			r.Class,
+			formatFloat(r.Arrival),
+			strconv.Itoa(r.Input),
+			strconv.Itoa(r.Output),
+			formatFloat(r.TTFT),
+			formatFloat(r.TPOT),
+			formatFloat(r.MTPOT),
+			formatFloat(r.Finish),
+			strconv.Itoa(r.Evictions),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses records written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	if len(rows[0]) != len(csvHeader) || rows[0][0] != "id" {
+		return nil, fmt.Errorf("trace: unexpected CSV header %v", rows[0])
+	}
+	recs := make([]Record, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		rec, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: %w", i+2, err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+func parseRow(row []string) (Record, error) {
+	var rec Record
+	if len(row) != len(csvHeader) {
+		return rec, fmt.Errorf("expected %d fields, got %d", len(csvHeader), len(row))
+	}
+	var err error
+	if rec.ID, err = strconv.ParseInt(row[0], 10, 64); err != nil {
+		return rec, err
+	}
+	rec.Class = row[1]
+	if rec.Arrival, err = strconv.ParseFloat(row[2], 64); err != nil {
+		return rec, err
+	}
+	if rec.Input, err = strconv.Atoi(row[3]); err != nil {
+		return rec, err
+	}
+	if rec.Output, err = strconv.Atoi(row[4]); err != nil {
+		return rec, err
+	}
+	if rec.TTFT, err = strconv.ParseFloat(row[5], 64); err != nil {
+		return rec, err
+	}
+	if rec.TPOT, err = strconv.ParseFloat(row[6], 64); err != nil {
+		return rec, err
+	}
+	if rec.MTPOT, err = strconv.ParseFloat(row[7], 64); err != nil {
+		return rec, err
+	}
+	if rec.Finish, err = strconv.ParseFloat(row[8], 64); err != nil {
+		return rec, err
+	}
+	if rec.Evictions, err = strconv.Atoi(row[9]); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// WriteJSON writes records as a JSON array (indented for diffability).
+func WriteJSON(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(recs)
+}
+
+// ReadJSON parses a JSON array of records.
+func ReadJSON(r io.Reader) ([]Record, error) {
+	var recs []Record
+	if err := json.NewDecoder(r).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return recs, nil
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/lightllm-go/lightllm/internal/request"
+)
+
+func sample() []Record {
+	return []Record{
+		{ID: 1, Class: "ShareGPT", Arrival: 0.5, Input: 120, Output: 300, TTFT: 0.8, TPOT: 0.05, MTPOT: 0.2, Finish: 16.3, Evictions: 0},
+		{ID: 2, Class: "Distribution-1", Arrival: 1.25, Input: 2048, Output: 4096, TTFT: 2.5, TPOT: 0.06, MTPOT: 4.75, Finish: 250.1, Evictions: 3},
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestCSVHeaderWritten(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	if !strings.HasPrefix(first, "id,class,arrival") {
+		t.Fatalf("header = %q", first)
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n")); err == nil {
+		t.Fatal("wrong header accepted")
+	}
+	bad := "id,class,arrival,input_tokens,output_tokens,ttft,tpot,mtpot,finish,evictions\nnotanint,x,0,1,2,3,4,5,6,7\n"
+	if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+		t.Fatal("bad id accepted")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage JSON accepted")
+	}
+}
+
+func TestFromRequest(t *testing.T) {
+	r := request.New(7, 100, 3, 50, 2.0)
+	r.Class = "test"
+	r.EmitToken(3.0)
+	r.EmitToken(3.5)
+	r.EmitToken(4.5)
+	r.Finish(4.5)
+	r.Evictions = 1
+	rec := FromRequest(r)
+	if rec.ID != 7 || rec.Class != "test" || rec.Input != 100 || rec.Output != 3 {
+		t.Fatalf("rec = %+v", rec)
+	}
+	if rec.TTFT != 1.0 || rec.MTPOT != 1.0 || rec.Finish != 4.5 || rec.Evictions != 1 {
+		t.Fatalf("timings = %+v", rec)
+	}
+}
+
+func TestFromRequests(t *testing.T) {
+	a := request.New(1, 10, 1, 5, 0)
+	a.EmitToken(1)
+	a.Finish(1)
+	b := request.New(2, 20, 1, 5, 0)
+	b.EmitToken(2)
+	b.Finish(2)
+	recs := FromRequests([]*request.Request{a, b})
+	if len(recs) != 2 || recs[0].ID != 1 || recs[1].ID != 2 {
+		t.Fatalf("recs = %+v", recs)
+	}
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"github.com/lightllm-go/lightllm/internal/stats"
+)
+
+// Default binning for output-length histograms in the similarity study:
+// 64-token bins up to 8192 tokens.
+const (
+	SimilarityBinWidth = 64
+	SimilarityBins     = 128
+)
+
+// histVector bins one window of lengths into a probability vector.
+func histVector(lengths []int) []float64 {
+	h := stats.NewHistogram(SimilarityBinWidth, SimilarityBins)
+	h.AddAll(lengths)
+	return h.Vector()
+}
+
+// WindowSimilarityMatrix partitions lengths into consecutive non-overlapping
+// windows of the given size and returns the cosine-similarity matrix between
+// their output-length histograms — Figure 3's heatmap. Trailing requests
+// that do not fill a window are dropped.
+func WindowSimilarityMatrix(lengths []int, window int) [][]float64 {
+	if window <= 0 {
+		panic("workload: non-positive window")
+	}
+	n := len(lengths) / window
+	vecs := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		vecs[i] = histVector(lengths[i*window : (i+1)*window])
+	}
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = stats.CosineSimilarity(vecs[i], vecs[j])
+		}
+	}
+	return m
+}
+
+// DiagonalMean returns the mean similarity of adjacent windows (the
+// first off-diagonal), the quantity the Past-Future scheduler relies on.
+func DiagonalMean(m [][]float64) float64 {
+	if len(m) < 2 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i+1 < len(m); i++ {
+		sum += m[i][i+1]
+	}
+	return sum / float64(len(m)-1)
+}
+
+// GlobalMean returns the mean similarity over all distinct window pairs.
+func GlobalMean(m [][]float64) float64 {
+	n := len(m)
+	if n < 2 {
+		return 0
+	}
+	var sum float64
+	var count int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			sum += m[i][j]
+			count++
+		}
+	}
+	return sum / float64(count)
+}
+
+// PairSimilarity is the Figure 4 measurement: the trace is scanned with a
+// historical window of histSize requests immediately followed by a running
+// window of runSize requests. Diagonal is the mean similarity of each
+// (historical, adjacent running) pair; Global is the mean similarity between
+// historical and running windows at unrelated positions.
+func PairSimilarity(lengths []int, histSize, runSize int) (diagonal, global float64) {
+	if histSize <= 0 || runSize <= 0 {
+		panic("workload: non-positive window sizes")
+	}
+	stride := runSize
+	type pair struct{ hist, run []float64 }
+	var pairs []pair
+	for pos := histSize; pos+runSize <= len(lengths); pos += stride {
+		pairs = append(pairs, pair{
+			hist: histVector(lengths[pos-histSize : pos]),
+			run:  histVector(lengths[pos : pos+runSize]),
+		})
+	}
+	if len(pairs) < 2 {
+		return 0, 0
+	}
+	var dSum float64
+	for _, p := range pairs {
+		dSum += stats.CosineSimilarity(p.hist, p.run)
+	}
+	diagonal = dSum / float64(len(pairs))
+
+	var gSum float64
+	var gCount int
+	for i := range pairs {
+		for j := range pairs {
+			if i == j {
+				continue
+			}
+			gSum += stats.CosineSimilarity(pairs[i].hist, pairs[j].run)
+			gCount++
+		}
+	}
+	global = gSum / float64(gCount)
+	return diagonal, global
+}

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"github.com/lightllm-go/lightllm/internal/engine"
+	"github.com/lightllm-go/lightllm/internal/request"
+	"github.com/lightllm-go/lightllm/internal/rng"
+)
+
+// AssignPoissonArrivals overwrites the requests' arrival times with a
+// Poisson process of the given rate (requests per second), starting at
+// startTime. Open-loop load generation.
+func AssignPoissonArrivals(reqs []*request.Request, r *rng.RNG, ratePerSec, startTime float64) {
+	if ratePerSec <= 0 {
+		panic("workload: non-positive arrival rate")
+	}
+	t := startTime
+	for _, req := range reqs {
+		t += r.Exp(1 / ratePerSec)
+		req.ArrivalTime = t
+	}
+}
+
+// ClosedLoop simulates N concurrent clients, the load model of Figures 7
+// and 9: each client submits a request, waits for it to complete, and
+// immediately (plus optional think time) submits the next, until the
+// deadline. System concurrency is therefore bounded by the client count.
+type ClosedLoop struct {
+	eng      *engine.Engine
+	gen      Generator
+	r        *rng.RNG
+	maxNew   int
+	think    float64
+	deadline float64
+
+	nextID    int64
+	submitted int
+}
+
+// NewClosedLoop attaches a closed-loop driver to the engine. Start must be
+// called before the engine runs. maxNew caps every request's output;
+// deadline is the absolute simulated time after which clients stop.
+func NewClosedLoop(eng *engine.Engine, gen Generator, r *rng.RNG, clients, maxNew int, think, deadline float64) *ClosedLoop {
+	if clients <= 0 {
+		panic("workload: non-positive client count")
+	}
+	cl := &ClosedLoop{
+		eng: eng, gen: gen, r: r,
+		maxNew: maxNew, think: think, deadline: deadline,
+		nextID: 1,
+	}
+	resubmit := func(now float64, req *request.Request) {
+		next := now + cl.think
+		if next < cl.deadline {
+			cl.submit(req.ClientID, next)
+		}
+	}
+	eng.AddFinishHook(resubmit)
+	// SLA-aware clients that abandon a queued request (queue timeout)
+	// immediately issue their next one.
+	eng.AddDropHook(resubmit)
+	// Seed one in-flight request per client at t=0.
+	for c := 0; c < clients; c++ {
+		cl.submit(c, 0)
+	}
+	return cl
+}
+
+// Submitted returns the number of requests injected so far.
+func (cl *ClosedLoop) Submitted() int { return cl.submitted }
+
+func (cl *ClosedLoop) submit(client int, at float64) {
+	in, out := cl.gen.Sample(cl.r)
+	req := request.New(cl.nextID, in, out, cl.maxNew, at)
+	req.ClientID = client
+	req.Class = cl.gen.Name()
+	cl.nextID++
+	cl.submitted++
+	cl.eng.Submit(req)
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/lightllm-go/lightllm/internal/rng"
+)
+
+func TestMixedSamplesAllParts(t *testing.T) {
+	m := Mixed{
+		Label: "mix",
+		Parts: []Generator{
+			Uniform{Label: "a", InLo: 1, InHi: 1, OutLo: 10, OutHi: 10},
+			Uniform{Label: "b", InLo: 2, InHi: 2, OutLo: 20, OutHi: 20},
+		},
+	}
+	r := rng.New(1)
+	counts := map[string]int{}
+	for i := 0; i < 2000; i++ {
+		_, out, class := m.SampleWithClass(r)
+		counts[class]++
+		switch class {
+		case "a":
+			if out != 10 {
+				t.Fatalf("class a output %d", out)
+			}
+		case "b":
+			if out != 20 {
+				t.Fatalf("class b output %d", out)
+			}
+		default:
+			t.Fatalf("unknown class %q", class)
+		}
+	}
+	// Uniform weights: roughly half each.
+	if counts["a"] < 800 || counts["a"] > 1200 {
+		t.Fatalf("class balance off: %v", counts)
+	}
+}
+
+func TestMixedWeights(t *testing.T) {
+	m := Mixed{
+		Label: "mix",
+		Parts: []Generator{
+			Uniform{Label: "rare", InLo: 1, InHi: 1, OutLo: 1, OutHi: 1},
+			Uniform{Label: "common", InLo: 1, InHi: 1, OutLo: 1, OutHi: 1},
+		},
+		Weights: []float64{1, 9},
+	}
+	r := rng.New(2)
+	rare := 0
+	for i := 0; i < 5000; i++ {
+		_, _, class := m.SampleWithClass(r)
+		if class == "rare" {
+			rare++
+		}
+	}
+	frac := float64(rare) / 5000
+	if frac < 0.07 || frac > 0.13 {
+		t.Fatalf("rare fraction %v, want ~0.10", frac)
+	}
+}
+
+func TestMixedPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty Mixed did not panic")
+		}
+	}()
+	Mixed{Label: "x"}.Sample(rng.New(1))
+}
+
+func TestBuildPropagatesPerSampleClasses(t *testing.T) {
+	m := Mixed{
+		Label: "mix",
+		Parts: []Generator{
+			Uniform{Label: "a", InLo: 1, InHi: 1, OutLo: 10, OutHi: 10},
+			Uniform{Label: "b", InLo: 2, InHi: 2, OutLo: 20, OutHi: 20},
+		},
+	}
+	reqs := Build(m, rng.New(3), 100, 1, 64)
+	classes := map[string]int{}
+	for _, r := range reqs {
+		classes[r.Class]++
+		// Class and lengths must be consistent (same underlying sample).
+		if r.Class == "a" && r.InputLen != 1 {
+			t.Fatalf("class a with input %d", r.InputLen)
+		}
+		if r.Class == "b" && r.TrueOutputLen != 20 {
+			t.Fatalf("class b with output %d", r.TrueOutputLen)
+		}
+	}
+	if classes["a"] == 0 || classes["b"] == 0 {
+		t.Fatalf("classes not mixed: %v", classes)
+	}
+}
+
+func TestBuildPlainGeneratorKeepsName(t *testing.T) {
+	reqs := Build(ShareGPT, rng.New(4), 5, 1, 64)
+	for _, r := range reqs {
+		if r.Class != "ShareGPT" {
+			t.Fatalf("class %q", r.Class)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/lightllm-go/lightllm/internal/request"
+	"github.com/lightllm-go/lightllm/internal/trace"
+)
+
+// FromRecords converts exported trace records back into requests for
+// replay: arrival times, input lengths, and (served) output lengths come
+// from the trace; maxNew re-caps the outputs. Records with zero output are
+// replayed as single-token generations. IDs are reassigned sequentially
+// from firstID so a trace can be replayed alongside synthetic traffic.
+func FromRecords(recs []trace.Record, firstID int64, maxNew int) ([]*request.Request, error) {
+	reqs := make([]*request.Request, 0, len(recs))
+	for i, rec := range recs {
+		if rec.Input <= 0 {
+			return nil, fmt.Errorf("workload: record %d has non-positive input %d", i, rec.Input)
+		}
+		out := rec.Output
+		if out < 1 {
+			out = 1
+		}
+		r := request.New(firstID+int64(i), rec.Input, out, maxNew, rec.Arrival)
+		r.Class = rec.Class
+		reqs = append(reqs, r)
+	}
+	return reqs, nil
+}

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/lightllm-go/lightllm/internal/core"
+	"github.com/lightllm-go/lightllm/internal/engine"
+	"github.com/lightllm-go/lightllm/internal/hw"
+	"github.com/lightllm-go/lightllm/internal/model"
+	"github.com/lightllm-go/lightllm/internal/perf"
+	"github.com/lightllm-go/lightllm/internal/rng"
+	"github.com/lightllm-go/lightllm/internal/trace"
+)
+
+func TestFromRecordsBasic(t *testing.T) {
+	recs := []trace.Record{
+		{ID: 9, Class: "chat", Arrival: 1.5, Input: 100, Output: 30},
+		{ID: 8, Class: "chat", Arrival: 2.0, Input: 50, Output: 0}, // zero output → 1
+	}
+	reqs, err := FromRecords(recs, 100, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqs[0].ID != 100 || reqs[1].ID != 101 {
+		t.Fatalf("ids not reassigned: %d %d", reqs[0].ID, reqs[1].ID)
+	}
+	if reqs[0].InputLen != 100 || reqs[0].TrueOutputLen != 30 || reqs[0].ArrivalTime != 1.5 {
+		t.Fatalf("record fields lost: %+v", reqs[0])
+	}
+	if reqs[1].TrueOutputLen != 1 {
+		t.Fatalf("zero output not floored: %d", reqs[1].TrueOutputLen)
+	}
+	if reqs[0].Class != "chat" {
+		t.Fatalf("class lost: %q", reqs[0].Class)
+	}
+}
+
+func TestFromRecordsRejectsBadInput(t *testing.T) {
+	if _, err := FromRecords([]trace.Record{{Input: 0, Output: 5}}, 1, 100); err == nil {
+		t.Fatal("zero input accepted")
+	}
+}
+
+func TestRecordExportReplayRoundTrip(t *testing.T) {
+	// Serve a workload, export the trace, replay it, and check the replay
+	// reproduces the same input/output token totals.
+	pm := perf.MustNew(perf.Config{Model: model.Llama2_7B, Cluster: hw.NewCluster(hw.A100_80G, 1)})
+	mkEngine := func() *engine.Engine {
+		return engine.MustNew(engine.Config{
+			Perf:             pm,
+			Scheduler:        core.NewOracle(),
+			CapacityOverride: 50_000,
+		})
+	}
+	e1 := mkEngine()
+	orig := Build(ShareGPT, rng.New(5), 50, 1, 512)
+	e1.SubmitAll(orig)
+	res1 := e1.Run()
+
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf, trace.FromRequests(res1.Finished)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayReqs, err := FromRecords(recs, 1000, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := mkEngine()
+	e2.SubmitAll(replayReqs)
+	res2 := e2.Run()
+	if res2.OutputTokens != res1.OutputTokens {
+		t.Fatalf("replay output tokens %d != original %d", res2.OutputTokens, res1.OutputTokens)
+	}
+	if res2.InputTokens != res1.InputTokens {
+		t.Fatalf("replay input tokens %d != original %d", res2.InputTokens, res1.InputTokens)
+	}
+}
