@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test vet fmt-check bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt required for:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# bench runs the scheduler hot-path micro-benchmarks and records ns/op and
+# allocs/op in BENCH_hotpath.json so future PRs can track the perf
+# trajectory (see ROADMAP.md "Hot path & complexity").
+bench:
+	./scripts/bench.sh
+
+ci: build vet fmt-check test

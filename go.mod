@@ -1,0 +1,3 @@
+module github.com/lightllm-go/lightllm
+
+go 1.21

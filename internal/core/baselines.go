@@ -117,7 +117,10 @@ func (c *Conservative) Admit(v *View, queue []*request.Request) int {
 // exact future peak memory using the hidden ground-truth output lengths.
 // With exact knowledge M* is never exceeded, so it never causes an eviction
 // while admitting strictly more than the conservative scheduler.
-type Oracle struct{}
+// Not safe for concurrent use (reused peak-estimator scratch).
+type Oracle struct {
+	est PeakEstimator
+}
 
 // NewOracle returns the oracle scheduler.
 func NewOracle() *Oracle { return &Oracle{} }
@@ -127,7 +130,10 @@ func (o *Oracle) Name() string { return "oracle" }
 
 // Admit admits while the ground-truth future peak fits in capacity.
 func (o *Oracle) Admit(v *View, queue []*request.Request) int {
-	entries := trueEntries(v.Running)
+	o.est.Reset()
+	for _, r := range v.Running {
+		o.est.PushTrue(r)
+	}
 	promptNeed := 0
 	admitted := 0
 	for _, q := range queue {
@@ -135,10 +141,10 @@ func (o *Oracle) Admit(v *View, queue []*request.Request) int {
 		if promptNeed+q.Footprint() > v.FreeTokens {
 			break
 		}
-		if futurePeakWithCandidate(entries, cand) > v.CapacityTokens {
+		if o.est.PeakWith(cand) > v.CapacityTokens {
 			break
 		}
-		entries = append(entries, cand)
+		o.est.Push(cand)
 		promptNeed += q.Footprint()
 		q.PredictedLen = q.TrueOutputLen
 		admitted++

@@ -70,6 +70,11 @@ type Entry struct {
 // batch will need at any future time point, assuming each request generates
 // exactly its Remaining tokens and then frees its memory.
 //
+// This is the straightforward reference implementation (clone, sort, scan —
+// O(B log B) with an allocation per call). The scheduling hot path uses the
+// incremental PeakEstimator instead, which is cross-checked against this
+// function for bit-identical results.
+//
 // Sorting by remaining length descending, the memory at the moment the i-th
 // request finishes is
 //
@@ -102,8 +107,9 @@ func FutureRequiredMemory(entries []Entry) int {
 }
 
 // futurePeakWithCandidate computes M* for entries plus one extra candidate
-// without mutating entries. Used by admission loops that test queue heads
-// one at a time.
+// without mutating entries — the naive per-candidate path (one allocation
+// and a full re-sort per call), kept as the PeakEstimator's reference
+// baseline for benchmarks and cross-check tests.
 func futurePeakWithCandidate(entries []Entry, cand Entry) int {
 	tmp := make([]Entry, len(entries)+1)
 	copy(tmp, entries)
@@ -111,22 +117,19 @@ func futurePeakWithCandidate(entries []Entry, cand Entry) int {
 	return FutureRequiredMemory(tmp)
 }
 
-// trueEntries builds oracle entries (ground-truth remaining lengths) for a
-// batch; shared by the oracle scheduler and the metrics layer.
-func trueEntries(batch []*request.Request) []Entry {
-	entries := make([]Entry, 0, len(batch))
-	for _, r := range batch {
-		entries = append(entries, Entry{Current: r.Footprint(), Remaining: r.RemainingTrue()})
-	}
-	return entries
-}
-
 // TrueFutureRequiredMemory returns the ground-truth M* of a batch — what the
 // batch will actually need. The metrics layer records this after every
 // admission (Table 1's "Future Required Memory"); a value above capacity
 // means the admission has made a future eviction inevitable.
+//
+// Allocation-sensitive callers (the engine's per-step bookkeeping) should
+// instead keep a PeakEstimator and feed it with PushTrue.
 func TrueFutureRequiredMemory(batch []*request.Request) int {
-	return FutureRequiredMemory(trueEntries(batch))
+	var est PeakEstimator
+	for _, r := range batch {
+		est.PushTrue(r)
+	}
+	return est.Peak()
 }
 
 // PredictedBatchPeak estimates a batch's future peak memory from the
@@ -140,7 +143,7 @@ func PredictedBatchPeak(batch []*request.Request, history *dist.Window, quantile
 	if history != nil {
 		sampler = history.Sampler()
 	}
-	entries := make([]Entry, 0, len(batch))
+	var est PeakEstimator
 	for _, r := range batch {
 		pred := r.MaxNewTokens
 		if sampler != nil {
@@ -154,7 +157,7 @@ func PredictedBatchPeak(batch []*request.Request, history *dist.Window, quantile
 		if pred <= r.Generated {
 			pred = r.Generated + 1
 		}
-		entries = append(entries, Entry{Current: r.Footprint(), Remaining: pred - r.Generated})
+		est.Push(Entry{Current: r.Footprint(), Remaining: pred - r.Generated})
 	}
-	return FutureRequiredMemory(entries)
+	return est.Peak()
 }

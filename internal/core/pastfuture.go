@@ -36,6 +36,12 @@ type PastFutureConfig struct {
 	// P(l > l_t) at every step (§3.2's dynamic update). The paper's full
 	// scheduler keeps this false.
 	NoResample bool
+	// NaivePeak computes each candidate's M* with the reference clone+sort
+	// FutureRequiredMemory instead of the incremental PeakEstimator. The
+	// admission decisions are identical either way (the estimator is
+	// bit-exact); this switch exists as the benchmark baseline and for
+	// cross-check tests. Production configurations leave it false.
+	NaivePeak bool
 	// PerClass predicts each request from its own service-class history
 	// window when the engine maintains one (engine.Config.ClassHistory) —
 	// an extension for multi-tenant mixtures whose *global* distribution
@@ -63,9 +69,14 @@ func (c PastFutureConfig) withDefaults() PastFutureConfig {
 	return c
 }
 
-// PastFuture is the paper's scheduler (Algorithm 1).
+// PastFuture is the paper's scheduler (Algorithm 1). Not safe for
+// concurrent use: the peak-estimator scratch state is reused across Admit
+// calls so that a steady-state admission performs no heap allocations.
 type PastFuture struct {
 	cfg PastFutureConfig
+
+	est     PeakEstimator // incremental M* over the running batch
+	entries []Entry       // NaivePeak baseline scratch
 }
 
 // NewPastFuture validates the configuration and builds the scheduler.
@@ -117,11 +128,17 @@ func (pf *PastFuture) Admit(v *View, queue []*request.Request) int {
 	threshold := int(float64(v.CapacityTokens) * (1 - pf.cfg.Reserved))
 	multi := len(v.Running)+len(queue) < pf.cfg.SmallBatch
 
-	entries := make([]Entry, 0, len(v.Running)+4)
+	pf.est.Reset()
+	pf.entries = pf.entries[:0]
 	for _, r := range v.Running {
 		pred := pf.predict(pf.samplerFor(v, global, r), r, multi)
 		r.PredictedLen = pred
-		entries = append(entries, Entry{Current: r.Footprint(), Remaining: pred - r.Generated})
+		e := Entry{Current: r.Footprint(), Remaining: pred - r.Generated}
+		if pf.cfg.NaivePeak {
+			pf.entries = append(pf.entries, e)
+		} else {
+			pf.est.Push(e)
+		}
 	}
 
 	admitted := 0
@@ -133,10 +150,17 @@ func (pf *PastFuture) Admit(v *View, queue []*request.Request) int {
 		if promptNeed+q.Footprint() > v.FreeTokens {
 			break // prompt cannot be physically allocated this iteration
 		}
-		if futurePeakWithCandidate(entries, cand) > threshold {
-			break
+		if pf.cfg.NaivePeak {
+			if futurePeakWithCandidate(pf.entries, cand) > threshold {
+				break
+			}
+			pf.entries = append(pf.entries, cand)
+		} else {
+			if pf.est.PeakWith(cand) > threshold {
+				break
+			}
+			pf.est.Push(cand)
 		}
-		entries = append(entries, cand)
 		promptNeed += q.Footprint()
 		admitted++
 	}

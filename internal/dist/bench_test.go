@@ -1,0 +1,58 @@
+package dist
+
+import (
+	"testing"
+
+	"github.com/lightllm-go/lightllm/internal/rng"
+)
+
+// BenchmarkWindowSampler measures the cached-CDF design: steady-state reuse
+// (the common per-step case), rebuild after a mutation (once per finished
+// request), and the O(log n) conditional queries the admission loop issues
+// per request.
+func BenchmarkWindowSampler(b *testing.B) {
+	const window = 1000
+	fill := func() *Window {
+		w := NewWindow(window)
+		r := rng.New(1)
+		for i := 0; i < window; i++ {
+			w.Add(r.Intn(4096))
+		}
+		return w
+	}
+
+	b.Run("cached", func(b *testing.B) {
+		w := fill()
+		w.Sampler() // warm the cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = w.Sampler()
+		}
+	})
+
+	b.Run("rebuild", func(b *testing.B) {
+		w := fill()
+		w.Sampler() // allocate the reusable buffer once
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Add(i % 4096) // invalidate
+			_ = w.Sampler()
+		}
+	})
+
+	b.Run("queries", func(b *testing.B) {
+		w := fill()
+		s := w.Sampler()
+		r := rng.New(2)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = s.Sample(r)
+			_, _ = s.SampleGreater(r, 2048)
+			_, _ = s.QuantileGreater(0.9, 1024)
+			_ = s.Quantile(0.9)
+		}
+	})
+}

@@ -1,0 +1,100 @@
+// Package dist maintains the Past-Future scheduler's "past": a sliding
+// window of recently observed output lengths (paper §3.2, Equation 1) and a
+// sampler over its empirical distribution.
+//
+// # Cached-CDF design
+//
+// The window is a fixed-capacity ring buffer: Add is O(1), and once the
+// window is full the oldest observation is evicted, so the distribution
+// tracks workload drift (the paper's API-trace observation). The empirical
+// CDF — a sorted copy of the window contents — is NOT rebuilt on every
+// mutation. Instead the window carries a generation counter that increments
+// on every Add, and Sampler() rebuilds the sorted array lazily, only when
+// the generation has moved since the last rebuild. The admission loop calls
+// Sampler() once per scheduling step (and once per service class in
+// per-class mode) while the window mutates only when a request finishes, so
+// in steady state most steps reuse the cached CDF and pay nothing.
+//
+// A sorted array IS the empirical CDF: the value at rank i has cumulative
+// probability (i+1)/n. Every query therefore runs in O(log n) binary search
+// (or O(1) indexing) over the cached array:
+//
+//   - Sample draws uniformly over the window (an i.i.d. draw from P(l)),
+//   - Quantile returns the smallest value whose CDF reaches q,
+//   - SampleGreater / QuantileGreater condition on l > l_t by binary
+//     searching the suffix with values above l_t (Equation 1's dynamic
+//     update P(l | l > l_t)); both report ok=false when no probability mass
+//     remains above the conditioning point,
+//   - Max returns the window's support maximum.
+//
+// The rebuild itself is O(n log n) into a buffer reused across rebuilds, so
+// a warm Window/Sampler pair performs zero heap allocations — a requirement
+// of the engine's allocation-free scheduling hot path.
+package dist
+
+// Window is a fixed-capacity sliding window of observed output lengths with
+// a lazily rebuilt, generation-cached Sampler. Not safe for concurrent use.
+type Window struct {
+	buf  []int // ring buffer
+	head int   // index of the oldest observation
+	n    int   // observations currently held
+	gen  uint64
+
+	samp     Sampler
+	rebuilds int // sampler rebuild count (cache-effectiveness tests)
+}
+
+// NewWindow creates a window holding at most capacity observations.
+// It panics if capacity is not positive.
+func NewWindow(capacity int) *Window {
+	if capacity <= 0 {
+		panic("dist: window capacity must be positive")
+	}
+	return &Window{buf: make([]int, capacity)}
+}
+
+// Add records one observation, evicting the oldest when the window is full,
+// and invalidates the cached sampler.
+func (w *Window) Add(v int) {
+	if w.n < len(w.buf) {
+		w.buf[(w.head+w.n)%len(w.buf)] = v
+		w.n++
+	} else {
+		w.buf[w.head] = v
+		w.head = (w.head + 1) % len(w.buf)
+	}
+	w.gen++
+}
+
+// Len returns the number of observations currently held.
+func (w *Window) Len() int { return w.n }
+
+// Cap returns the window capacity.
+func (w *Window) Cap() int { return len(w.buf) }
+
+// Generation returns the mutation counter; it increments on every Add.
+func (w *Window) Generation() uint64 { return w.gen }
+
+// Values returns the observations in arrival order (oldest first) as a
+// fresh slice. Observation/test helper; the scheduling hot path uses the
+// cached Sampler instead.
+func (w *Window) Values() []int {
+	out := make([]int, w.n)
+	for i := 0; i < w.n; i++ {
+		out[i] = w.buf[(w.head+i)%len(w.buf)]
+	}
+	return out
+}
+
+// Sampler returns the sampler over the window's current contents, rebuilding
+// the cached CDF only if the window has mutated since the last call. The
+// returned pointer aliases the window's cache: it remains valid until the
+// next Sampler() call that follows a mutation, which is exactly the
+// per-scheduling-step usage pattern of the admission loop.
+func (w *Window) Sampler() *Sampler {
+	if !w.samp.valid || w.samp.gen != w.gen {
+		w.samp.rebuild(w)
+		w.rebuilds++
+	}
+	return &w.samp
+}

@@ -1,0 +1,238 @@
+package dist
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/lightllm-go/lightllm/internal/rng"
+)
+
+func windowOf(capacity int, values ...int) *Window {
+	w := NewWindow(capacity)
+	for _, v := range values {
+		w.Add(v)
+	}
+	return w
+}
+
+func TestNewWindowValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWindow(0) did not panic")
+		}
+	}()
+	NewWindow(0)
+}
+
+func TestEmptyWindowSampler(t *testing.T) {
+	s := NewWindow(8).Sampler()
+	r := rng.New(1)
+	if s.Len() != 0 {
+		t.Fatalf("empty sampler Len = %d", s.Len())
+	}
+	if got := s.Sample(r); got != 0 {
+		t.Fatalf("empty Sample = %d", got)
+	}
+	if got := s.Quantile(0.9); got != 0 {
+		t.Fatalf("empty Quantile = %d", got)
+	}
+	if got := s.Max(); got != 0 {
+		t.Fatalf("empty Max = %d", got)
+	}
+	if _, ok := s.SampleGreater(r, 0); ok {
+		t.Fatal("empty SampleGreater reported ok")
+	}
+	if _, ok := s.QuantileGreater(0.5, 0); ok {
+		t.Fatal("empty QuantileGreater reported ok")
+	}
+}
+
+func TestColdStartWindowBelowMinHistory(t *testing.T) {
+	// The scheduler gates on Len() < MinHistory during cold start; the
+	// window must report the exact count while partially filled.
+	w := NewWindow(1000)
+	for i := 1; i <= 15; i++ {
+		w.Add(i * 10)
+		if w.Len() != i {
+			t.Fatalf("after %d adds Len = %d", i, w.Len())
+		}
+	}
+	// The sampler is still fully usable below any MinHistory threshold;
+	// the fallback policy lives in the scheduler, not here.
+	if got := w.Sampler().Max(); got != 150 {
+		t.Fatalf("cold-start Max = %d, want 150", got)
+	}
+}
+
+func TestWindowEvictionAtCapacity(t *testing.T) {
+	w := windowOf(3, 1, 2, 3)
+	if w.Len() != 3 || w.Cap() != 3 {
+		t.Fatalf("Len/Cap = %d/%d", w.Len(), w.Cap())
+	}
+	w.Add(4) // evicts 1
+	w.Add(5) // evicts 2
+	if w.Len() != 3 {
+		t.Fatalf("Len after eviction = %d", w.Len())
+	}
+	s := w.Sampler()
+	if got := s.Quantile(0); got != 3 {
+		t.Fatalf("min after eviction = %d, want 3 (1 and 2 evicted)", got)
+	}
+	if got := s.Max(); got != 5 {
+		t.Fatalf("max after eviction = %d, want 5", got)
+	}
+}
+
+func TestSamplerCacheReusedUntilMutation(t *testing.T) {
+	w := windowOf(10, 5, 1, 9)
+	s1 := w.Sampler()
+	s2 := w.Sampler()
+	if s1 != s2 {
+		t.Fatal("Sampler() returned distinct snapshots without mutation")
+	}
+	if w.rebuilds != 1 {
+		t.Fatalf("rebuilds = %d, want 1 (cache hit on second call)", w.rebuilds)
+	}
+}
+
+func TestSamplerCacheInvalidatedByAdd(t *testing.T) {
+	w := windowOf(10, 5)
+	if got := w.Sampler().Max(); got != 5 {
+		t.Fatalf("Max = %d", got)
+	}
+	w.Add(42)
+	if got := w.Sampler().Max(); got != 42 {
+		t.Fatalf("Max after Add = %d, want 42 (stale cache)", got)
+	}
+	if w.rebuilds != 2 {
+		t.Fatalf("rebuilds = %d, want 2", w.rebuilds)
+	}
+	if w.Generation() != 2 {
+		t.Fatalf("generation = %d, want 2", w.Generation())
+	}
+}
+
+func TestQuantileBoundaries(t *testing.T) {
+	// 90×10 and 10×50: the 0.9 quantile is the 90th of 100 sorted values
+	// (index 89) — still 10. This anchors the quantile convention the
+	// deterministic scheduler depends on.
+	w := NewWindow(100)
+	for i := 0; i < 90; i++ {
+		w.Add(10)
+	}
+	for i := 0; i < 10; i++ {
+		w.Add(50)
+	}
+	s := w.Sampler()
+	if got := s.Quantile(0.9); got != 10 {
+		t.Fatalf("Quantile(0.9) = %d, want 10", got)
+	}
+	if got := s.Quantile(0.91); got != 50 {
+		t.Fatalf("Quantile(0.91) = %d, want 50", got)
+	}
+	if got := s.Quantile(0); got != 10 {
+		t.Fatalf("Quantile(0) = %d, want min", got)
+	}
+	if got := s.Quantile(1); got != 50 {
+		t.Fatalf("Quantile(1) = %d, want max", got)
+	}
+	// Clamped outside [0,1].
+	if got := s.Quantile(-0.5); got != 10 {
+		t.Fatalf("Quantile(-0.5) = %d", got)
+	}
+	if got := s.Quantile(1.5); got != 50 {
+		t.Fatalf("Quantile(1.5) = %d", got)
+	}
+}
+
+func TestConditionalNoMassAboveSupport(t *testing.T) {
+	w := windowOf(10, 8, 8, 8)
+	s := w.Sampler()
+	r := rng.New(7)
+	if _, ok := s.SampleGreater(r, 8); ok {
+		t.Fatal("SampleGreater above support reported ok")
+	}
+	if _, ok := s.QuantileGreater(0.9, 8); ok {
+		t.Fatal("QuantileGreater above support reported ok")
+	}
+	// Exactly at the boundary: mass strictly above 7 exists.
+	if v, ok := s.SampleGreater(r, 7); !ok || v != 8 {
+		t.Fatalf("SampleGreater(7) = %d,%v, want 8,true", v, ok)
+	}
+	if v, ok := s.QuantileGreater(0.5, 7); !ok || v != 8 {
+		t.Fatalf("QuantileGreater(0.5, 7) = %d,%v, want 8,true", v, ok)
+	}
+}
+
+func TestConditionalDistribution(t *testing.T) {
+	w := windowOf(10, 10, 20, 30, 40)
+	s := w.Sampler()
+	if v, ok := s.QuantileGreater(0, 20); !ok || v != 30 {
+		t.Fatalf("QuantileGreater(0, 20) = %d,%v, want 30", v, ok)
+	}
+	if v, ok := s.QuantileGreater(1, 20); !ok || v != 40 {
+		t.Fatalf("QuantileGreater(1, 20) = %d,%v, want 40", v, ok)
+	}
+	r := rng.New(3)
+	for i := 0; i < 100; i++ {
+		v, ok := s.SampleGreater(r, 15)
+		if !ok || v <= 15 {
+			t.Fatalf("SampleGreater(15) = %d,%v", v, ok)
+		}
+	}
+}
+
+func TestSampleDrawsOnlyWindowValues(t *testing.T) {
+	w := windowOf(50, 3, 7, 11)
+	s := w.Sampler()
+	r := rng.New(5)
+	seen := map[int]bool{}
+	for i := 0; i < 300; i++ {
+		v := s.Sample(r)
+		if v != 3 && v != 7 && v != 11 {
+			t.Fatalf("Sample drew %d, not in window", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("300 draws hit %d of 3 values", len(seen))
+	}
+}
+
+func TestSamplerDeterministicPerSeed(t *testing.T) {
+	draw := func(seed uint64) []int {
+		w := NewWindow(100)
+		src := rng.New(42)
+		for i := 0; i < 100; i++ {
+			w.Add(src.Intn(1000))
+		}
+		s := w.Sampler()
+		r := rng.New(seed)
+		out := make([]int, 50)
+		for i := range out {
+			out[i] = s.Sample(r)
+		}
+		return out
+	}
+	a, b := draw(9), draw(9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSamplerSnapshotIsSorted(t *testing.T) {
+	w := NewWindow(64)
+	r := rng.New(11)
+	for i := 0; i < 200; i++ { // wraps the ring multiple times
+		w.Add(r.Intn(500))
+		s := w.Sampler()
+		if !sort.IntsAreSorted(s.sorted) {
+			t.Fatalf("snapshot unsorted after %d adds", i+1)
+		}
+		if s.Len() != w.Len() {
+			t.Fatalf("snapshot len %d != window len %d", s.Len(), w.Len())
+		}
+	}
+}

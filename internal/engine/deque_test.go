@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/lightllm-go/lightllm/internal/core"
+	"github.com/lightllm-go/lightllm/internal/request"
+	"github.com/lightllm-go/lightllm/internal/rng"
+)
+
+// buildReqs synthesises a varied request stream (workload imports engine,
+// so engine tests cannot use the workload generators).
+func buildReqs(r *rng.RNG, n int, maxNew int) []*request.Request {
+	out := make([]*request.Request, n)
+	for i := range out {
+		out[i] = request.New(int64(i+1), 32+r.Intn(256), 16+r.Intn(maxNew-16), maxNew, 0)
+	}
+	return out
+}
+
+func req(id int64) *request.Request { return request.New(id, 10, 5, 20, 0) }
+
+func dequeIDs(d *reqDeque) []int64 {
+	out := make([]int64, 0, d.Len())
+	for i := 0; i < d.Len(); i++ {
+		out = append(out, d.At(i).ID)
+	}
+	return out
+}
+
+func TestDequeFIFOOrder(t *testing.T) {
+	var d reqDeque
+	for i := int64(1); i <= 5; i++ {
+		d.PushBack(req(i))
+	}
+	if d.Len() != 5 || d.Front().ID != 1 {
+		t.Fatalf("Len=%d Front=%v", d.Len(), d.Front())
+	}
+	for want := int64(1); want <= 5; want++ {
+		if got := d.PopFront(); got.ID != want {
+			t.Fatalf("PopFront = %d, want %d", got.ID, want)
+		}
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len after drain = %d", d.Len())
+	}
+}
+
+func TestDequePushFrontOrder(t *testing.T) {
+	var d reqDeque
+	d.PushBack(req(1))
+	d.PushBack(req(2))
+	d.PushFront(req(3)) // eviction re-queue: jumps the line
+	d.PushFront(req(4))
+	got := dequeIDs(&d)
+	want := []int64{4, 3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDequeWrapAroundAndGrowth(t *testing.T) {
+	var d reqDeque
+	next := int64(0)
+	// Interleave pushes and pops so the ring wraps repeatedly, then force
+	// growth mid-wrap; FCFS order must survive.
+	expectFront := int64(0)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 7; i++ {
+			d.PushBack(req(next))
+			next++
+		}
+		for i := 0; i < 5; i++ {
+			if got := d.PopFront(); got.ID != expectFront {
+				t.Fatalf("round %d: pop %d, want %d", round, got.ID, expectFront)
+			}
+			expectFront++
+		}
+	}
+	for d.Len() > 0 {
+		if got := d.PopFront(); got.ID != expectFront {
+			t.Fatalf("drain: pop %d, want %d", got.ID, expectFront)
+		}
+		expectFront++
+	}
+}
+
+// TestDequeReleasesPoppedSlots is the backing-array-leak regression test:
+// the old slice queue kept popped request pointers alive via q = q[1:];
+// the deque must nil every vacated slot.
+func TestDequeReleasesPoppedSlots(t *testing.T) {
+	var d reqDeque
+	for i := int64(0); i < 16; i++ {
+		d.PushBack(req(i))
+	}
+	for i := 0; i < 10; i++ {
+		d.PopFront()
+	}
+	live := map[*request.Request]bool{}
+	for i := 0; i < d.Len(); i++ {
+		live[d.At(i)] = true
+	}
+	retained := 0
+	for _, slot := range d.buf {
+		if slot == nil {
+			continue
+		}
+		if !live[slot] {
+			t.Fatalf("popped request %d still referenced by the ring", slot.ID)
+		}
+		retained++
+	}
+	if retained != d.Len() {
+		t.Fatalf("ring retains %d pointers, queue holds %d", retained, d.Len())
+	}
+}
+
+func TestDequeFilterDropsAndReleases(t *testing.T) {
+	var d reqDeque
+	for i := int64(0); i < 9; i++ {
+		d.PushBack(req(i))
+	}
+	d.PopFront() // offset head so the filter runs over a wrapped ring
+	d.PushBack(req(9))
+	var dropped []int64
+	d.Filter(
+		func(r *request.Request) bool { return r.ID%2 == 0 },
+		func(r *request.Request) { dropped = append(dropped, r.ID) },
+	)
+	got := dequeIDs(&d)
+	want := []int64{2, 4, 6, 8}
+	if len(got) != len(want) {
+		t.Fatalf("kept %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kept %v, want %v", got, want)
+		}
+	}
+	if len(dropped) != 5 {
+		t.Fatalf("dropped %v, want 5 odd ids", dropped)
+	}
+	nonNil := 0
+	for _, slot := range d.buf {
+		if slot != nil {
+			nonNil++
+		}
+	}
+	if nonNil != d.Len() {
+		t.Fatalf("ring retains %d pointers after Filter, queue holds %d", nonNil, d.Len())
+	}
+}
+
+func TestDequeAppendToReusesBuffer(t *testing.T) {
+	var d reqDeque
+	for i := int64(0); i < 4; i++ {
+		d.PushBack(req(i))
+	}
+	scratch := make([]*request.Request, 0, 8)
+	out := d.AppendTo(scratch[:0])
+	if len(out) != 4 || &out[0] != &scratch[:1][0] {
+		t.Fatal("AppendTo did not reuse the scratch buffer")
+	}
+	for i := range out {
+		if out[i].ID != int64(i) {
+			t.Fatalf("snapshot order %v", dequeIDs(&d))
+		}
+	}
+}
+
+// TestSteadyStateDecodeStepDoesNotAllocate pins the zero-allocation hot
+// path: once the batch is running and the queue/arrivals are empty, a
+// decode Step must not touch the heap.
+func TestSteadyStateDecodeStepDoesNotAllocate(t *testing.T) {
+	e := newEngine(t, core.MustNewPastFuture(core.PastFutureConfig{
+		Reserved: 0.03, Deterministic: true,
+	}), 200_000)
+	r := rng.New(1)
+	e.SubmitAll(buildReqs(r, 16, 4096))
+	// Admit everything and emit a few tokens to reach steady decode.
+	for i := 0; i < 8 && e.Step(); i++ {
+	}
+	if e.RunningLen() == 0 {
+		t.Fatal("no running batch; scenario broken")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if !e.Step() {
+			t.Fatal("engine drained mid-measurement")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state decode Step allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestAdmissionStepScratchReuse drives a long mixed run and then checks the
+// admission scratch buffers were actually grown once and reused, not
+// reallocated per step (a weaker but structural complement to the
+// BenchmarkAdmitHotPath allocation figures).
+func TestAdmissionStepScratchReuse(t *testing.T) {
+	e := newEngine(t, core.MustNewPastFuture(core.PastFutureConfig{
+		Reserved: 0.05, Deterministic: true,
+	}), 50_000)
+	r := rng.New(2)
+	reqs := buildReqs(r, 300, 2048)
+	for i, q := range reqs {
+		q.ArrivalTime = float64(i) * 0.01
+	}
+	e.SubmitAll(reqs)
+	res := e.Run()
+	if done := len(res.Finished) + len(res.Failed); done != 300 {
+		t.Fatalf("accounted for %d of 300 requests", done)
+	}
+	if cap(e.queueScratch) == 0 {
+		t.Fatal("queue scratch never used")
+	}
+}

@@ -22,7 +22,6 @@
 package engine
 
 import (
-	"container/heap"
 	"fmt"
 
 	"github.com/lightllm-go/lightllm/internal/core"
@@ -92,6 +91,8 @@ func (p EvictionPolicy) String() string {
 // Hooks are optional observation callbacks. Nil hooks are skipped.
 type Hooks struct {
 	// OnAdmit fires after a batch of admissions, before their prefill runs.
+	// The admitted slice is a per-step scratch buffer the engine reuses:
+	// read it during the callback, copy it if it must outlive the Step.
 	OnAdmit func(now float64, admitted []*request.Request)
 	// OnToken fires for every emitted token (used by the streaming server).
 	OnToken func(now float64, r *request.Request)
@@ -181,9 +182,17 @@ type Engine struct {
 	arrivals  arrivalHeap
 	seq       int64
 
-	queue      []*request.Request // FCFS wait queue; evictions push front
+	queue      reqDeque           // FCFS wait queue; evictions push front
 	running    []*request.Request // decoding batch, admission order
 	prefilling []*prefillState    // splitfuse: prompts being chunked
+
+	// Per-step scratch buffers, reused so a steady-state Step performs no
+	// heap allocations. Valid only within one Step call.
+	queueScratch []*request.Request // queue snapshot handed to the scheduler
+	batchScratch []*request.Request // running ∪ prefilling view
+	admitScratch []*request.Request // admissions of the current step
+	viewScratch  core.View          // the scheduler's read-only state
+	truePeak     core.PeakEstimator // ground-truth M* bookkeeping
 
 	// Counters and accumulators for Result.
 	finished        []*request.Request
@@ -305,7 +314,7 @@ func (e *Engine) Pool() *kv.Pool { return e.pool }
 func (e *Engine) History() *dist.Window { return e.history }
 
 // QueueLen returns the number of waiting requests.
-func (e *Engine) QueueLen() int { return len(e.queue) }
+func (e *Engine) QueueLen() int { return e.queue.Len() }
 
 // RunningRequests returns a copy of the running batch (including splitfuse
 // prompts in flight), for observers like the multi-replica router.
@@ -321,7 +330,7 @@ func (e *Engine) RunningRequests() []*request.Request {
 
 // QueuedRequests returns a copy of the wait queue.
 func (e *Engine) QueuedRequests() []*request.Request {
-	return append([]*request.Request(nil), e.queue...)
+	return e.queue.AppendTo(make([]*request.Request, 0, e.queue.Len()))
 }
 
 // RunningLen returns the size of the running batch (including prompts being
@@ -410,7 +419,7 @@ func (e *Engine) Submit(r *request.Request) {
 		r.ArrivalTime = e.clock
 	}
 	e.seq++
-	heap.Push(&e.arrivals, arrivalItem{r: r, seq: e.seq})
+	e.arrivals.push(arrivalItem{r: r, seq: e.seq})
 }
 
 // SubmitAll submits every request in rs.
@@ -422,11 +431,13 @@ func (e *Engine) SubmitAll(rs []*request.Request) {
 
 // Idle reports whether the engine has nothing to do now or in the future.
 func (e *Engine) Idle() bool {
-	return len(e.queue) == 0 && len(e.running) == 0 && len(e.prefilling) == 0 &&
+	return e.queue.Len() == 0 && len(e.running) == 0 && len(e.prefilling) == 0 &&
 		len(e.staticBatch) == 0 && e.arrivals.Len() == 0
 }
 
 // arrival heap: orders pending submissions by arrival time, FIFO on ties.
+// A typed binary heap rather than container/heap: the interface{} boxing of
+// heap.Push/Pop allocates per arrival, which the scheduling hot path avoids.
 type arrivalItem struct {
 	r   *request.Request
 	seq int64
@@ -435,18 +446,51 @@ type arrivalItem struct {
 type arrivalHeap []arrivalItem
 
 func (h arrivalHeap) Len() int { return len(h) }
-func (h arrivalHeap) Less(i, j int) bool {
+
+func (h arrivalHeap) less(i, j int) bool {
 	if h[i].r.ArrivalTime != h[j].r.ArrivalTime {
 		return h[i].r.ArrivalTime < h[j].r.ArrivalTime
 	}
 	return h[i].seq < h[j].seq
 }
-func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(arrivalItem)) }
-func (h *arrivalHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *arrivalHeap) push(it arrivalItem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *arrivalHeap) pop() arrivalItem {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = arrivalItem{} // release the request pointer
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
 }

@@ -8,7 +8,7 @@ import "github.com/lightllm-go/lightllm/internal/request"
 // output finishes — no request joins or leaves mid-flight.
 func (e *Engine) stepStatic() bool {
 	if len(e.staticBatch) == 0 {
-		if len(e.queue) == 0 {
+		if e.queue.Len() == 0 {
 			// Wait for arrivals, if any.
 			if e.arrivals.Len() > 0 {
 				next := e.arrivals[0].r.ArrivalTime
@@ -30,34 +30,30 @@ func (e *Engine) stepStatic() bool {
 // to the batch maximum, and runs the fused (padded) prefill.
 func (e *Engine) formStaticBatch() bool {
 	take := e.cfg.StaticBatchSize
-	if take > len(e.queue) {
-		take = len(e.queue)
+	if take > e.queue.Len() {
+		take = e.queue.Len()
 	}
-	maxIn := 0
-	for _, r := range e.queue[:take] {
-		if r.InputLen > maxIn {
-			maxIn = r.InputLen
+	headMax := func(k int) int {
+		m := 0
+		for i := 0; i < k; i++ {
+			if in := e.queue.At(i).InputLen; in > m {
+				m = in
+			}
 		}
+		return m
 	}
+	maxIn := headMax(take)
 	// Reduce the batch until the padded prompts fit in memory.
 	for take > 0 && !e.pool.CanAllocate(maxIn*take) {
 		take--
-		maxIn = 0
-		for _, r := range e.queue[:take] {
-			if r.InputLen > maxIn {
-				maxIn = r.InputLen
-			}
-		}
+		maxIn = headMax(take)
 	}
 	if take == 0 {
-		head := e.queue[0]
-		e.queue = e.queue[1:]
-		e.failRequest(head)
+		e.failRequest(e.queue.PopFront())
 		return true
 	}
-	batch := e.queue[:take]
-	e.queue = e.queue[take:]
-	for _, r := range batch {
+	for i := 0; i < take; i++ {
+		r := e.queue.PopFront()
 		if !e.pool.Allocate(r.ID, maxIn) { // padded to the longest prompt
 			e.failRequest(r)
 			continue

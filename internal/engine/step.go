@@ -1,8 +1,6 @@
 package engine
 
 import (
-	"container/heap"
-
 	"github.com/lightllm-go/lightllm/internal/core"
 	"github.com/lightllm-go/lightllm/internal/request"
 )
@@ -35,7 +33,7 @@ func (e *Engine) Step() bool {
 	}
 
 	var admitted []*request.Request
-	if len(e.queue) > 0 {
+	if e.queue.Len() > 0 {
 		admitted = e.admit()
 	}
 
@@ -78,14 +76,12 @@ func (e *Engine) Step() bool {
 		e.moveArrivals()
 		return true
 	}
-	if len(e.queue) > 0 {
+	if e.queue.Len() > 0 {
 		// No memory can ever free (empty batch) and the scheduler refuses
 		// the head. Retry a few times for sampling schedulers, then fail it.
 		e.admitRetries++
 		if e.admitRetries >= maxAdmitRetries {
-			head := e.queue[0]
-			e.queue = e.queue[1:]
-			e.failRequest(head)
+			e.failRequest(e.queue.PopFront())
 			e.admitRetries = 0
 		}
 		return true
@@ -96,8 +92,7 @@ func (e *Engine) Step() bool {
 // moveArrivals transfers due arrivals into the FCFS queue.
 func (e *Engine) moveArrivals() {
 	for e.arrivals.Len() > 0 && e.arrivals[0].r.ArrivalTime <= e.clock {
-		it := heap.Pop(&e.arrivals).(arrivalItem)
-		e.queue = append(e.queue, it.r)
+		e.queue.PushBack(e.arrivals.pop().r)
 	}
 }
 
@@ -105,36 +100,40 @@ func (e *Engine) moveArrivals() {
 // (QueueTimeout semantics; see Config). Re-queued evicted requests, which
 // have already streamed tokens, are exempt.
 func (e *Engine) dropExpired() {
-	if e.cfg.QueueTimeout <= 0 || len(e.queue) == 0 {
+	if e.cfg.QueueTimeout <= 0 || e.queue.Len() == 0 {
 		return
 	}
-	kept := e.queue[:0]
-	for _, r := range e.queue {
-		if r.FirstTokenAt < 0 && e.clock-r.ArrivalTime > e.cfg.QueueTimeout {
+	e.queue.Filter(
+		func(r *request.Request) bool {
+			return !(r.FirstTokenAt < 0 && e.clock-r.ArrivalTime > e.cfg.QueueTimeout)
+		},
+		func(r *request.Request) {
 			r.DroppedAt = e.clock
 			e.timedOut = append(e.timedOut, r)
 			if e.cfg.Hooks.OnDrop != nil {
 				e.cfg.Hooks.OnDrop(e.clock, r)
 			}
-			continue
-		}
-		kept = append(kept, r)
-	}
-	e.queue = kept
+		},
+	)
 }
 
 // admit asks the scheduler for a FCFS prefix, allocates prompt memory, and
-// removes the admitted requests from the queue.
+// removes the admitted requests from the queue. All slices it hands out
+// (the scheduler's view, the OnAdmit hook argument, the returned admissions)
+// are per-step scratch buffers: valid until the next Step, never retained
+// by the engine, and must not be retained by hooks or schedulers. Reusing
+// them keeps a steady-state Step free of heap allocations.
 func (e *Engine) admit() []*request.Request {
 	batchView := e.running
 	if len(e.prefilling) > 0 {
-		batchView = make([]*request.Request, 0, len(e.running)+len(e.prefilling))
-		batchView = append(batchView, e.running...)
+		e.batchScratch = append(e.batchScratch[:0], e.running...)
 		for _, p := range e.prefilling {
-			batchView = append(batchView, p.req)
+			e.batchScratch = append(e.batchScratch, p.req)
 		}
+		batchView = e.batchScratch
 	}
-	v := &core.View{
+	e.queueScratch = e.queue.AppendTo(e.queueScratch[:0])
+	e.viewScratch = core.View{
 		Now:            e.clock,
 		CapacityTokens: e.pool.CapacityTokens(),
 		UsedTokens:     e.pool.UsedTokens(),
@@ -143,16 +142,16 @@ func (e *Engine) admit() []*request.Request {
 		History:        e.history,
 	}
 	if e.classHist != nil {
-		v.ClassHistory = e.ClassWindow
+		e.viewScratch.ClassHistory = e.ClassWindow
 	}
-	n := e.sched.Admit(v, e.queue)
+	n := e.sched.Admit(&e.viewScratch, e.queueScratch)
 	if n <= 0 {
 		return nil
 	}
-	admitted := make([]*request.Request, 0, n)
+	admitted := e.admitScratch[:0]
 	prefillTokens := 0
 	for i := 0; i < n; i++ {
-		r := e.queue[0]
+		r := e.queue.Front()
 		if e.cfg.Strategy == PrefillPriority && e.cfg.MaxPrefillTokens > 0 &&
 			len(admitted) > 0 && prefillTokens+r.Footprint() > e.cfg.MaxPrefillTokens {
 			break // prefill budget reached; the rest stay queued for later
@@ -161,7 +160,7 @@ func (e *Engine) admit() []*request.Request {
 			break // block fragmentation: physically infeasible, stop here
 		}
 		prefillTokens += r.Footprint()
-		e.queue = e.queue[1:]
+		e.queue.PopFront()
 		r.State = request.Running
 		r.Admissions++
 		e.admissions++
@@ -171,6 +170,7 @@ func (e *Engine) admit() []*request.Request {
 		}
 		admitted = append(admitted, r)
 	}
+	e.admitScratch = admitted
 	if len(admitted) == 0 {
 		return nil
 	}
@@ -179,12 +179,15 @@ func (e *Engine) admit() []*request.Request {
 		e.cfg.Hooks.OnAdmit(e.clock, admitted)
 	}
 	// Record the ground-truth future peak of the post-admission batch
-	// (Table 1's "Future Required Memory").
-	batch := make([]*request.Request, 0, len(batchView)+len(admitted))
-	batch = append(batch, batchView...)
-	batch = append(batch, admitted...)
-	peak := core.TrueFutureRequiredMemory(batch)
-	e.futureReq.Add(float64(peak) / float64(e.pool.CapacityTokens()))
+	// (Table 1's "Future Required Memory") via the reusable estimator.
+	e.truePeak.Reset()
+	for _, r := range batchView {
+		e.truePeak.PushTrue(r)
+	}
+	for _, r := range admitted {
+		e.truePeak.PushTrue(r)
+	}
+	e.futureReq.Add(float64(e.truePeak.Peak()) / float64(e.pool.CapacityTokens()))
 	return admitted
 }
 
@@ -229,7 +232,7 @@ func (e *Engine) evictLast() {
 		victim.Swapped = true // KV parked in host memory
 	}
 	e.evictions++
-	e.queue = append([]*request.Request{victim}, e.queue...)
+	e.queue.PushFront(victim)
 	if e.cfg.Hooks.OnEvict != nil {
 		e.cfg.Hooks.OnEvict(e.clock, victim)
 	}
@@ -373,7 +376,7 @@ func (e *Engine) requeue(r *request.Request) {
 	r.State = request.Waiting
 	r.Evictions++
 	e.evictions++
-	e.queue = append([]*request.Request{r}, e.queue...)
+	e.queue.PushFront(r)
 	if e.cfg.Hooks.OnEvict != nil {
 		e.cfg.Hooks.OnEvict(e.clock, r)
 	}

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Runs the scheduling hot-path micro-benchmarks (BenchmarkAdmitHotPath,
+# BenchmarkFutureRequiredMemory, BenchmarkWindowSampler) and records ns/op
+# and allocs/op in BENCH_hotpath.json so successive PRs can track the perf
+# trajectory. Invoked via `make bench`.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=BENCH_hotpath.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkAdmitHotPath|BenchmarkFutureRequiredMemory' \
+	-benchmem ./internal/core/ | tee "$tmp"
+go test -run '^$' -bench 'BenchmarkWindowSampler' \
+	-benchmem ./internal/dist/ | tee -a "$tmp"
+
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+	name = $1; ns = ""; allocs = "null"
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		if ($i == "allocs/op") allocs = $(i - 1)
+	}
+	if (ns == "") next
+	if (!first) printf(",\n")
+	first = 0
+	printf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs)
+}
+END { print "\n]" }
+' "$tmp" > "$out"
+
+echo "wrote $out"
