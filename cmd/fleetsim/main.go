@@ -1,0 +1,275 @@
+// Command fleetsim drives the event-driven fleet simulator: it synthesizes
+// a (by default bursty) workload, serves it through a multi-replica fleet
+// under a chosen routing policy and autoscaling mode, and reports
+// fleet-level SLA attainment and provisioning cost (replica-seconds).
+//
+//	fleetsim                          # single run, predictive planner
+//	fleetsim -scaler reactive         # threshold high/low-water baseline
+//	fleetsim -compare -json out.json  # reactive vs predictive comparison
+//	fleetsim -csv plan.csv            # planner evaluation trace
+//
+// The comparison mode is the paper-§7 demo the bench records in
+// BENCH_fleet.json: on a bursty workload, predictive scaling (EWMA/Holt
+// forecasts + TTFT/TPOT interpolation) meets the TTFT target with fewer
+// replica-seconds than the reactive baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/lightllm-go/lightllm/internal/cluster"
+	"github.com/lightllm-go/lightllm/internal/core"
+	"github.com/lightllm-go/lightllm/internal/engine"
+	"github.com/lightllm-go/lightllm/internal/hw"
+	"github.com/lightllm-go/lightllm/internal/metrics"
+	"github.com/lightllm-go/lightllm/internal/model"
+	"github.com/lightllm-go/lightllm/internal/perf"
+	"github.com/lightllm-go/lightllm/internal/request"
+	"github.com/lightllm-go/lightllm/internal/rng"
+	"github.com/lightllm-go/lightllm/internal/workload"
+)
+
+type options struct {
+	replicas  int
+	capacity  int
+	policy    cluster.Policy
+	scaler    string
+	predictor cluster.PredictorKind
+	interval  float64
+	delay     float64
+	min, max  int
+	sla       metrics.SLA
+	high, low float64
+	headroom  float64
+	rate      float64
+	burst     float64
+	phaseSec  float64
+	seed      uint64
+}
+
+func main() {
+	var (
+		replicas  = flag.Int("replicas", 6, "fleet size (autoscaling upper bound)")
+		capacity  = flag.Int("capacity", 10_000, "KV capacity override per replica, tokens (0 = model capacity)")
+		policyS   = flag.String("policy", "future-headroom", "routing policy: round-robin|least-loaded|future-headroom")
+		scaler    = flag.String("scaler", "predictive", "autoscaler: none|reactive|predictive")
+		predictor = flag.String("predictor", "holt", "load predictor: constant|ewma|holt")
+		interval  = flag.Float64("interval", 10, "autoscaler evaluation interval, seconds")
+		delay     = flag.Float64("delay", 5, "replica activation delay, seconds")
+		minR      = flag.Int("min", 1, "minimum active replicas")
+		ttft      = flag.Float64("ttft", 8, "SLA: time to first token, seconds")
+		tpot      = flag.Float64("tpot", 1.5, "SLA: max inter-token gap, seconds")
+		high      = flag.Float64("high", 0.85, "reactive high-water load fraction")
+		low       = flag.Float64("low", 0.35, "reactive low-water load fraction")
+		headroom  = flag.Float64("headroom", 0.8, "planner utilization target")
+		rate      = flag.Float64("rate", 3, "baseline arrival rate, req/s")
+		burst     = flag.Float64("burst", 22, "burst arrival rate, req/s")
+		phaseSec  = flag.Float64("phase", 90, "seconds per workload phase (calm, ramp, burst, calm)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		compare   = flag.Bool("compare", false, "run reactive vs predictive on the same workload")
+		jsonPath  = flag.String("json", "", "write the report(s) as JSON to this file")
+		csvPath   = flag.String("csv", "", "write the planner evaluation trace as CSV to this file")
+	)
+	flag.Parse()
+
+	pol, err := cluster.ParsePolicy(*policyS)
+	if err != nil {
+		fatal(err)
+	}
+	kind, err := cluster.ParsePredictor(*predictor)
+	if err != nil {
+		fatal(err)
+	}
+	opts := options{
+		replicas: *replicas, capacity: *capacity, policy: pol, scaler: *scaler,
+		predictor: kind, interval: *interval, delay: *delay,
+		min: *minR, max: *replicas,
+		sla:  metrics.SLA{TTFT: *ttft, MTPOT: *tpot},
+		high: *high, low: *low, headroom: *headroom,
+		rate: *rate, burst: *burst, phaseSec: *phaseSec, seed: *seed,
+	}
+
+	var rows []row
+	if *compare {
+		for _, mode := range []string{"reactive", "predictive"} {
+			opts.scaler = mode
+			rows = append(rows, runOne(opts, *csvPath))
+		}
+	} else {
+		rows = append(rows, runOne(opts, *csvPath))
+	}
+
+	printRows(opts, rows)
+	if *jsonPath != "" {
+		writeJSON(*jsonPath, opts, rows)
+	}
+}
+
+// row is one fleet run's reported outcome.
+type row struct {
+	Mode           string  `json:"mode"`
+	Policy         string  `json:"policy"`
+	Finished       int     `json:"finished"`
+	TTFTAttainment float64 `json:"ttft_attainment"`
+	SLAAttainment  float64 `json:"sla_attainment"`
+	MeanTTFT       float64 `json:"mean_ttft_s"`
+	P99TTFT        float64 `json:"p99_ttft_s"`
+	Goodput        float64 `json:"goodput_tok_s"`
+	ReplicaSeconds float64 `json:"replica_seconds"`
+	ScaleOuts      int     `json:"scale_outs"`
+	ScaleIns       int     `json:"scale_ins"`
+	Duration       float64 `json:"duration_s"`
+}
+
+func runOne(opts options, csvPath string) row {
+	f := buildFleet(opts)
+	reqs := burstyWorkload(opts)
+	results := f.Serve(reqs, 1e9)
+	rep := f.Report(results, opts.sla)
+
+	mode := opts.scaler
+	if mode == "predictive" {
+		mode += "-" + opts.predictor.String()
+	}
+	r := row{
+		Mode:           mode,
+		Policy:         opts.policy.String(),
+		Finished:       rep.Finished,
+		TTFTAttainment: attainment(rep.Summary.Total, rep.Summary.ViolatedTTFT),
+		SLAAttainment:  rep.Summary.SLARate(),
+		MeanTTFT:       rep.Summary.MeanTTFT,
+		P99TTFT:        rep.Summary.P99TTFT,
+		Goodput:        rep.Summary.Goodput,
+		ReplicaSeconds: rep.ReplicaSeconds,
+		ScaleOuts:      rep.ScaleOuts,
+		ScaleIns:       rep.ScaleIns,
+		Duration:       rep.Duration,
+	}
+	if csvPath != "" && opts.scaler == "predictive" {
+		writePlanCSV(csvPath, f.PlanHistory())
+	}
+	return r
+}
+
+func attainment(total, violated int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(violated)/float64(total)
+}
+
+func buildFleet(opts options) *cluster.Fleet {
+	pm := perf.MustNew(perf.Config{Model: model.Llama2_7B, Cluster: hw.NewCluster(hw.A100_80G, 1)})
+	engines := make([]*engine.Engine, opts.replicas)
+	for i := range engines {
+		engines[i] = engine.MustNew(engine.Config{
+			Perf: pm,
+			Scheduler: core.MustNewPastFuture(core.PastFutureConfig{
+				Reserved: 0.05, Rng: rng.New(opts.seed + uint64(i)),
+			}),
+			CapacityOverride: opts.capacity,
+		})
+	}
+	cfg := cluster.Config{Replicas: engines, Policy: opts.policy}
+	switch opts.scaler {
+	case "none":
+	case "reactive":
+		cfg.Scale = &cluster.AutoScale{
+			Min: opts.min, Max: opts.max,
+			HighWater: opts.high, LowWater: opts.low,
+			ActivationDelay: opts.delay, EvalInterval: opts.interval,
+		}
+	case "predictive":
+		cfg.Planner = &cluster.PlannerConfig{
+			SLA: opts.sla, Min: opts.min, Max: opts.max,
+			Interval: opts.interval, Predictor: opts.predictor,
+			ActivationDelay: opts.delay, Headroom: opts.headroom,
+		}
+	default:
+		fatal(fmt.Errorf("unknown scaler %q (none, reactive, predictive)", opts.scaler))
+	}
+	f, err := cluster.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	return f
+}
+
+// burstyWorkload synthesizes four ShareGPT phases: calm, ramp, burst, calm.
+// The linear ramp is what separates trend-following predictors from
+// reactive thresholds: load builds over several planner intervals before
+// the peak.
+func burstyWorkload(opts options) []*request.Request {
+	r := rng.New(opts.seed + 1000)
+	steps := int(opts.phaseSec / 10)
+	if steps < 3 {
+		steps = 3
+	}
+	phases := []workload.RatePhase{{Rate: opts.rate, Duration: opts.phaseSec}}
+	phases = append(phases, workload.Ramp(opts.rate, opts.burst, opts.phaseSec, steps)...)
+	phases = append(phases,
+		workload.RatePhase{Rate: opts.burst, Duration: opts.phaseSec},
+		workload.RatePhase{Rate: opts.rate, Duration: opts.phaseSec},
+	)
+	reqs := workload.Build(workload.ShareGPT, r, workload.PhasedCount(phases), 1, 512)
+	workload.AssignPhasedArrivals(reqs, r, phases, 0)
+	return reqs
+}
+
+func printRows(opts options, rows []row) {
+	fmt.Printf("fleet: %d×Llama2-7B (cap %d tok), policy %s, SLA %s\n",
+		opts.replicas, opts.capacity, opts.policy, opts.sla)
+	fmt.Printf("workload: %.0f→%.0f→%.0f→%.0f req/s × %.0fs phases (seed %d)\n",
+		opts.rate, (opts.rate+opts.burst)/2, opts.burst, opts.rate, opts.phaseSec, opts.seed)
+	fmt.Printf("%-18s %9s %9s %9s %9s %12s %6s %6s\n",
+		"mode", "ttft-att", "sla-att", "meanTTFT", "p99TTFT", "replica-sec", "out", "in")
+	for _, r := range rows {
+		fmt.Printf("%-18s %8.1f%% %8.1f%% %8.2fs %8.2fs %12.0f %6d %6d\n",
+			r.Mode, r.TTFTAttainment*100, r.SLAAttainment*100,
+			r.MeanTTFT, r.P99TTFT, r.ReplicaSeconds, r.ScaleOuts, r.ScaleIns)
+	}
+}
+
+func writeJSON(path string, opts options, rows []row) {
+	out := struct {
+		Replicas int     `json:"replicas"`
+		Capacity int     `json:"capacity_tokens"`
+		TTFT     float64 `json:"sla_ttft_s"`
+		TPOT     float64 `json:"sla_tpot_s"`
+		Rate     float64 `json:"base_rate"`
+		Burst    float64 `json:"burst_rate"`
+		Seed     uint64  `json:"seed"`
+		Modes    []row   `json:"modes"`
+	}{opts.replicas, opts.capacity, opts.sla.TTFT, opts.sla.MTPOT,
+		opts.rate, opts.burst, opts.seed, rows}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", path)
+}
+
+func writePlanCSV(path string, samples []cluster.PlanSample) {
+	fl, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer fl.Close()
+	fmt.Fprintln(fl, "at_s,rate,isl,osl,pred_rate,target,active,corr_ttft,corr_tpot")
+	for _, s := range samples {
+		fmt.Fprintf(fl, "%.1f,%.3f,%.1f,%.1f,%.3f,%d,%d,%.3f,%.3f\n",
+			s.At, s.Rate, s.ISL, s.OSL, s.PredRate, s.Target, s.Active, s.CorrTTFT, s.CorrTPOT)
+	}
+	fmt.Println("wrote", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fleetsim:", err)
+	os.Exit(1)
+}

@@ -3,13 +3,13 @@ package bench
 import (
 	"fmt"
 
+	"github.com/lightllm-go/lightllm/internal/cluster"
 	"github.com/lightllm-go/lightllm/internal/core"
 	"github.com/lightllm-go/lightllm/internal/engine"
 	"github.com/lightllm-go/lightllm/internal/hw"
 	"github.com/lightllm-go/lightllm/internal/model"
 	"github.com/lightllm-go/lightllm/internal/perf"
 	"github.com/lightllm-go/lightllm/internal/rng"
-	"github.com/lightllm-go/lightllm/internal/router"
 	"github.com/lightllm-go/lightllm/internal/stats"
 	"github.com/lightllm-go/lightllm/internal/workload"
 )
@@ -44,7 +44,9 @@ func (r *RouterResult) PolicyRows(name string) []RouterRow {
 
 // RunRouter evaluates the future-work load-aware routing: round-robin vs
 // least-loaded vs future-headroom (estimator-based) across offered loads on
-// a fleet of Past-Future replicas serving a size-skewed workload.
+// a fleet of Past-Future replicas serving a size-skewed workload. It drives
+// the cluster fleet directly (the event-heap simulator behind the router
+// adapter); cmd/fleetsim covers the autoscaling side of the same subsystem.
 func RunRouter(opts Options) *RouterResult {
 	opts = opts.normalized()
 	const replicaCount = 3
@@ -58,7 +60,7 @@ func RunRouter(opts Options) *RouterResult {
 		Header: []string{"Policy", "Rate(req/s)", "MeanTTFT", "P99TTFT", "Finished", "Imbalance"},
 	}
 	for _, rate := range []float64{0.9, 1.3, 1.8} {
-		for _, pol := range []router.Policy{router.RoundRobin, router.LeastLoaded, router.FutureHeadroom} {
+		for _, pol := range []cluster.Policy{cluster.RoundRobin, cluster.LeastLoaded, cluster.FutureHeadroom} {
 			reps := make([]*engine.Engine, replicaCount)
 			for i := range reps {
 				reps[i] = engine.MustNew(engine.Config{
@@ -69,7 +71,7 @@ func RunRouter(opts Options) *RouterResult {
 					CapacityOverride: 30_000,
 				})
 			}
-			rt, err := router.New(router.Config{Replicas: reps, Policy: pol})
+			rt, err := cluster.New(cluster.Config{Replicas: reps, Policy: pol})
 			if err != nil {
 				panic(err)
 			}

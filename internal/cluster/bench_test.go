@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/lightllm-go/lightllm/internal/request"
+)
+
+// benchFleet builds a fleet whose replicas carry realistic running batches
+// and queues, then returns it with a candidate to probe. The Serve warm-up
+// also warms every replica's history window, so the probes measured are the
+// steady-state hot path.
+func benchFleet(b *testing.B, nReplicas int, naive bool) (*Fleet, *request.Request) {
+	b.Helper()
+	f := MustNew(Config{
+		Replicas:   replicas(nReplicas, 20_000),
+		Policy:     FutureHeadroom,
+		NaiveProbe: naive,
+	})
+	// 60 requests/replica at 10 req/s/replica arrive over ~6 s; stopping the
+	// serve at 3 s leaves every replica with a populated batch and queue.
+	f.Serve(poissonReqs(60*nReplicas, float64(10*nReplicas), 41), 3)
+	return f, request.New(1_000_000, 800, 400, 512, 0)
+}
+
+// BenchmarkFleetRoute measures one FutureHeadroom routing decision across
+// the fleet — the warm per-replica estimator path (rebuild amortised,
+// PeakWith probes). The companion TestProbeZeroAllocs pins allocs/op to 0.
+func BenchmarkFleetRoute(b *testing.B) {
+	for _, n := range []int{4, 16} {
+		b.Run(fmt.Sprintf("replicas=%d", n), func(b *testing.B) {
+			f, cand := benchFleet(b, n, false)
+			f.pick(cand)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.pick(cand)
+			}
+		})
+	}
+}
+
+// BenchmarkFleetRouteRebuild additionally invalidates every replica's
+// estimator each decision — the worst case where every replica stepped
+// between arrivals and all estimators rebuild from their engines' state.
+func BenchmarkFleetRouteRebuild(b *testing.B) {
+	f, cand := benchFleet(b, 4, false)
+	f.pick(cand)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, rep := range f.reps {
+			rep.estValid = false
+		}
+		f.pick(cand)
+	}
+}
+
+// BenchmarkFleetRouteNaive is the reference baseline: one clone+sort
+// core.PredictedBatchPeak per replica per decision, as the original router
+// computed it.
+func BenchmarkFleetRouteNaive(b *testing.B) {
+	f, cand := benchFleet(b, 4, true)
+	f.pick(cand)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.pick(cand)
+	}
+}

@@ -1,0 +1,98 @@
+package cluster
+
+// The fleet is driven by one typed min-heap of simulation events. The three
+// event kinds interleave with the (externally sorted) arrival stream:
+//
+//   - evActivate: a scaling-out replica finishes its activation delay and
+//     starts accepting traffic.
+//   - evPlan: a periodic autoscaler evaluation (the SLA planner's adjustment
+//     interval, or the reactive policy's optional tick).
+//   - evStep: a busy replica's engine is due for its next iteration; the
+//     event's timestamp is the replica's clock when the event was pushed.
+//
+// Advancing the fleet to an arrival time t pops events while their time is
+// before t (activations exactly at t also fire, because a replica whose
+// delay elapses at t must be eligible for that arrival — the same `t >=
+// wakeAt` edge the scan-based router used). Each popped evStep runs exactly
+// one engine iteration and, if the engine is still busy, re-inserts itself
+// at the engine's new clock. Per event the cost is O(log(R+E)) heap work,
+// replacing the previous router's per-arrival O(R) min-clock scan over all
+// replicas (repeated once per engine iteration it triggered).
+//
+// A typed heap rather than container/heap for the same reason as the
+// engine's arrival heap: interface boxing in heap.Push/Pop allocates, and
+// Serve's steady state must not.
+
+// evKind orders simultaneous events: activations first (so a replica waking
+// exactly at an arrival's timestamp can receive it), then autoscaler
+// evaluations, then engine steps.
+type evKind uint8
+
+const (
+	evActivate evKind = iota
+	evPlan
+	evStep
+)
+
+type event struct {
+	at   float64
+	kind evKind
+	rep  int   // replica index for evActivate/evStep
+	seq  int64 // FIFO tiebreak for identical (at, kind)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) top() event { return h[0] }
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	s = *h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,289 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/lightllm-go/lightllm/internal/metrics"
+	"github.com/lightllm-go/lightllm/internal/perf"
+)
+
+// PlannerConfig configures the predictive SLA planner: every Interval
+// seconds it forecasts the next interval's load (request rate, mean input
+// and output lengths), converts the forecast into the minimum replica count
+// whose interpolated TTFT/TPOT meets the SLA, and scales the fleet straight
+// to that target — the Dynamo-style alternative to threshold-reactive
+// scaling.
+type PlannerConfig struct {
+	// SLA holds the targets: TTFT bounds the interpolated prefill latency,
+	// MTPOT bounds the interpolated decode step time.
+	SLA metrics.SLA
+	// Min and Max bound the active replica count. Min ≥ 1.
+	Min, Max int
+	// Interval is the adjustment interval in simulated seconds. 0 selects 10.
+	Interval float64
+	// Predictor selects the load-forecast model (one instance per signal).
+	Predictor PredictorKind
+	// ActivationDelay is the simulated seconds between a scale-out decision
+	// and the replica accepting traffic (model load time).
+	ActivationDelay float64
+	// Headroom is the fraction of a replica's interpolated SLA-feasible
+	// throughput the planner is willing to load it to (utilization target).
+	// 0 selects 0.8.
+	Headroom float64
+	// ScaleInPatience is the number of consecutive evaluations that must
+	// want a smaller fleet before the planner scales in (scale-out is
+	// always immediate: under-provisioning breaks the SLA, a spare replica
+	// only costs replica-seconds). 0 selects 2.
+	ScaleInPatience int
+}
+
+func (c PlannerConfig) withDefaults() PlannerConfig {
+	if c.Interval == 0 {
+		c.Interval = 10
+	}
+	if c.Headroom == 0 {
+		c.Headroom = 0.8
+	}
+	if c.ScaleInPatience == 0 {
+		c.ScaleInPatience = 2
+	}
+	return c
+}
+
+func (c PlannerConfig) validate(replicas int) error {
+	if c.SLA.TTFT <= 0 || c.SLA.MTPOT <= 0 {
+		return fmt.Errorf("cluster: planner SLA targets must be positive, got %v", c.SLA)
+	}
+	if c.Min < 1 || c.Max > replicas || c.Min > c.Max {
+		return fmt.Errorf("cluster: bad planner bounds [%d, %d] for %d replicas", c.Min, c.Max, replicas)
+	}
+	if c.Interval < 0 {
+		return fmt.Errorf("cluster: negative planner interval %v", c.Interval)
+	}
+	if c.Headroom < 0 || c.Headroom > 1 {
+		return fmt.Errorf("cluster: planner headroom %v outside (0,1]", c.Headroom)
+	}
+	return nil
+}
+
+// PlanSample records one planner evaluation, for reports and tests.
+type PlanSample struct {
+	At       float64 // simulated time of the evaluation
+	Rate     float64 // observed arrivals/s over the closed interval
+	ISL, OSL float64 // observed mean input / output lengths
+	PredRate float64 // forecast arrival rate for the next interval
+	Target   int     // replica target the planner chose
+	Active   int     // active replicas after applying the decision
+	CorrTTFT float64 // correction factor at decision time
+	CorrTPOT float64
+}
+
+// planner is the per-fleet planner state. The fleet owns the scaling
+// mechanics (activation events, draining); the planner owns forecasting and
+// target sizing.
+type planner struct {
+	cfg PlannerConfig
+	pm  *perf.Model
+	cap int // KV capacity tokens per replica (pool, not perf model)
+
+	predRate, predISL, predOSL Predictor
+
+	// Interval accumulators, reset every tick.
+	arrivals int
+	sumISL   float64
+	finished int
+	sumOSL   float64
+	sumTTFT  float64
+	sumTPOT  float64
+
+	// Correction factors: smoothed observed/interpolated latency ratios
+	// from past intervals, used to divide the SLA targets — if the fleet
+	// runs 1.5× slower than the interpolation predicts (queueing, mixed
+	// batches), the planner sizes against a 1.5×-tightened target.
+	corrTTFT, corrTPOT float64
+	lastPredTTFT       float64 // interpolated TTFT at the last operating point
+	lastPredTPOT       float64
+
+	// Fallbacks when an interval observes no arrivals/finishes.
+	lastISL, lastOSL float64
+
+	// belowFor counts consecutive ticks whose raw target was below the
+	// active count (scale-in patience).
+	belowFor int
+
+	History []PlanSample
+}
+
+func newPlanner(cfg PlannerConfig, pm *perf.Model, capacityTokens int) *planner {
+	return &planner{
+		cfg: cfg, pm: pm, cap: capacityTokens,
+		predRate: cfg.Predictor.New(),
+		predISL:  cfg.Predictor.New(),
+		predOSL:  cfg.Predictor.New(),
+		corrTTFT: 1, corrTPOT: 1,
+	}
+}
+
+// observeArrival accounts one routed arrival (ISL is known on arrival).
+func (p *planner) observeArrival(inputLen int) {
+	p.arrivals++
+	p.sumISL += float64(inputLen)
+}
+
+// observeFinish accounts one completed request (OSL and the latency
+// metrics are known on finish).
+func (p *planner) observeFinish(generated int, ttft, tpot float64) {
+	p.finished++
+	p.sumOSL += float64(generated)
+	if ttft >= 0 {
+		p.sumTTFT += ttft
+	}
+	p.sumTPOT += tpot
+}
+
+// correctionSmoothing blends the latest observed/predicted ratio into the
+// running correction factor; corrections are clamped to [0.25, 4] so one
+// anomalous interval cannot swing the fleet to a bound.
+const (
+	correctionSmoothing = 0.5
+	correctionFloor     = 0.25
+	correctionCeil      = 4.0
+)
+
+func updateCorrection(corr, observed, predicted float64) float64 {
+	if observed <= 0 || predicted <= 0 {
+		return corr
+	}
+	ratio := observed / predicted
+	corr = correctionSmoothing*ratio + (1-correctionSmoothing)*corr
+	return math.Min(math.Max(corr, correctionFloor), correctionCeil)
+}
+
+// tick closes the current observation interval at time now and returns the
+// replica target for the next interval.
+func (p *planner) tick(now float64, active int) int {
+	rate := float64(p.arrivals) / p.cfg.Interval
+	isl, osl := p.lastISL, p.lastOSL
+	if p.arrivals > 0 {
+		isl = p.sumISL / float64(p.arrivals)
+		p.lastISL = isl
+	}
+	if p.finished > 0 {
+		osl = p.sumOSL / float64(p.finished)
+		p.lastOSL = osl
+		p.corrTTFT = updateCorrection(p.corrTTFT, p.sumTTFT/float64(p.finished), p.lastPredTTFT)
+		p.corrTPOT = updateCorrection(p.corrTPOT, p.sumTPOT/float64(p.finished), p.lastPredTPOT)
+	}
+	p.predRate.Observe(rate)
+	p.predISL.Observe(isl)
+	p.predOSL.Observe(osl)
+	p.arrivals, p.sumISL = 0, 0
+	p.finished, p.sumOSL, p.sumTTFT, p.sumTPOT = 0, 0, 0, 0
+
+	predRate := math.Max(p.predRate.Predict(), 0)
+	predISL := math.Max(p.predISL.Predict(), 1)
+	predOSL := math.Max(p.predOSL.Predict(), 1)
+
+	// Size against the forecast, floored by the rate just observed: the
+	// forecast's job is to scale out ahead of a building burst, never to
+	// scale in below load that is demonstrably arriving right now (a
+	// transient forecast dip at a ramp onset would otherwise shed the
+	// capacity the next interval needs).
+	target := p.targetReplicas(math.Max(predRate, rate), predISL, predOSL)
+	// Scale-out is immediate; scale-in waits for ScaleInPatience
+	// consecutive low evaluations so a one-interval lull (or a noisy
+	// forecast at a phase boundary) cannot flap the fleet down right
+	// before load returns.
+	if target < active {
+		p.belowFor++
+		if p.belowFor < p.cfg.ScaleInPatience {
+			target = active
+		}
+	} else {
+		p.belowFor = 0
+	}
+	p.History = append(p.History, PlanSample{
+		At: now, Rate: rate, ISL: isl, OSL: osl, PredRate: predRate,
+		Target: target, Active: active, CorrTTFT: p.corrTTFT, CorrTPOT: p.corrTPOT,
+	})
+	return target
+}
+
+// targetReplicas converts a load forecast into the minimum replica count
+// whose interpolated latency meets the (correction-tightened) SLA.
+func (p *planner) targetReplicas(rate, isl, osl float64) int {
+	effTTFT := p.cfg.SLA.TTFT / p.corrTTFT
+	effTPOT := p.cfg.SLA.MTPOT / p.corrTPOT
+	perReplica, predTTFT, predTPOT := replicaThroughput(p.pm, p.cap, isl, osl, effTTFT, effTPOT)
+	p.lastPredTTFT, p.lastPredTPOT = predTTFT, predTPOT
+	if perReplica <= 0 {
+		return p.cfg.Max // SLA infeasible at this shape: throw the fleet at it
+	}
+	n := int(math.Ceil(rate / (perReplica * p.cfg.Headroom)))
+	if n < p.cfg.Min {
+		n = p.cfg.Min
+	}
+	if n > p.cfg.Max {
+		n = p.cfg.Max
+	}
+	return n
+}
+
+// replicaThroughput interpolates, from the perf model, the maximum request
+// rate one replica sustains at shape (isl, osl) while staying inside the
+// TTFT/TPOT targets, together with the interpolated TTFT and TPOT at that
+// operating point (the baseline the correction factors compare against).
+//
+// The operating point is the largest decode batch B whose step time stays
+// under the TPOT target and whose KV footprint fits the pool (mean
+// occupancy isl + osl/2 per request, since a request holds between isl and
+// isl+osl tokens over its decode lifetime). Under prefill-priority
+// batching, an engine serving λ req/s spends λ·p of each second prefilling
+// (p = prefill time of one prompt) and the rest decoding at B requests per
+// step, so steady state gives
+//
+//	λ = B / (osl·t_d(B) + B·p)
+//
+// — the decode pipeline's B/(osl·t_d) throughput, discounted by the
+// prefill time each admitted request steals from it.
+func replicaThroughput(pm *perf.Model, capacityTokens int, isl, osl, ttft, tpot float64) (ratePerSec, predTTFT, predTPOT float64) {
+	in := int(isl + 0.5)
+	if in < 1 {
+		in = 1
+	}
+	out := osl
+	if out < 1 {
+		out = 1
+	}
+	prefill := pm.PrefillTime(in)
+	if prefill > ttft {
+		return 0, prefill, 0 // a lone prompt already busts the TTFT target
+	}
+	meanFootprint := isl + osl/2
+	if meanFootprint < 1 {
+		meanFootprint = 1
+	}
+	maxB := int(float64(capacityTokens) / meanFootprint)
+	if maxB < 1 {
+		maxB = 1
+	}
+	// DecodeTime grows monotonically in batch size and KV tokens: binary
+	// search the largest batch under the TPOT target.
+	lo, hi := 1, maxB
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if pm.DecodeTime(mid, int(float64(mid)*meanFootprint)) <= tpot {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	b := lo
+	td := pm.DecodeTime(b, int(float64(b)*meanFootprint))
+	if td > tpot {
+		return 0, prefill, td // even B=1 misses the TPOT target
+	}
+	rate := float64(b) / (out*td + float64(b)*prefill)
+	return rate, prefill, td
+}

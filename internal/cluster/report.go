@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/lightllm-go/lightllm/internal/engine"
+	"github.com/lightllm-go/lightllm/internal/metrics"
+	"github.com/lightllm-go/lightllm/internal/request"
+)
+
+// Report aggregates one fleet run: the per-replica engine results rolled up
+// into fleet-level SLA attainment, plus the autoscaling cost side
+// (replica-seconds) that single-engine results cannot express.
+type Report struct {
+	// Summary is the fleet-level SLA attainment over every request the
+	// fleet finished (or abandoned), replicas merged.
+	Summary metrics.Summary
+	// Replicas is the fleet size; ReplicaSeconds the provisioned time
+	// integral (the autoscaler's cost).
+	Replicas       int
+	ReplicaSeconds float64
+	// ScaleOuts / ScaleIns count autoscaler decisions.
+	ScaleOuts, ScaleIns int
+	// RoutedCounts is requests per replica; Imbalance their coefficient of
+	// variation.
+	RoutedCounts []int
+	Imbalance    float64
+	// Finished / Failed / TimedOut are fleet totals.
+	Finished, Failed, TimedOut int
+	// Duration is the simulated span of the run.
+	Duration float64
+}
+
+// Report rolls up per-replica results against an SLA. Call after Serve with
+// the results it returned.
+func (f *Fleet) Report(results []*engine.Result, sla metrics.SLA) Report {
+	var finished, timedOut []*request.Request
+	failed := 0
+	for _, res := range results {
+		finished = append(finished, res.Finished...)
+		timedOut = append(timedOut, res.TimedOut...)
+		failed += len(res.Failed)
+	}
+	end := f.endAt
+	if end <= f.startAt {
+		end = f.startAt + 1e-9 // degenerate empty run: keep Summarize happy
+	}
+	sum := metrics.Summarize(finished, sla, f.startAt, end)
+	sum.AddTimedOut(timedOut, f.startAt, end)
+	out, in := f.ScaleEvents()
+	return Report{
+		Summary:        sum,
+		Replicas:       len(f.reps),
+		ReplicaSeconds: f.ReplicaSeconds(),
+		ScaleOuts:      out,
+		ScaleIns:       in,
+		RoutedCounts:   f.RoutedCounts(),
+		Imbalance:      f.Imbalance(),
+		Finished:       len(finished),
+		Failed:         failed,
+		TimedOut:       len(timedOut),
+		Duration:       f.Duration(),
+	}
+}
+
+// String renders a one-line report for logs.
+func (r Report) String() string {
+	return fmt.Sprintf("fleet(%d): %s, %.0f replica-seconds, %d out/%d in",
+		r.Replicas, r.Summary, r.ReplicaSeconds, r.ScaleOuts, r.ScaleIns)
+}

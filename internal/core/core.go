@@ -132,12 +132,49 @@ func TrueFutureRequiredMemory(batch []*request.Request) int {
 	return est.Peak()
 }
 
+// QuantilePrediction returns the deterministic conditional-quantile
+// prediction of a request's *total* output length: the quantile of
+// P(l | l > generated) from the sampler, clamped into
+// (r.Generated, r.MaxNewTokens]. A nil sampler (cold start) and lengths
+// beyond the window's support both predict the max_new_tokens cap.
+//
+// It is the single prediction rule shared by PredictedBatchPeak and the
+// cluster routing probes, so that the warm-estimator and clone+sort paths
+// are bit-identical by construction.
+func QuantilePrediction(r *request.Request, sampler *dist.Sampler, quantile float64) int {
+	pred := r.MaxNewTokens
+	if sampler != nil {
+		if v, ok := sampler.QuantileGreater(quantile, r.Generated); ok {
+			pred = v
+		}
+	}
+	if pred > r.MaxNewTokens {
+		pred = r.MaxNewTokens
+	}
+	if pred <= r.Generated {
+		pred = r.Generated + 1
+	}
+	return pred
+}
+
+// QuantileEntry is the estimator entry for a request under the
+// deterministic conditional-quantile prediction rule.
+func QuantileEntry(r *request.Request, sampler *dist.Sampler, quantile float64) Entry {
+	pred := QuantilePrediction(r, sampler, quantile)
+	return Entry{Current: r.Footprint(), Remaining: pred - r.Generated}
+}
+
 // PredictedBatchPeak estimates a batch's future peak memory from the
 // history window using deterministic conditional-quantile predictions —
 // the estimator applied outside the admission loop, as the paper's future
 // work proposes for load-aware request forwarding across service instances
 // (§7). Requests whose generated length exceeds the window's support (and
 // all requests during cold start) predict their max_new_tokens cap.
+//
+// Allocation-sensitive callers (the cluster routing hot path) should keep a
+// warm PeakEstimator per replica and probe with PeakWith instead; this
+// function rebuilds an estimator per call and stays as the reference
+// baseline the cluster's probes are cross-checked against.
 func PredictedBatchPeak(batch []*request.Request, history *dist.Window, quantile float64) int {
 	var sampler *dist.Sampler
 	if history != nil {
@@ -145,19 +182,7 @@ func PredictedBatchPeak(batch []*request.Request, history *dist.Window, quantile
 	}
 	var est PeakEstimator
 	for _, r := range batch {
-		pred := r.MaxNewTokens
-		if sampler != nil {
-			if v, ok := sampler.QuantileGreater(quantile, r.Generated); ok {
-				pred = v
-			}
-		}
-		if pred > r.MaxNewTokens {
-			pred = r.MaxNewTokens
-		}
-		if pred <= r.Generated {
-			pred = r.Generated + 1
-		}
-		est.Push(Entry{Current: r.Footprint(), Remaining: pred - r.Generated})
+		est.Push(QuantileEntry(r, sampler, quantile))
 	}
 	return est.Peak()
 }

@@ -77,6 +77,13 @@ type PastFuture struct {
 
 	est     PeakEstimator // incremental M* over the running batch
 	entries []Entry       // NaivePeak baseline scratch
+
+	// classMemo caches (class → sampler) for the duration of one Admit call
+	// in PerClass mode: every request of a class after the first skips the
+	// ClassHistory func indirection, the engine's map lookup behind it, and
+	// the window's generation check. A nil value memoises "class is cold,
+	// use the global sampler". Cleared (not reallocated) every step.
+	classMemo map[string]*dist.Sampler
 }
 
 // NewPastFuture validates the configuration and builds the scheduler.
@@ -128,6 +135,14 @@ func (pf *PastFuture) Admit(v *View, queue []*request.Request) int {
 	threshold := int(float64(v.CapacityTokens) * (1 - pf.cfg.Reserved))
 	multi := len(v.Running)+len(queue) < pf.cfg.SmallBatch
 
+	if pf.cfg.PerClass && v.ClassHistory != nil {
+		if pf.classMemo == nil {
+			pf.classMemo = make(map[string]*dist.Sampler)
+		} else {
+			clear(pf.classMemo)
+		}
+	}
+
 	pf.est.Reset()
 	pf.entries = pf.entries[:0]
 	for _, r := range v.Running {
@@ -177,12 +192,24 @@ func (pf *PastFuture) usableSampler(v *View) *dist.Sampler {
 
 // samplerFor resolves the distribution for one request: the request's
 // service-class window in PerClass mode (when warm), otherwise the global
-// window.
+// window. Resolutions are memoised per scheduling step in classMemo.
 func (pf *PastFuture) samplerFor(v *View, global *dist.Sampler, r *request.Request) *dist.Sampler {
-	if pf.cfg.PerClass && v.ClassHistory != nil {
-		if w := v.ClassHistory(r.Class); w != nil && w.Len() >= pf.cfg.MinHistory {
-			return w.Sampler()
+	if !pf.cfg.PerClass || v.ClassHistory == nil {
+		return global
+	}
+	if s, ok := pf.classMemo[r.Class]; ok {
+		if s != nil {
+			return s
 		}
+		return global
+	}
+	var s *dist.Sampler
+	if w := v.ClassHistory(r.Class); w != nil && w.Len() >= pf.cfg.MinHistory {
+		s = w.Sampler()
+	}
+	pf.classMemo[r.Class] = s
+	if s != nil {
+		return s
 	}
 	return global
 }

@@ -83,6 +83,14 @@ func (d *reqDeque) Filter(keep func(*request.Request) bool, dropped func(*reques
 	d.n = w
 }
 
+// ForEach calls f for every queued request in FCFS order. O(n), no
+// allocations; f must not mutate the deque.
+func (d *reqDeque) ForEach(f func(*request.Request)) {
+	for i := 0; i < d.n; i++ {
+		f(d.buf[(d.head+i)%len(d.buf)])
+	}
+}
+
 // AppendTo appends the queued requests in FCFS order to dst and returns the
 // extended slice. With a pre-grown dst this performs no allocations; it is
 // how the per-step queue snapshot handed to the scheduler is materialised.

@@ -313,6 +313,10 @@ func (e *Engine) Pool() *kv.Pool { return e.pool }
 // History exposes the finished-output-length window.
 func (e *Engine) History() *dist.Window { return e.history }
 
+// Perf exposes the latency/capacity model (the cluster SLA planner
+// interpolates TTFT/TPOT from it when sizing the fleet).
+func (e *Engine) Perf() *perf.Model { return e.cfg.Perf }
+
 // QueueLen returns the number of waiting requests.
 func (e *Engine) QueueLen() int { return e.queue.Len() }
 
@@ -331,6 +335,28 @@ func (e *Engine) RunningRequests() []*request.Request {
 // QueuedRequests returns a copy of the wait queue.
 func (e *Engine) QueuedRequests() []*request.Request {
 	return e.queue.AppendTo(make([]*request.Request, 0, e.queue.Len()))
+}
+
+// ForEachRunning calls f for every request in the running batch (including
+// splitfuse prompts in flight and the static batch) without allocating —
+// the cluster routing probes' view of the batch. The iteration order
+// matches RunningRequests.
+func (e *Engine) ForEachRunning(f func(*request.Request)) {
+	for _, r := range e.running {
+		f(r)
+	}
+	for _, p := range e.prefilling {
+		f(p.req)
+	}
+	for _, r := range e.staticBatch {
+		f(r)
+	}
+}
+
+// ForEachQueued calls f for every waiting request in FCFS order without
+// allocating.
+func (e *Engine) ForEachQueued(f func(*request.Request)) {
+	e.queue.ForEach(f)
 }
 
 // RunningLen returns the size of the running batch (including prompts being
@@ -422,11 +448,23 @@ func (e *Engine) Submit(r *request.Request) {
 	e.arrivals.push(arrivalItem{r: r, seq: e.seq})
 }
 
-// SubmitAll submits every request in rs.
+// SubmitAll submits every request in rs as one bulk merge: the arrivals are
+// appended to the heap storage and the heap invariant is restored with a
+// single O(n+m) sift-down pass, instead of n O(log m) sift-ups. Sequence
+// numbers are assigned in slice order, so the pop order (arrival time, FIFO
+// on ties) is identical to submitting one at a time.
 func (e *Engine) SubmitAll(rs []*request.Request) {
-	for _, r := range rs {
-		e.Submit(r)
+	if len(rs) == 0 {
+		return
 	}
+	for _, r := range rs {
+		if r.ArrivalTime < e.clock {
+			r.ArrivalTime = e.clock
+		}
+		e.seq++
+		e.arrivals = append(e.arrivals, arrivalItem{r: r, seq: e.seq})
+	}
+	e.arrivals.init()
 }
 
 // Idle reports whether the engine has nothing to do now or in the future.
@@ -474,23 +512,34 @@ func (h *arrivalHeap) pop() arrivalItem {
 	n := len(s) - 1
 	s[0] = s[n]
 	s[n] = arrivalItem{} // release the request pointer
-	s = s[:n]
-	*h = s
-	i := 0
+	*h = s[:n]
+	(*h).siftDown(0)
+	return top
+}
+
+func (h arrivalHeap) siftDown(i int) {
+	n := len(h)
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
-		if l < n && s.less(l, smallest) {
+		if l < n && h.less(l, smallest) {
 			smallest = l
 		}
-		if r < n && s.less(r, smallest) {
+		if r < n && h.less(r, smallest) {
 			smallest = r
 		}
 		if smallest == i {
-			break
+			return
 		}
-		s[i], s[smallest] = s[smallest], s[i]
+		h[i], h[smallest] = h[smallest], h[i]
 		i = smallest
 	}
-	return top
+}
+
+// init re-establishes the heap invariant over the whole slice (Floyd's
+// bottom-up heapify, O(n)) — the bulk-merge path of SubmitAll.
+func (h arrivalHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
 }

@@ -477,6 +477,64 @@ func TestPoolInvariantsThroughoutRun(t *testing.T) {
 	e.Run()
 }
 
+// TestSubmitAllMatchesSequentialSubmit pins the bulk-merge path: SubmitAll
+// (append + one heapify) must hand the engine arrivals in exactly the order
+// repeated Submit calls would — arrival time ascending, FIFO on ties.
+func TestSubmitAllMatchesSequentialSubmit(t *testing.T) {
+	build := func() []*request.Request {
+		r := rng.New(99)
+		rs := make([]*request.Request, 200)
+		for i := range rs {
+			// Coarse arrival grid so ties are common and FIFO order matters.
+			at := float64(r.Intn(20))
+			rs[i] = request.New(int64(i+1), 20+r.Intn(50), 10+r.Intn(40), 100, at)
+		}
+		return rs
+	}
+	drainOrder := func(e *Engine) []int64 {
+		var order []int64
+		for e.arrivals.Len() > 0 {
+			order = append(order, e.arrivals.pop().r.ID)
+		}
+		return order
+	}
+	bulk := newEngine(t, core.NewOracle(), 5000)
+	bulk.SubmitAll(build())
+	seq := newEngine(t, core.NewOracle(), 5000)
+	for _, r := range build() {
+		seq.Submit(r)
+	}
+	b, s := drainOrder(bulk), drainOrder(seq)
+	if len(b) != len(s) {
+		t.Fatalf("lengths differ: %d vs %d", len(b), len(s))
+	}
+	for i := range b {
+		if b[i] != s[i] {
+			t.Fatalf("arrival %d differs: bulk %d, sequential %d", i, b[i], s[i])
+		}
+	}
+}
+
+// TestSubmitAllMergesIntoExistingHeap: bulk submissions interleave correctly
+// with arrivals already pending.
+func TestSubmitAllMergesIntoExistingHeap(t *testing.T) {
+	e := newEngine(t, core.NewOracle(), 5000)
+	e.Submit(request.New(1, 10, 5, 20, 5))
+	e.Submit(request.New(2, 10, 5, 20, 1))
+	e.SubmitAll([]*request.Request{
+		request.New(3, 10, 5, 20, 3),
+		request.New(4, 10, 5, 20, 0.5),
+		request.New(5, 10, 5, 20, 5), // ties after ID 1 (submitted earlier)
+	})
+	want := []int64{4, 2, 3, 1, 5}
+	for i, id := range want {
+		got := e.arrivals.pop().r.ID
+		if got != id {
+			t.Fatalf("pop %d = request %d, want %d", i, got, id)
+		}
+	}
+}
+
 var benchPool *kv.Pool // avoid dead-code elimination in benchmarks
 
 func BenchmarkEngineDecodeHeavy(b *testing.B) {

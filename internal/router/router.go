@@ -1,73 +1,46 @@
-// Package router implements the paper's future-work proposal (§7):
-// forwarding requests across multiple service instances based on each
-// instance's *predicted future memory demand*, computed with the same
-// Past-Future estimator the scheduler uses — plus predictive autoscaling
-// on the same signal.
+// Package router is the compatibility surface over the internal/cluster
+// fleet simulator: it keeps the original multi-replica routing API (the
+// paper's §7 future-work proposal — forwarding requests across service
+// instances by *predicted future memory demand*) while the mechanics live
+// in cluster.Fleet.
 //
 // Three routing policies are provided for comparison:
 //
 //   - RoundRobin: classic oblivious balancing.
 //   - LeastLoaded: fewest in-flight requests (queue + batch).
 //   - FutureHeadroom: smallest predicted future peak memory as a fraction
-//     of capacity (running batch plus queued requests, conditional-quantile
-//     predictions from the replica's own history window).
+//     of capacity (running batch, queued requests, and the candidate;
+//     conditional-quantile predictions from the replica's own history
+//     window), probed through one warm core.PeakEstimator per replica.
 //
-// The router is a simulation-level component: it advances its replicas'
-// engines in timestamp order so that every routing decision observes each
-// replica's state as of the request's arrival time.
+// Compared with the original scan-based router, the fleet advances replicas
+// through an event heap (O(log R) per engine iteration instead of an O(R)
+// scan), probes without allocating, and — beyond this adapter's reactive
+// high/low-water AutoScale — offers a predictive SLA planner
+// (cluster.PlannerConfig) that this package intentionally does not wrap.
 package router
 
 import (
-	"fmt"
-	"math"
-	"sort"
-
-	"github.com/lightllm-go/lightllm/internal/core"
+	"github.com/lightllm-go/lightllm/internal/cluster"
 	"github.com/lightllm-go/lightllm/internal/engine"
 	"github.com/lightllm-go/lightllm/internal/request"
 )
 
 // Policy selects how arriving requests choose a replica.
-type Policy int
+type Policy = cluster.Policy
 
 const (
 	// RoundRobin cycles through active replicas.
-	RoundRobin Policy = iota
+	RoundRobin = cluster.RoundRobin
 	// LeastLoaded picks the replica with the fewest in-flight requests.
-	LeastLoaded
+	LeastLoaded = cluster.LeastLoaded
 	// FutureHeadroom picks the replica whose predicted future peak memory
-	// (running + queued, estimator-based) leaves the most headroom.
-	FutureHeadroom
+	// leaves the most headroom.
+	FutureHeadroom = cluster.FutureHeadroom
 )
 
-// String implements fmt.Stringer.
-func (p Policy) String() string {
-	switch p {
-	case RoundRobin:
-		return "round-robin"
-	case LeastLoaded:
-		return "least-loaded"
-	case FutureHeadroom:
-		return "future-headroom"
-	default:
-		return fmt.Sprintf("policy(%d)", int(p))
-	}
-}
-
-// AutoScale configures predictive scaling on the predicted-load signal.
-type AutoScale struct {
-	// Min and Max bound the active replica count.
-	Min, Max int
-	// HighWater: scale out when mean predicted load across active replicas
-	// exceeds this fraction (e.g. 0.85).
-	HighWater float64
-	// LowWater: scale in when mean predicted load falls below this
-	// fraction (e.g. 0.30) and a replica is drained.
-	LowWater float64
-	// ActivationDelay is the simulated seconds between a scale-out decision
-	// and the replica accepting traffic (model load time).
-	ActivationDelay float64
-}
+// AutoScale configures reactive scaling on the predicted-load signal.
+type AutoScale = cluster.AutoScale
 
 // Config configures a Router.
 type Config struct {
@@ -77,87 +50,27 @@ type Config struct {
 	Policy Policy
 	// Quantile for FutureHeadroom predictions. 0 selects 0.9.
 	Quantile float64
-	// Scale enables predictive autoscaling; nil serves on all replicas.
+	// Scale enables reactive autoscaling; nil serves on all replicas.
 	Scale *AutoScale
 }
 
 // Router distributes a time-ordered request stream over replicas.
 type Router struct {
-	cfg      Config
-	rr       int
-	active   []bool
-	wakeAt   []float64 // activation time for scaling-out replicas
-	routed   []int
-	scaleUps int
-	scaleIns int
+	fleet *cluster.Fleet
 }
 
 // New validates the configuration.
 func New(cfg Config) (*Router, error) {
-	if len(cfg.Replicas) == 0 {
-		return nil, fmt.Errorf("router: at least one replica required")
+	f, err := cluster.New(cluster.Config{
+		Replicas: cfg.Replicas,
+		Policy:   cfg.Policy,
+		Quantile: cfg.Quantile,
+		Scale:    cfg.Scale,
+	})
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Quantile == 0 {
-		cfg.Quantile = 0.9
-	}
-	if cfg.Quantile < 0 || cfg.Quantile > 1 {
-		return nil, fmt.Errorf("router: quantile %v outside [0,1]", cfg.Quantile)
-	}
-	r := &Router{
-		cfg:    cfg,
-		active: make([]bool, len(cfg.Replicas)),
-		wakeAt: make([]float64, len(cfg.Replicas)),
-		routed: make([]int, len(cfg.Replicas)),
-	}
-	initial := len(cfg.Replicas)
-	if cfg.Scale != nil {
-		if cfg.Scale.Min < 1 || cfg.Scale.Max > len(cfg.Replicas) || cfg.Scale.Min > cfg.Scale.Max {
-			return nil, fmt.Errorf("router: bad autoscale bounds [%d, %d] for %d replicas",
-				cfg.Scale.Min, cfg.Scale.Max, len(cfg.Replicas))
-		}
-		initial = cfg.Scale.Min
-	}
-	for i := 0; i < initial; i++ {
-		r.active[i] = true
-	}
-	return r, nil
-}
-
-// RoutedCounts returns how many requests each replica received.
-func (r *Router) RoutedCounts() []int { return append([]int(nil), r.routed...) }
-
-// ScaleEvents returns (scale-out, scale-in) decision counts.
-func (r *Router) ScaleEvents() (out, in int) { return r.scaleUps, r.scaleIns }
-
-// ActiveReplicas returns the number of replicas accepting traffic.
-func (r *Router) ActiveReplicas() int {
-	n := 0
-	for _, a := range r.active {
-		if a {
-			n++
-		}
-	}
-	return n
-}
-
-// Imbalance returns the coefficient of variation of per-replica routed
-// counts (0 = perfectly balanced). Only meaningful without autoscaling.
-func (r *Router) Imbalance() float64 {
-	var sum float64
-	for _, c := range r.routed {
-		sum += float64(c)
-	}
-	n := float64(len(r.routed))
-	mean := sum / n
-	if mean == 0 {
-		return 0
-	}
-	var ss float64
-	for _, c := range r.routed {
-		d := float64(c) - mean
-		ss += d * d
-	}
-	return math.Sqrt(ss/n) / mean
+	return &Router{fleet: f}, nil
 }
 
 // Serve routes the requests (sorted by arrival time internally), advancing
@@ -165,145 +78,18 @@ func (r *Router) Imbalance() float64 {
 // request's arrival, then drains all replicas until deadline. It returns
 // each replica's result.
 func (r *Router) Serve(reqs []*request.Request, deadline float64) []*engine.Result {
-	sorted := append([]*request.Request(nil), reqs...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ArrivalTime < sorted[j].ArrivalTime })
-
-	for _, req := range sorted {
-		if req.ArrivalTime > deadline {
-			break
-		}
-		r.advanceTo(req.ArrivalTime)
-		if r.cfg.Scale != nil {
-			r.autoscale(req.ArrivalTime)
-		}
-		idx := r.pick(req)
-		r.routed[idx]++
-		r.cfg.Replicas[idx].Submit(req)
-	}
-	results := make([]*engine.Result, len(r.cfg.Replicas))
-	for i, e := range r.cfg.Replicas {
-		results[i] = e.RunUntil(deadline)
-	}
-	return results
+	return r.fleet.Serve(reqs, deadline)
 }
 
-// advanceTo steps every busy replica whose clock lags t.
-func (r *Router) advanceTo(t float64) {
-	for {
-		idx := -1
-		minClock := t
-		for i, e := range r.cfg.Replicas {
-			if !e.Idle() && e.Clock() < minClock {
-				minClock = e.Clock()
-				idx = i
-			}
-		}
-		if idx < 0 {
-			return
-		}
-		if !r.cfg.Replicas[idx].Step() {
-			return
-		}
-	}
-}
+// RoutedCounts returns how many requests each replica received.
+func (r *Router) RoutedCounts() []int { return r.fleet.RoutedCounts() }
 
-// pick selects the replica for one request under the configured policy.
-func (r *Router) pick(req *request.Request) int {
-	candidates := r.activeIndices(req.ArrivalTime)
-	switch r.cfg.Policy {
-	case LeastLoaded:
-		best, bestLoad := candidates[0], math.MaxInt
-		for _, i := range candidates {
-			e := r.cfg.Replicas[i]
-			load := e.QueueLen() + e.RunningLen()
-			if load < bestLoad {
-				best, bestLoad = i, load
-			}
-		}
-		return best
-	case FutureHeadroom:
-		best, bestLoad := candidates[0], math.Inf(1)
-		for _, i := range candidates {
-			load := r.predictedLoad(i)
-			if load < bestLoad {
-				best, bestLoad = i, load
-			}
-		}
-		return best
-	default: // RoundRobin
-		r.rr++
-		return candidates[r.rr%len(candidates)]
-	}
-}
+// ScaleEvents returns (scale-out, scale-in) decision counts.
+func (r *Router) ScaleEvents() (out, in int) { return r.fleet.ScaleEvents() }
 
-// predictedLoad returns a replica's predicted future peak memory (running
-// batch plus queued requests) as a fraction of its capacity.
-func (r *Router) predictedLoad(i int) float64 {
-	e := r.cfg.Replicas[i]
-	batch := e.RunningRequests()
-	batch = append(batch, e.QueuedRequests()...)
-	peak := core.PredictedBatchPeak(batch, e.History(), r.cfg.Quantile)
-	return float64(peak) / float64(e.Pool().CapacityTokens())
-}
+// ActiveReplicas returns the number of replicas accepting traffic.
+func (r *Router) ActiveReplicas() int { return r.fleet.ActiveReplicas() }
 
-// activeIndices lists replicas accepting traffic at time t (activating
-// replicas join once their delay elapses).
-func (r *Router) activeIndices(t float64) []int {
-	var out []int
-	for i, a := range r.active {
-		if a && t >= r.wakeAt[i] {
-			out = append(out, i)
-		}
-	}
-	if out == nil {
-		// All replicas still activating: fall back to the first marked
-		// active so traffic is never dropped by the router itself.
-		for i, a := range r.active {
-			if a {
-				return []int{i}
-			}
-		}
-		return []int{0}
-	}
-	return out
-}
-
-// autoscale applies the high/low-water policy on the mean predicted load.
-func (r *Router) autoscale(now float64) {
-	sc := r.cfg.Scale
-	var loadSum float64
-	n := 0
-	for i, a := range r.active {
-		if !a || now < r.wakeAt[i] {
-			continue
-		}
-		loadSum += r.predictedLoad(i)
-		n++
-	}
-	if n == 0 {
-		return
-	}
-	mean := loadSum / float64(n)
-	if mean > sc.HighWater && r.ActiveReplicas() < sc.Max {
-		for i, a := range r.active {
-			if !a {
-				r.active[i] = true
-				r.wakeAt[i] = now + sc.ActivationDelay
-				r.scaleUps++
-				break
-			}
-		}
-		return
-	}
-	if mean < sc.LowWater && r.ActiveReplicas() > sc.Min {
-		// Deactivate the last active, drained replica.
-		for i := len(r.active) - 1; i >= 0; i-- {
-			e := r.cfg.Replicas[i]
-			if r.active[i] && e.QueueLen() == 0 && e.RunningLen() == 0 {
-				r.active[i] = false
-				r.scaleIns++
-				break
-			}
-		}
-	}
-}
+// Imbalance returns the coefficient of variation of per-replica routed
+// counts (0 = perfectly balanced). Only meaningful without autoscaling.
+func (r *Router) Imbalance() float64 { return r.fleet.Imbalance() }

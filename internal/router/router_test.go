@@ -133,6 +133,21 @@ func TestLeastLoadedAvoidsQueuedReplica(t *testing.T) {
 	}
 }
 
+func TestRoundRobinFirstPickIsReplicaZero(t *testing.T) {
+	// Regression: the rotation counter used to be incremented before the
+	// modulo, so the first request skipped replica 0.
+	r, err := New(Config{Replicas: replicas(t, 3, 50_000), Policy: RoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := poissonReqs(1, 5, 42)
+	r.Serve(one, 1e9)
+	counts := r.RoutedCounts()
+	if counts[0] != 1 || counts[1] != 0 || counts[2] != 0 {
+		t.Fatalf("first round-robin pick went to %v, want replica 0", counts)
+	}
+}
+
 func TestPolicyString(t *testing.T) {
 	if RoundRobin.String() != "round-robin" || LeastLoaded.String() != "least-loaded" ||
 		FutureHeadroom.String() != "future-headroom" {

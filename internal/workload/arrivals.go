@@ -20,6 +20,69 @@ func AssignPoissonArrivals(reqs []*request.Request, r *rng.RNG, ratePerSec, star
 	}
 }
 
+// RatePhase is one segment of a piecewise arrival process.
+type RatePhase struct {
+	// Rate is the Poisson arrival rate (requests/second) during the phase.
+	Rate float64
+	// Duration is the phase length in seconds.
+	Duration float64
+}
+
+// Ramp expands a linear rate climb from lo to hi over dur seconds into
+// steps equal phases — the "building burst" shape that separates
+// trend-following autoscalers from threshold-reactive ones.
+func Ramp(lo, hi, dur float64, steps int) []RatePhase {
+	if steps < 1 {
+		steps = 1
+	}
+	phases := make([]RatePhase, steps)
+	for i := range phases {
+		frac := float64(i+1) / float64(steps+1)
+		phases[i] = RatePhase{Rate: lo + (hi-lo)*frac, Duration: dur / float64(steps)}
+	}
+	return phases
+}
+
+// AssignPhasedArrivals overwrites the requests' arrival times with a
+// piecewise Poisson process: each phase draws arrivals at its own rate
+// until its duration elapses, then the next phase begins. Requests beyond
+// the phases' total capacity keep arriving at the last phase's rate.
+// Returns the end time of the last phase.
+func AssignPhasedArrivals(reqs []*request.Request, r *rng.RNG, phases []RatePhase, startTime float64) float64 {
+	if len(phases) == 0 {
+		panic("workload: no arrival phases")
+	}
+	t := startTime
+	end := startTime
+	for _, ph := range phases {
+		end += ph.Duration
+	}
+	i := 0
+	phaseEnd := startTime + phases[0].Duration
+	for _, req := range reqs {
+		for t >= phaseEnd && i < len(phases)-1 {
+			i++
+			phaseEnd += phases[i].Duration
+		}
+		if phases[i].Rate <= 0 {
+			panic("workload: non-positive arrival rate")
+		}
+		t += r.Exp(1 / phases[i].Rate)
+		req.ArrivalTime = t
+	}
+	return end
+}
+
+// PhasedCount returns how many requests a phased process expects
+// (Σ rate×duration), the natural population size for Build.
+func PhasedCount(phases []RatePhase) int {
+	n := 0.0
+	for _, ph := range phases {
+		n += ph.Rate * ph.Duration
+	}
+	return int(n)
+}
+
 // ClosedLoop simulates N concurrent clients, the load model of Figures 7
 // and 9: each client submits a request, waits for it to complete, and
 // immediately (plus optional think time) submits the next, until the

@@ -295,6 +295,72 @@ func TestClosedLoopStopsAtDeadline(t *testing.T) {
 	}
 }
 
+func TestPhasedArrivalsFollowPhaseRates(t *testing.T) {
+	phases := []RatePhase{
+		{Rate: 2, Duration: 100},
+		{Rate: 20, Duration: 100},
+	}
+	n := PhasedCount(phases)
+	if n != 2200 {
+		t.Fatalf("phased count %d, want 2200", n)
+	}
+	reqs := Build(ShareGPT, rng.New(3), n, 1, 256)
+	end := AssignPhasedArrivals(reqs, rng.New(4), phases, 0)
+	if end != 200 {
+		t.Fatalf("phase end %v, want 200", end)
+	}
+	var inFirst, inSecond int
+	last := 0.0
+	for _, r := range reqs {
+		if r.ArrivalTime < last {
+			t.Fatal("arrival times not monotone")
+		}
+		last = r.ArrivalTime
+		switch {
+		case r.ArrivalTime < 100:
+			inFirst++
+		case r.ArrivalTime < 200:
+			inSecond++
+		}
+	}
+	// ~200 arrivals expected in the slow phase, ~2000 in the fast one.
+	if inFirst < 150 || inFirst > 260 {
+		t.Fatalf("slow phase got %d arrivals, want ≈200", inFirst)
+	}
+	if inSecond < 1700 {
+		t.Fatalf("fast phase got %d arrivals, want ≈2000", inSecond)
+	}
+}
+
+func TestRampPhases(t *testing.T) {
+	phases := Ramp(2, 12, 50, 5)
+	if len(phases) != 5 {
+		t.Fatalf("ramp has %d phases, want 5", len(phases))
+	}
+	var total float64
+	for i, ph := range phases {
+		total += ph.Duration
+		if i > 0 && ph.Rate <= phases[i-1].Rate {
+			t.Fatalf("ramp not increasing: %+v", phases)
+		}
+		if ph.Rate <= 2 || ph.Rate >= 12 {
+			t.Fatalf("ramp rate %v outside (2,12)", ph.Rate)
+		}
+	}
+	if total != 50 {
+		t.Fatalf("ramp duration %v, want 50", total)
+	}
+}
+
+func TestPhasedArrivalsPanicsOnEmptyPhases(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty phases did not panic")
+		}
+	}()
+	AssignPhasedArrivals(nil, rng.New(1), nil, 0)
+}
+
 func TestClosedLoopPanicsOnZeroClients(t *testing.T) {
 	defer func() {
 		if recover() == nil {

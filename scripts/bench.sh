@@ -1,8 +1,10 @@
 #!/bin/sh
 # Runs the scheduling hot-path micro-benchmarks (BenchmarkAdmitHotPath,
-# BenchmarkFutureRequiredMemory, BenchmarkWindowSampler) and records ns/op
-# and allocs/op in BENCH_hotpath.json so successive PRs can track the perf
-# trajectory. Invoked via `make bench`.
+# BenchmarkFutureRequiredMemory, BenchmarkWindowSampler, and the fleet-scale
+# BenchmarkFleetRoute series) and records ns/op and allocs/op in
+# BENCH_hotpath.json, then runs the cmd/fleetsim reactive-vs-predictive
+# autoscaling comparison into BENCH_fleet.json, so successive PRs can track
+# the perf trajectory. Invoked via `make bench`.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -14,6 +16,8 @@ go test -run '^$' -bench 'BenchmarkAdmitHotPath|BenchmarkFutureRequiredMemory' \
 	-benchmem ./internal/core/ | tee "$tmp"
 go test -run '^$' -bench 'BenchmarkWindowSampler' \
 	-benchmem ./internal/dist/ | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkFleetRoute' \
+	-benchmem ./internal/cluster/ | tee -a "$tmp"
 
 awk '
 BEGIN { print "["; first = 1 }
@@ -32,3 +36,7 @@ END { print "\n]" }
 ' "$tmp" > "$out"
 
 echo "wrote $out"
+
+# Fleet-scale SLA demo: predictive (Holt) vs reactive autoscaling on the
+# bursty ramp workload; attainment and replica-seconds per mode.
+go run ./cmd/fleetsim -compare -json BENCH_fleet.json
