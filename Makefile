@@ -1,12 +1,18 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check bench ci
+.PHONY: build test vet fmt-check bench cover ci
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test -race ./...
+
+# cover runs the suite with coverage and prints the total; cover.out feeds
+# the CI coverage summary/artifact.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -n 1
 
 vet:
 	$(GO) vet ./...

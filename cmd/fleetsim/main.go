@@ -7,11 +7,17 @@
 //	fleetsim -scaler reactive         # threshold high/low-water baseline
 //	fleetsim -compare -json out.json  # reactive vs predictive comparison
 //	fleetsim -csv plan.csv            # planner evaluation trace
+//	fleetsim -disagg                  # disaggregated prefill/decode pools
+//	fleetsim -disagg -compare         # reactive vs predictive vs disaggregated
 //
 // The comparison mode is the paper-§7 demo the bench records in
 // BENCH_fleet.json: on a bursty workload, predictive scaling (EWMA/Holt
 // forecasts + TTFT/TPOT interpolation) meets the TTFT target with fewer
-// replica-seconds than the reactive baseline.
+// replica-seconds than the reactive baseline. With -disagg the same
+// workload additionally runs through a Dynamo-style disaggregated cluster:
+// a prefill-only pool sized by the TTFT interpolation and a decode-only
+// pool sized by the TPOT interpolation, joined by a KV-transfer link with
+// finite bandwidth and latency.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"github.com/lightllm-go/lightllm/internal/core"
 	"github.com/lightllm-go/lightllm/internal/engine"
 	"github.com/lightllm-go/lightllm/internal/hw"
+	"github.com/lightllm-go/lightllm/internal/kv"
 	"github.com/lightllm-go/lightllm/internal/metrics"
 	"github.com/lightllm-go/lightllm/internal/model"
 	"github.com/lightllm-go/lightllm/internal/perf"
@@ -48,6 +55,13 @@ type options struct {
 	burst     float64
 	phaseSec  float64
 	seed      uint64
+
+	// Disaggregated mode: prefill pool size (rest of the replica budget
+	// decodes), decode-pool planner headroom, and the KV-transfer link.
+	prefill  int
+	decodeHR float64
+	linkGBps float64
+	linkLat  float64
 }
 
 func main() {
@@ -70,6 +84,11 @@ func main() {
 		phaseSec  = flag.Float64("phase", 90, "seconds per workload phase (calm, ramp, burst, calm)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		compare   = flag.Bool("compare", false, "run reactive vs predictive on the same workload")
+		disagg    = flag.Bool("disagg", false, "serve through disaggregated prefill/decode pools (with -compare: also run the monolithic modes)")
+		prefillR  = flag.Int("prefill", 0, "disagg: prefill pool replicas (0 = replicas/4, min 1; the rest decode)")
+		decodeHR  = flag.Float64("decode-headroom", 0.6, "disagg: decode pool planner utilization target (decode queueing costs MTPOT, so run it slacker)")
+		linkGBps  = flag.Float64("link-gbps", 64, "disagg: KV-transfer link bandwidth, GB/s (0 = latency-only)")
+		linkLat   = flag.Float64("link-latency", 0.002, "disagg: KV-transfer link latency, seconds")
 		jsonPath  = flag.String("json", "", "write the report(s) as JSON to this file")
 		csvPath   = flag.String("csv", "", "write the planner evaluation trace as CSV to this file")
 	)
@@ -90,15 +109,32 @@ func main() {
 		sla:  metrics.SLA{TTFT: *ttft, MTPOT: *tpot},
 		high: *high, low: *low, headroom: *headroom,
 		rate: *rate, burst: *burst, phaseSec: *phaseSec, seed: *seed,
+		prefill: *prefillR, decodeHR: *decodeHR, linkGBps: *linkGBps, linkLat: *linkLat,
+	}
+	if opts.prefill == 0 {
+		opts.prefill = opts.replicas / 4
+	}
+	if opts.prefill < 1 {
+		opts.prefill = 1
+	}
+	if *disagg && opts.prefill >= opts.replicas {
+		fatal(fmt.Errorf("prefill pool (%d) must leave at least one decode replica of %d", opts.prefill, opts.replicas))
 	}
 
+	var modes []string
+	switch {
+	case *compare && *disagg:
+		modes = []string{"reactive", "predictive", "disaggregated"}
+	case *compare:
+		modes = []string{"reactive", "predictive"}
+	case *disagg:
+		modes = []string{"disaggregated"}
+	default:
+		modes = []string{opts.scaler}
+	}
 	var rows []row
-	if *compare {
-		for _, mode := range []string{"reactive", "predictive"} {
-			opts.scaler = mode
-			rows = append(rows, runOne(opts, *csvPath))
-		}
-	} else {
+	for _, mode := range modes {
+		opts.scaler = mode
 		rows = append(rows, runOne(opts, *csvPath))
 	}
 
@@ -122,16 +158,32 @@ type row struct {
 	ScaleOuts      int     `json:"scale_outs"`
 	ScaleIns       int     `json:"scale_ins"`
 	Duration       float64 `json:"duration_s"`
+
+	// Disaggregated-only fields.
+	PrefillReplicas       int     `json:"prefill_replicas,omitempty"`
+	DecodeReplicas        int     `json:"decode_replicas,omitempty"`
+	PrefillReplicaSeconds float64 `json:"prefill_replica_seconds,omitempty"`
+	DecodeReplicaSeconds  float64 `json:"decode_replica_seconds,omitempty"`
+	Handoffs              int     `json:"handoffs,omitempty"`
+	MeanTransferDelay     float64 `json:"mean_transfer_delay_s,omitempty"`
 }
 
 func runOne(opts options, csvPath string) row {
-	f := buildFleet(opts)
 	reqs := burstyWorkload(opts)
-	results := f.Serve(reqs, 1e9)
-	rep := f.Report(results, opts.sla)
+	var rep cluster.Report
+	var history []cluster.PlanSample
+	if opts.scaler == "disaggregated" {
+		c := buildDisagg(opts)
+		rep = c.Report(c.Serve(reqs, 1e9), opts.sla)
+		history = c.Pool(1).PlanHistory() // the decode pool dominates cost
+	} else {
+		f := buildFleet(opts)
+		rep = f.Report(f.Serve(reqs, 1e9), opts.sla)
+		history = f.PlanHistory()
+	}
 
 	mode := opts.scaler
-	if mode == "predictive" {
+	if mode == "predictive" || mode == "disaggregated" {
 		mode += "-" + opts.predictor.String()
 	}
 	r := row{
@@ -148,10 +200,65 @@ func runOne(opts options, csvPath string) row {
 		ScaleIns:       rep.ScaleIns,
 		Duration:       rep.Duration,
 	}
-	if csvPath != "" && opts.scaler == "predictive" {
-		writePlanCSV(csvPath, f.PlanHistory())
+	if opts.scaler == "disaggregated" {
+		r.PrefillReplicas = rep.Pools[0].Replicas
+		r.DecodeReplicas = rep.Pools[1].Replicas
+		r.PrefillReplicaSeconds = rep.Pools[0].ReplicaSeconds
+		r.DecodeReplicaSeconds = rep.Pools[1].ReplicaSeconds
+		r.Handoffs = rep.Handoffs
+		r.MeanTransferDelay = rep.MeanTransferDelay
+	}
+	if csvPath != "" && (opts.scaler == "predictive" || opts.scaler == "disaggregated") {
+		writePlanCSV(csvPath, history)
 	}
 	return r
+}
+
+// buildDisagg assembles the disaggregated cluster: a prefill-only pool
+// (current-usage admission — prompts vacate at the end of their own
+// iteration) sized by the planner's TTFT interpolation, and a decode-only
+// pool (Past-Future admission) sized by its TPOT interpolation, joined by
+// a finite-bandwidth KV-transfer link.
+func buildDisagg(opts options) *cluster.Cluster {
+	pm := perf.MustNew(perf.Config{Model: model.Llama2_7B, Cluster: hw.NewCluster(hw.A100_80G, 1)})
+	prefill := make([]*engine.Engine, opts.prefill)
+	for i := range prefill {
+		prefill[i] = engine.MustNew(engine.Config{
+			Perf:             pm,
+			Scheduler:        core.MustNewAggressive(0.95),
+			Role:             engine.RolePrefillOnly,
+			CapacityOverride: opts.capacity,
+		})
+	}
+	decode := make([]*engine.Engine, opts.replicas-opts.prefill)
+	for i := range decode {
+		decode[i] = engine.MustNew(engine.Config{
+			Perf: pm,
+			Scheduler: core.MustNewPastFuture(core.PastFutureConfig{
+				Reserved: 0.05, Rng: rng.New(opts.seed + uint64(i)),
+			}),
+			Role:             engine.RoleDecodeOnly,
+			CapacityOverride: opts.capacity,
+		})
+	}
+	planner := func(max int, headroom float64) *cluster.PlannerConfig {
+		return &cluster.PlannerConfig{
+			SLA: opts.sla, Min: 1, Max: max,
+			Interval: opts.interval, Predictor: opts.predictor,
+			ActivationDelay: opts.delay, Headroom: headroom,
+		}
+	}
+	c, err := cluster.NewCluster(cluster.ClusterConfig{
+		Pools: []cluster.Config{
+			{Role: engine.RolePrefillOnly, Replicas: prefill, Policy: opts.policy, Planner: planner(len(prefill), opts.headroom)},
+			{Role: engine.RoleDecodeOnly, Replicas: decode, Policy: opts.policy, Planner: planner(len(decode), opts.decodeHR)},
+		},
+		Link: kv.MustNewLink(opts.linkGBps*1e9, opts.linkLat),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	return c
 }
 
 func attainment(total, violated int) float64 {
@@ -224,12 +331,20 @@ func printRows(opts options, rows []row) {
 		opts.replicas, opts.capacity, opts.policy, opts.sla)
 	fmt.Printf("workload: %.0f→%.0f→%.0f→%.0f req/s × %.0fs phases (seed %d)\n",
 		opts.rate, (opts.rate+opts.burst)/2, opts.burst, opts.rate, opts.phaseSec, opts.seed)
-	fmt.Printf("%-18s %9s %9s %9s %9s %12s %6s %6s\n",
+	fmt.Printf("%-20s %9s %9s %9s %9s %12s %6s %6s\n",
 		"mode", "ttft-att", "sla-att", "meanTTFT", "p99TTFT", "replica-sec", "out", "in")
 	for _, r := range rows {
-		fmt.Printf("%-18s %8.1f%% %8.1f%% %8.2fs %8.2fs %12.0f %6d %6d\n",
+		fmt.Printf("%-20s %8.1f%% %8.1f%% %8.2fs %8.2fs %12.0f %6d %6d\n",
 			r.Mode, r.TTFTAttainment*100, r.SLAAttainment*100,
 			r.MeanTTFT, r.P99TTFT, r.ReplicaSeconds, r.ScaleOuts, r.ScaleIns)
+	}
+	for _, r := range rows {
+		if r.Handoffs > 0 {
+			fmt.Printf("%s: %d prefill + %d decode replicas (%.0f + %.0f replica-sec), %d handoffs, mean transfer %.1f ms\n",
+				r.Mode, r.PrefillReplicas, r.DecodeReplicas,
+				r.PrefillReplicaSeconds, r.DecodeReplicaSeconds,
+				r.Handoffs, r.MeanTransferDelay*1e3)
+		}
 	}
 }
 

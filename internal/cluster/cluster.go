@@ -1,0 +1,397 @@
+// Package cluster is the fleet layer between the serving engine and the
+// world: an event-driven multi-replica simulator with predictive,
+// SLA-driven autoscaling — the paper's §7 future-work proposal (routing by
+// predicted future memory demand) grown into a real subsystem.
+//
+// The layer is built from role-aware pools. A Pool owns replicas that all
+// execute one serving phase (engine.RoleMixed, RolePrefillOnly,
+// RoleDecodeOnly) behind a routing policy and an optional autoscaler; a
+// Cluster composes pools behind a single event min-heap (replica engine
+// steps, replica activations, autoscaler ticks, KV-handoff deliveries) so
+// every pool shares one simulated clock. Two topologies are supported:
+//
+//   - Monolithic: one RoleMixed pool. This is the PR 2 fleet, unchanged —
+//     Fleet is now a thin wrapper over this degenerate cluster.
+//   - Disaggregated (Dynamo/DistServe/Splitwise-style): a prefill pool and
+//     a decode pool behind a two-stage router. Arrivals take a
+//     FutureHeadroom (or RR/least-loaded) pick in the prefill pool; a
+//     prefill-only engine completes the request at its first token and
+//     hands it off; the KV cache crosses a kv.Link (bandwidth + latency +
+//     optional serialization, so the handoff is simulated, not free); on
+//     delivery the request takes a second FutureHeadroom pick in the
+//     decode pool and is admitted through engine.SubmitMigrated with its
+//     KV footprint pre-seeded.
+//
+// Routing probes go through one warm core.PeakEstimator per replica: the
+// estimator is rebuilt only when its replica's state changed, and each
+// probe is an O(log B) PeakWith — no per-probe clone+sort, no per-probe
+// allocations. Autoscaling is per pool: the threshold-reactive
+// high/low-water policy, or the predictive SLA planner (PlannerConfig)
+// that forecasts load and scales straight to the replica count whose
+// interpolated latency meets the targets — TTFT sizes a prefill pool,
+// TPOT sizes a decode pool, both size a mixed pool.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/lightllm-go/lightllm/internal/engine"
+	"github.com/lightllm-go/lightllm/internal/kv"
+	"github.com/lightllm-go/lightllm/internal/request"
+)
+
+// Handoff records one prefill→decode KV migration, complete after its
+// delivery event fired.
+type Handoff struct {
+	// Req is the migrating request.
+	Req *request.Request
+	// FromReplica / ToReplica are pool-local replica indexes (prefill pool
+	// source, decode pool destination; To is -1 until delivered).
+	FromReplica, ToReplica int
+	// PrefillDoneAt is when the prefill engine emitted the handoff;
+	// DeliveredAt is when the transfer landed on the decode side. The
+	// difference is the simulated transfer delay (queueing included).
+	PrefillDoneAt, DeliveredAt float64
+}
+
+// ClusterConfig configures a Cluster.
+type ClusterConfig struct {
+	// Pools composes the cluster. Exactly one RoleMixed pool (monolithic),
+	// or exactly two pools — RolePrefillOnly then RoleDecodeOnly
+	// (disaggregated).
+	Pools []Config
+	// Link models the prefill→decode KV transfer path. nil makes handoffs
+	// instantaneous (a modeling upper bound). Ignored for monolithic
+	// clusters.
+	Link *kv.Link
+	// OnHandoff, when non-nil, observes every completed KV migration at its
+	// delivery time.
+	OnHandoff func(h Handoff)
+}
+
+// Cluster composes role-aware pools behind one event min-heap — the single
+// clock every pool shares — and the two-stage disaggregated router.
+type Cluster struct {
+	cfg   ClusterConfig
+	pools []*Pool
+
+	events eventHeap
+	evSeq  int64
+
+	entry  int // pool receiving external arrivals
+	decode int // pool receiving KV deliveries (== entry when monolithic)
+
+	link            *kv.Link
+	kvBytesPerToken int64
+	handoffs        []Handoff
+
+	started bool
+	startAt float64
+	endAt   float64
+}
+
+// NewCluster validates the configuration and builds a cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	c := &Cluster{cfg: cfg, link: cfg.Link, decode: -1}
+	switch len(cfg.Pools) {
+	case 1:
+		if cfg.Pools[0].Role != engine.RoleMixed {
+			return nil, fmt.Errorf("cluster: a single pool must be %v, got %v",
+				engine.RoleMixed, cfg.Pools[0].Role)
+		}
+		c.entry, c.decode = 0, 0
+	case 2:
+		if cfg.Pools[0].Role != engine.RolePrefillOnly || cfg.Pools[1].Role != engine.RoleDecodeOnly {
+			return nil, fmt.Errorf("cluster: two pools must be (%v, %v), got (%v, %v)",
+				engine.RolePrefillOnly, engine.RoleDecodeOnly, cfg.Pools[0].Role, cfg.Pools[1].Role)
+		}
+		c.entry, c.decode = 0, 1
+	default:
+		return nil, fmt.Errorf("cluster: %d pools; want one mixed or prefill+decode", len(cfg.Pools))
+	}
+	for i, pc := range cfg.Pools {
+		p, err := newPool(c, i, pc)
+		if err != nil {
+			return nil, err
+		}
+		c.pools = append(c.pools, p)
+	}
+	if c.Disaggregated() {
+		spec := c.pools[c.decode].reps[0].eng.Perf().Spec()
+		c.kvBytesPerToken = spec.KVBytesPerToken()
+		for _, rep := range c.pools[c.entry].reps {
+			rep := rep
+			rep.eng.AddHandoffHook(func(now float64, r *request.Request) {
+				c.onHandoff(rep.idx, now, r)
+			})
+		}
+	}
+	return c, nil
+}
+
+// MustNewCluster is NewCluster for statically valid configurations.
+func MustNewCluster(cfg ClusterConfig) *Cluster {
+	c, err := NewCluster(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Disaggregated reports whether the cluster splits prefill and decode.
+func (c *Cluster) Disaggregated() bool { return c.decode != c.entry }
+
+// NumPools returns the number of pools.
+func (c *Cluster) NumPools() int { return len(c.pools) }
+
+// Pool returns the i-th pool (0 = entry/prefill, 1 = decode when
+// disaggregated).
+func (c *Cluster) Pool(i int) *Pool { return c.pools[i] }
+
+// Handoffs returns every recorded KV migration (complete after Serve).
+func (c *Cluster) Handoffs() []Handoff { return c.handoffs }
+
+// ReplicaSeconds returns the provisioned-time integral across all pools.
+func (c *Cluster) ReplicaSeconds() float64 {
+	sum := 0.0
+	for _, p := range c.pools {
+		sum += p.ReplicaSeconds()
+	}
+	return sum
+}
+
+// Duration returns the simulated span of the served stream (after Serve).
+func (c *Cluster) Duration() float64 { return c.endAt - c.startAt }
+
+// transferEstimate returns the prefill planner's expected transfer delay as
+// a function of the mean input length — the TTFT budget the link consumes.
+// Monolithic clusters and nil links estimate zero.
+func (c *Cluster) transferEstimate(e *engine.Engine) func(isl float64) float64 {
+	if c.link == nil || !c.Disaggregated() {
+		return nil
+	}
+	bytesPerToken := e.Perf().Spec().KVBytesPerToken()
+	link := c.link
+	return func(isl float64) float64 {
+		// The migrating footprint is the prompt plus the prefill token.
+		return link.TransferTime(int64(isl+1) * bytesPerToken)
+	}
+}
+
+// pushEvent assigns the next sequence number and queues a simulation event.
+func (c *Cluster) pushEvent(ev event) {
+	c.evSeq++
+	ev.seq = c.evSeq
+	c.events.push(ev)
+}
+
+// Serve routes the requests (sorted by arrival time internally), advancing
+// replica engines in global timestamp order through the event heap so each
+// routing decision observes every replica's state as of the request's
+// arrival, then drains the cluster until deadline. It returns each
+// replica's result, pool-major. One-shot: a cluster serves one stream.
+func (c *Cluster) Serve(reqs []*request.Request, deadline float64) []*engine.Result {
+	sorted := append([]*request.Request(nil), reqs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ArrivalTime < sorted[j].ArrivalTime })
+
+	startAt := 0.0
+	if len(sorted) > 0 {
+		startAt = sorted[0].ArrivalTime
+	}
+	c.start(startAt) // always: pre-loaded engines drain even with no stream
+	entry := c.pools[c.entry]
+	for _, req := range sorted {
+		if req.ArrivalTime > deadline {
+			break
+		}
+		t := req.ArrivalTime
+		c.advanceTo(t)
+		if entry.plan != nil {
+			entry.plan.observeArrival(req.InputLen)
+		}
+		for _, p := range c.pools {
+			p.ensureTick(t)
+		}
+		if entry.cfg.Scale != nil {
+			entry.reactiveScale(t)
+		}
+		rep := entry.route(req)
+		rep.eng.Submit(req)
+		rep.estValid = false
+		c.ensureStepEvent(entry, rep)
+	}
+	c.advanceTo(deadline) // drain: steps, activations, deliveries, ticks
+	c.finish(deadline)
+
+	var results []*engine.Result
+	for _, p := range c.pools {
+		for _, rep := range p.reps {
+			results = append(results, rep.eng.Snapshot())
+		}
+	}
+	return results
+}
+
+// start arms the event loop: replica-seconds clocks for the initially
+// active replicas and step events for engines pre-loaded before Serve.
+func (c *Cluster) start(t float64) {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.startAt = t
+	for _, p := range c.pools {
+		for _, rep := range p.reps {
+			if rep.active {
+				rep.activeAt = t
+			}
+			c.ensureStepEvent(p, rep)
+		}
+	}
+}
+
+// finish closes replica-seconds accounting at the cluster's end time.
+func (c *Cluster) finish(deadline float64) {
+	c.endAt = c.startAt
+	for _, p := range c.pools {
+		for _, rep := range p.reps {
+			if clk := rep.eng.Clock(); clk > c.endAt {
+				c.endAt = clk
+			}
+		}
+	}
+	if c.endAt > deadline {
+		c.endAt = deadline
+	}
+	for _, p := range c.pools {
+		for _, rep := range p.reps {
+			if rep.active {
+				span := c.endAt - rep.activeAt
+				if span > 0 {
+					rep.activeSecs += span
+				}
+			}
+		}
+	}
+}
+
+// advanceTo pops and handles every event due strictly before t, plus
+// activations at exactly t (a replica whose delay elapses at t must be
+// eligible for an arrival at t, matching the scan router's t ≥ wakeAt).
+func (c *Cluster) advanceTo(t float64) {
+	for c.events.Len() > 0 {
+		top := c.events.top()
+		if top.at > t || (top.at == t && top.kind != evActivate) {
+			return
+		}
+		c.handle(c.events.pop())
+	}
+}
+
+func (c *Cluster) handle(ev event) {
+	p := c.pools[ev.pool]
+	switch ev.kind {
+	case evStep:
+		rep := p.reps[ev.rep]
+		rep.inHeap = false
+		rep.eng.Step()
+		// Invalidate unconditionally: a Step returning false can still have
+		// mutated state (queue-timeout drops run before the drained check).
+		rep.estValid = false
+		if rep.draining && rep.eng.Idle() {
+			p.retire(rep, rep.eng.Clock())
+		}
+		c.ensureStepEvent(p, rep)
+	case evActivate:
+		rep := p.reps[ev.rep]
+		// Stale activations (the replica was scaled back in, or re-armed
+		// with a different wake time) are ignored.
+		if rep.active && !rep.awake && rep.wakeAt == ev.at {
+			rep.awake = true
+			p.rebuildAccepting()
+		}
+	case evDeliver:
+		c.deliver(ev)
+	case evPlan:
+		p.planScheduled = false
+		if p.plan != nil {
+			target := p.plan.tick(ev.at, p.ActiveReplicas())
+			p.applyTarget(ev.at, target)
+			p.plan.History[len(p.plan.History)-1].Active = p.ActiveReplicas()
+		} else if p.cfg.Scale != nil {
+			p.reactiveScale(ev.at)
+		}
+		if c.anyBusy() {
+			p.scheduleTick(ev.at + p.tickInterval())
+		}
+	}
+}
+
+// onHandoff fires inside a prefill engine's Step: the KV transfer is booked
+// on the link and a delivery event is queued for the decode pool. The event
+// carries the handoff record's index so delivery can complete it.
+func (c *Cluster) onHandoff(fromRep int, now float64, r *request.Request) {
+	deliverAt := now
+	if c.link != nil {
+		deliverAt = c.link.Schedule(now, int64(r.Footprint())*c.kvBytesPerToken)
+	}
+	c.handoffs = append(c.handoffs, Handoff{
+		Req: r, FromReplica: fromRep, ToReplica: -1,
+		PrefillDoneAt: now, DeliveredAt: deliverAt,
+	})
+	c.pushEvent(event{at: deliverAt, kind: evDeliver, pool: c.decode, rep: len(c.handoffs) - 1, req: r})
+}
+
+// deliver lands one KV migration: the request's SLA clock shifts to the
+// delivery (its first token is visible only now — TTFT includes the
+// transfer), the decode pool's planner observes the arrival, and the
+// second routing stage picks the decode replica.
+func (c *Cluster) deliver(ev event) {
+	r := ev.req
+	r.RecordMigration(ev.at)
+	dp := c.pools[c.decode]
+	if dp.plan != nil {
+		dp.plan.observeArrival(r.Footprint())
+	}
+	// The prefill pool's planner observes the end-to-end first-token
+	// latency (queue + prefill + transfer) its sizing must keep under the
+	// TTFT target; handoffs are its "finishes".
+	if pp := c.pools[c.entry]; pp.plan != nil && c.Disaggregated() {
+		pp.plan.observeFinish(1, ev.at-r.ArrivalTime, 0)
+	}
+	for _, p := range c.pools {
+		p.ensureTick(ev.at)
+	}
+	if dp.cfg.Scale != nil {
+		dp.reactiveScale(ev.at)
+	}
+	rep := dp.route(r)
+	rep.eng.SubmitMigrated(r, ev.at)
+	rep.estValid = false
+	c.ensureStepEvent(dp, rep)
+	c.handoffs[ev.rep].ToReplica = rep.idx
+	if c.cfg.OnHandoff != nil {
+		c.cfg.OnHandoff(c.handoffs[ev.rep])
+	}
+}
+
+// ensureStepEvent inserts a step event for a busy replica that has none.
+func (c *Cluster) ensureStepEvent(p *Pool, rep *replica) {
+	if rep.inHeap || rep.eng.Idle() {
+		return
+	}
+	rep.inHeap = true
+	c.pushEvent(event{at: rep.eng.Clock(), kind: evStep, pool: p.id, rep: rep.idx})
+}
+
+func (c *Cluster) anyBusy() bool {
+	for _, p := range c.pools {
+		for _, rep := range p.reps {
+			if !rep.eng.Idle() {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,17 +1,24 @@
 package cluster
 
-// The fleet is driven by one typed min-heap of simulation events. The three
-// event kinds interleave with the (externally sorted) arrival stream:
+import "github.com/lightllm-go/lightllm/internal/request"
+
+// The cluster is driven by one typed min-heap of simulation events — a
+// single clock shared by every pool. The four event kinds interleave with
+// the (externally sorted) arrival stream:
 //
 //   - evActivate: a scaling-out replica finishes its activation delay and
 //     starts accepting traffic.
-//   - evPlan: a periodic autoscaler evaluation (the SLA planner's adjustment
-//     interval, or the reactive policy's optional tick).
+//   - evDeliver: a KV handoff from a prefill-only engine lands on the
+//     decode side of the transfer link; the request is routed into the
+//     decode pool at this instant.
+//   - evPlan: a periodic autoscaler evaluation for one pool (the SLA
+//     planner's adjustment interval, or the reactive policy's optional
+//     tick).
 //   - evStep: a busy replica's engine is due for its next iteration; the
 //     event's timestamp is the replica's clock when the event was pushed.
 //
-// Advancing the fleet to an arrival time t pops events while their time is
-// before t (activations exactly at t also fire, because a replica whose
+// Advancing the cluster to an arrival time t pops events while their time
+// is before t (activations exactly at t also fire, because a replica whose
 // delay elapses at t must be eligible for that arrival — the same `t >=
 // wakeAt` edge the scan-based router used). Each popped evStep runs exactly
 // one engine iteration and, if the engine is still busy, re-inserts itself
@@ -24,12 +31,14 @@ package cluster
 // Serve's steady state must not.
 
 // evKind orders simultaneous events: activations first (so a replica waking
-// exactly at an arrival's timestamp can receive it), then autoscaler
-// evaluations, then engine steps.
+// exactly at an arrival's timestamp can receive it), then KV deliveries (a
+// landed handoff is routable work), then autoscaler evaluations, then
+// engine steps.
 type evKind uint8
 
 const (
 	evActivate evKind = iota
+	evDeliver
 	evPlan
 	evStep
 )
@@ -37,8 +46,10 @@ const (
 type event struct {
 	at   float64
 	kind evKind
-	rep  int   // replica index for evActivate/evStep
-	seq  int64 // FIFO tiebreak for identical (at, kind)
+	pool int // owning pool for evActivate/evPlan/evStep; target pool for evDeliver
+	rep  int // replica index for evActivate/evStep; handoff index for evDeliver
+	seq  int64
+	req  *request.Request // the migrating request for evDeliver
 }
 
 type eventHeap []event
@@ -76,6 +87,7 @@ func (h *eventHeap) pop() event {
 	top := s[0]
 	n := len(s) - 1
 	s[0] = s[n]
+	s[n] = event{} // release the request pointer
 	*h = s[:n]
 	s = *h
 	i := 0

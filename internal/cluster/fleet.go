@@ -1,220 +1,27 @@
-// Package cluster is the fleet layer between the serving engine and the
-// world: an event-driven multi-replica simulator with predictive,
-// SLA-driven autoscaling — the paper's §7 future-work proposal (routing by
-// predicted future memory demand) grown into a real subsystem.
-//
-// Three pieces:
-//
-//   - An event min-heap (replica engine steps, replica activations,
-//     autoscaler ticks) interleaved with the arrival stream, so advancing
-//     the fleet to an arrival costs O(log(R+E)) per engine iteration
-//     instead of the previous router's O(R) min-clock scan per iteration.
-//   - Routing policies over the live replica set. FutureHeadroom ranks
-//     replicas by the predicted future peak memory of (running batch +
-//     queue + the candidate), probed through one warm core.PeakEstimator
-//     per replica: the estimator is rebuilt only when its replica's state
-//     changed, and each probe is an O(log B) PeakWith — no per-probe
-//     clone+sort, no per-probe allocations.
-//   - Autoscaling on the same signals: the threshold-reactive high/low-water
-//     policy the router exposed, or the predictive SLA planner
-//     (PlannerConfig) that forecasts load and scales straight to the
-//     replica count whose interpolated TTFT/TPOT meets the targets.
 package cluster
 
 import (
-	"fmt"
-	"math"
-	"sort"
-
-	"github.com/lightllm-go/lightllm/internal/core"
-	"github.com/lightllm-go/lightllm/internal/dist"
 	"github.com/lightllm-go/lightllm/internal/engine"
 	"github.com/lightllm-go/lightllm/internal/request"
 )
 
-// Policy selects how arriving requests choose a replica.
-type Policy int
-
-const (
-	// RoundRobin cycles through accepting replicas, starting at the first.
-	RoundRobin Policy = iota
-	// LeastLoaded picks the replica with the fewest in-flight requests.
-	LeastLoaded
-	// FutureHeadroom picks the replica whose predicted future peak memory
-	// (running + queued + the candidate, conditional-quantile predictions
-	// from the replica's own history window) leaves the most headroom.
-	FutureHeadroom
-)
-
-// String implements fmt.Stringer.
-func (p Policy) String() string {
-	switch p {
-	case RoundRobin:
-		return "round-robin"
-	case LeastLoaded:
-		return "least-loaded"
-	case FutureHeadroom:
-		return "future-headroom"
-	default:
-		return fmt.Sprintf("policy(%d)", int(p))
-	}
-}
-
-// ParsePolicy resolves a policy name (CLI flags), inverse of String.
-func ParsePolicy(s string) (Policy, error) {
-	for _, p := range []Policy{RoundRobin, LeastLoaded, FutureHeadroom} {
-		if s == p.String() {
-			return p, nil
-		}
-	}
-	return 0, fmt.Errorf("cluster: unknown policy %q (round-robin, least-loaded, future-headroom)", s)
-}
-
-// AutoScale is the threshold-reactive scaling policy: scale out when the
-// mean predicted load of the accepting replicas exceeds HighWater, scale in
-// (one drained replica at a time) when it falls below LowWater. It is the
-// baseline the predictive planner is measured against.
-type AutoScale struct {
-	// Min and Max bound the active replica count.
-	Min, Max int
-	// HighWater: scale out when mean predicted load across accepting
-	// replicas exceeds this fraction (e.g. 0.85).
-	HighWater float64
-	// LowWater: scale in when mean predicted load falls below this
-	// fraction (e.g. 0.30) and a replica is drained.
-	LowWater float64
-	// ActivationDelay is the simulated seconds between a scale-out decision
-	// and the replica accepting traffic (model load time).
-	ActivationDelay float64
-	// EvalInterval, when positive, additionally evaluates the thresholds on
-	// a periodic tick (so the policy can scale in while traffic drains, not
-	// only at arrivals). 0 evaluates at arrivals only — the original
-	// router behavior.
-	EvalInterval float64
-}
-
-// Config configures a Fleet.
-type Config struct {
-	// Replicas are homogeneous serving engines. Required, ≥ 1.
-	Replicas []*engine.Engine
-	// Policy selects the routing policy.
-	Policy Policy
-	// Quantile for FutureHeadroom predictions. 0 selects 0.9.
-	Quantile float64
-	// Scale enables threshold-reactive autoscaling. Mutually exclusive with
-	// Planner; nil (with nil Planner) serves on all replicas.
-	Scale *AutoScale
-	// Planner enables the predictive SLA planner.
-	Planner *PlannerConfig
-	// NaiveProbe computes every FutureHeadroom probe and reactive load with
-	// the reference core.PredictedBatchPeak (one estimator clone+sort per
-	// probe) instead of the warm per-replica estimators. The decisions are
-	// identical either way; this switch exists as the benchmark baseline
-	// and for cross-check tests.
-	NaiveProbe bool
-	// OnRoute, when non-nil, observes every routing decision.
-	OnRoute func(r *request.Request, replica int)
-}
-
-// replica is the fleet's bookkeeping around one engine.
-type replica struct {
-	eng *engine.Engine
-	idx int
-
-	active   bool    // provisioned (may still be activating)
-	awake    bool    // activation delay elapsed; eligible for traffic
-	draining bool    // scaling in: no new traffic, retires when drained
-	wakeAt   float64 // activation time of the pending/last activation
-
-	routed int
-	inHeap bool // a step event for this replica is in the event heap
-
-	// Warm probe state: est holds QuantileEntry for every running and
-	// queued request, rebuilt lazily after the replica's state changes.
-	est      core.PeakEstimator
-	sampler  *dist.Sampler
-	estValid bool
-
-	activeAt   float64 // when the current active span began
-	activeSecs float64 // closed active spans (replica-seconds accounting)
-}
-
-// Fleet distributes a time-ordered request stream over replicas.
+// Fleet is the monolithic serving fleet: the degenerate one-pool RoleMixed
+// Cluster, kept as the PR 2 API. All routing, probing, and autoscaling
+// mechanics live on the embedded Pool; the event clock lives on the
+// Cluster. A Config with Role left at the RoleMixed zero value builds the
+// exact pre-disaggregation fleet, decision for decision.
 type Fleet struct {
-	cfg  Config
-	reps []*replica
-
-	events eventHeap
-	evSeq  int64
-
-	rr        int
-	accepting []*replica // active, awake, not draining; index order
-
-	plan          *planner
-	planScheduled bool
-
-	scaleUps int
-	scaleIns int
-
-	started bool
-	startAt float64
-	endAt   float64
+	*Pool
+	clu *Cluster
 }
 
 // New validates the configuration and builds a fleet.
 func New(cfg Config) (*Fleet, error) {
-	if len(cfg.Replicas) == 0 {
-		return nil, fmt.Errorf("cluster: at least one replica required")
+	clu, err := NewCluster(ClusterConfig{Pools: []Config{cfg}})
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Quantile == 0 {
-		cfg.Quantile = 0.9
-	}
-	if cfg.Quantile < 0 || cfg.Quantile > 1 {
-		return nil, fmt.Errorf("cluster: quantile %v outside [0,1]", cfg.Quantile)
-	}
-	if cfg.Scale != nil && cfg.Planner != nil {
-		return nil, fmt.Errorf("cluster: reactive Scale and predictive Planner are mutually exclusive")
-	}
-	initial := len(cfg.Replicas)
-	if cfg.Scale != nil {
-		if cfg.Scale.Min < 1 || cfg.Scale.Max > len(cfg.Replicas) || cfg.Scale.Min > cfg.Scale.Max {
-			return nil, fmt.Errorf("cluster: bad autoscale bounds [%d, %d] for %d replicas",
-				cfg.Scale.Min, cfg.Scale.Max, len(cfg.Replicas))
-		}
-		if cfg.Scale.EvalInterval < 0 {
-			return nil, fmt.Errorf("cluster: negative autoscale eval interval %v", cfg.Scale.EvalInterval)
-		}
-		initial = cfg.Scale.Min
-	}
-	f := &Fleet{cfg: cfg}
-	if cfg.Planner != nil {
-		pc := *cfg.Planner
-		if err := pc.validate(len(cfg.Replicas)); err != nil {
-			return nil, err
-		}
-		pc = pc.withDefaults()
-		f.cfg.Planner = &pc
-		initial = pc.Min
-	}
-	f.reps = make([]*replica, len(cfg.Replicas))
-	for i, e := range cfg.Replicas {
-		f.reps[i] = &replica{eng: e, idx: i}
-	}
-	for i := 0; i < initial; i++ {
-		f.reps[i].active = true
-		f.reps[i].awake = true
-	}
-	if f.cfg.Planner != nil {
-		e0 := f.reps[0].eng
-		f.plan = newPlanner(*f.cfg.Planner, e0.Perf(), e0.Pool().CapacityTokens())
-		for _, rep := range f.reps {
-			rep.eng.AddFinishHook(func(_ float64, r *request.Request) {
-				f.plan.observeFinish(r.Generated, r.TTFT(), r.TPOT())
-			})
-		}
-	}
-	f.rebuildAccepting()
-	return f, nil
+	return &Fleet{Pool: clu.Pool(0), clu: clu}, nil
 }
 
 // MustNew is New for statically valid configurations.
@@ -226,481 +33,14 @@ func MustNew(cfg Config) *Fleet {
 	return f
 }
 
-// RoutedCounts returns how many requests each replica received.
-func (f *Fleet) RoutedCounts() []int {
-	out := make([]int, len(f.reps))
-	for i, rep := range f.reps {
-		out[i] = rep.routed
-	}
-	return out
-}
-
-// ScaleEvents returns (scale-out, scale-in) decision counts.
-func (f *Fleet) ScaleEvents() (out, in int) { return f.scaleUps, f.scaleIns }
-
-// ActiveReplicas returns the number of provisioned, non-draining replicas.
-func (f *Fleet) ActiveReplicas() int {
-	n := 0
-	for _, rep := range f.reps {
-		if rep.active && !rep.draining {
-			n++
-		}
-	}
-	return n
-}
-
-// ReplicaSeconds returns the accumulated provisioned time across the fleet:
-// the integral of the active replica count over the run, the cost side of
-// the autoscaling comparison. Complete after Serve returns.
-func (f *Fleet) ReplicaSeconds() float64 {
-	sum := 0.0
-	for _, rep := range f.reps {
-		sum += rep.activeSecs
-	}
-	return sum
-}
-
-// PlanHistory returns the planner's evaluation trace (nil without a
-// planner).
-func (f *Fleet) PlanHistory() []PlanSample {
-	if f.plan == nil {
-		return nil
-	}
-	return f.plan.History
-}
-
-// Imbalance returns the coefficient of variation of per-replica routed
-// counts (0 = perfectly balanced). Only meaningful without autoscaling.
-func (f *Fleet) Imbalance() float64 {
-	var sum float64
-	for _, rep := range f.reps {
-		sum += float64(rep.routed)
-	}
-	n := float64(len(f.reps))
-	mean := sum / n
-	if mean == 0 {
-		return 0
-	}
-	var ss float64
-	for _, rep := range f.reps {
-		d := float64(rep.routed) - mean
-		ss += d * d
-	}
-	return math.Sqrt(ss/n) / mean
-}
-
 // Serve routes the requests (sorted by arrival time internally), advancing
 // replica engines in global timestamp order through the event heap so each
 // routing decision observes every replica's state as of the request's
 // arrival, then drains the fleet until deadline. It returns each replica's
 // result. One-shot: a fleet serves one stream.
 func (f *Fleet) Serve(reqs []*request.Request, deadline float64) []*engine.Result {
-	sorted := append([]*request.Request(nil), reqs...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ArrivalTime < sorted[j].ArrivalTime })
-
-	startAt := 0.0
-	if len(sorted) > 0 {
-		startAt = sorted[0].ArrivalTime
-	}
-	f.start(startAt) // always: pre-loaded engines drain even with no stream
-	for _, req := range sorted {
-		if req.ArrivalTime > deadline {
-			break
-		}
-		t := req.ArrivalTime
-		f.advanceTo(t)
-		if f.plan != nil {
-			f.plan.observeArrival(req.InputLen)
-		}
-		f.ensureTick(t)
-		if f.cfg.Scale != nil {
-			f.reactiveScale(t)
-		}
-		rep := f.pick(req)
-		rep.routed++
-		if f.cfg.OnRoute != nil {
-			f.cfg.OnRoute(req, rep.idx)
-		}
-		rep.eng.Submit(req)
-		rep.estValid = false
-		f.ensureStepEvent(rep)
-	}
-	f.advanceTo(deadline) // drain: steps, activations, and autoscaler ticks
-	f.finish(deadline)
-
-	results := make([]*engine.Result, len(f.reps))
-	for i, rep := range f.reps {
-		results[i] = rep.eng.Snapshot()
-	}
-	return results
-}
-
-// start arms the event loop: replica-seconds clocks for the initially
-// active replicas and step events for engines pre-loaded before Serve.
-func (f *Fleet) start(t float64) {
-	if f.started {
-		return
-	}
-	f.started = true
-	f.startAt = t
-	for _, rep := range f.reps {
-		if rep.active {
-			rep.activeAt = t
-		}
-		f.ensureStepEvent(rep)
-	}
-}
-
-// finish closes replica-seconds accounting at the fleet's end time.
-func (f *Fleet) finish(deadline float64) {
-	f.endAt = f.startAt
-	for _, rep := range f.reps {
-		if c := rep.eng.Clock(); c > f.endAt {
-			f.endAt = c
-		}
-	}
-	if f.endAt > deadline {
-		f.endAt = deadline
-	}
-	for _, rep := range f.reps {
-		if rep.active {
-			span := f.endAt - rep.activeAt
-			if span > 0 {
-				rep.activeSecs += span
-			}
-		}
-	}
+	return f.clu.Serve(reqs, deadline)
 }
 
 // Duration returns the simulated span of the served stream (after Serve).
-func (f *Fleet) Duration() float64 { return f.endAt - f.startAt }
-
-// advanceTo pops and handles every event due strictly before t, plus
-// activations at exactly t (a replica whose delay elapses at t must be
-// eligible for an arrival at t, matching the scan router's t ≥ wakeAt).
-func (f *Fleet) advanceTo(t float64) {
-	for f.events.Len() > 0 {
-		top := f.events.top()
-		if top.at > t || (top.at == t && top.kind != evActivate) {
-			return
-		}
-		f.handle(f.events.pop())
-	}
-}
-
-func (f *Fleet) handle(ev event) {
-	switch ev.kind {
-	case evStep:
-		rep := f.reps[ev.rep]
-		rep.inHeap = false
-		rep.eng.Step()
-		// Invalidate unconditionally: a Step returning false can still have
-		// mutated state (queue-timeout drops run before the drained check).
-		rep.estValid = false
-		if rep.draining && rep.eng.Idle() {
-			f.retire(rep, rep.eng.Clock())
-		}
-		f.ensureStepEvent(rep)
-	case evActivate:
-		rep := f.reps[ev.rep]
-		// Stale activations (the replica was scaled back in, or re-armed
-		// with a different wake time) are ignored.
-		if rep.active && !rep.awake && rep.wakeAt == ev.at {
-			rep.awake = true
-			f.rebuildAccepting()
-		}
-	case evPlan:
-		f.planScheduled = false
-		if f.plan != nil {
-			target := f.plan.tick(ev.at, f.ActiveReplicas())
-			f.applyTarget(ev.at, target)
-			f.plan.History[len(f.plan.History)-1].Active = f.ActiveReplicas()
-		} else if f.cfg.Scale != nil {
-			f.reactiveScale(ev.at)
-		}
-		if f.anyBusy() {
-			f.scheduleTick(ev.at + f.tickInterval())
-		}
-	}
-}
-
-// ensureStepEvent inserts a step event for a busy replica that has none.
-func (f *Fleet) ensureStepEvent(rep *replica) {
-	if rep.inHeap || rep.eng.Idle() {
-		return
-	}
-	rep.inHeap = true
-	f.evSeq++
-	f.events.push(event{at: rep.eng.Clock(), kind: evStep, rep: rep.idx, seq: f.evSeq})
-}
-
-// tickInterval returns the autoscaler tick period, 0 when untimed.
-func (f *Fleet) tickInterval() float64 {
-	if f.plan != nil {
-		return f.cfg.Planner.Interval
-	}
-	if f.cfg.Scale != nil {
-		return f.cfg.Scale.EvalInterval
-	}
-	return 0
-}
-
-// ensureTick (re)arms the periodic autoscaler tick after an arrival; ticks
-// self-rearm while the fleet is busy and stop when it idles.
-func (f *Fleet) ensureTick(now float64) {
-	if f.planScheduled {
-		return
-	}
-	if iv := f.tickInterval(); iv > 0 {
-		f.scheduleTick(now + iv)
-	}
-}
-
-func (f *Fleet) scheduleTick(at float64) {
-	f.planScheduled = true
-	f.evSeq++
-	f.events.push(event{at: at, kind: evPlan, seq: f.evSeq})
-}
-
-func (f *Fleet) anyBusy() bool {
-	for _, rep := range f.reps {
-		if !rep.eng.Idle() {
-			return true
-		}
-	}
-	return false
-}
-
-// rebuildAccepting refreshes the routing candidate list. Called only when
-// the activation state changes, never per arrival.
-func (f *Fleet) rebuildAccepting() {
-	f.accepting = f.accepting[:0]
-	for _, rep := range f.reps {
-		if rep.active && rep.awake && !rep.draining {
-			f.accepting = append(f.accepting, rep)
-		}
-	}
-}
-
-// pick selects the replica for one request under the configured policy.
-func (f *Fleet) pick(req *request.Request) *replica {
-	cands := f.accepting
-	if len(cands) == 0 {
-		// Every provisioned replica is still activating (or draining): fall
-		// back to the first active one so traffic is never dropped by the
-		// fleet itself.
-		for _, rep := range f.reps {
-			if rep.active {
-				return rep
-			}
-		}
-		return f.reps[0]
-	}
-	switch f.cfg.Policy {
-	case LeastLoaded:
-		best, bestLoad := cands[0], math.MaxInt
-		for _, rep := range cands {
-			load := rep.eng.QueueLen() + rep.eng.RunningLen()
-			if load < bestLoad {
-				best, bestLoad = rep, load
-			}
-		}
-		return best
-	case FutureHeadroom:
-		best, bestLoad := cands[0], math.Inf(1)
-		for _, rep := range cands {
-			load := f.probe(rep, req)
-			if load < bestLoad {
-				best, bestLoad = rep, load
-			}
-		}
-		return best
-	default: // RoundRobin — rotation starts at the first accepting replica
-		rep := cands[f.rr%len(cands)]
-		f.rr++
-		return rep
-	}
-}
-
-// probe returns the predicted future peak memory of a replica's batch plus
-// queue plus the candidate, as a fraction of its capacity. The warm path is
-// allocation-free: the per-replica estimator is rebuilt in place only when
-// the replica's state changed, and the candidate is an O(log B) PeakWith.
-func (f *Fleet) probe(rep *replica, req *request.Request) float64 {
-	if f.cfg.NaiveProbe {
-		batch := rep.eng.RunningRequests()
-		batch = append(batch, rep.eng.QueuedRequests()...)
-		batch = append(batch, req)
-		peak := core.PredictedBatchPeak(batch, rep.eng.History(), f.cfg.Quantile)
-		return float64(peak) / float64(rep.eng.Pool().CapacityTokens())
-	}
-	f.ensureEst(rep)
-	cand := core.QuantileEntry(req, rep.sampler, f.cfg.Quantile)
-	return float64(rep.est.PeakWith(cand)) / float64(rep.eng.Pool().CapacityTokens())
-}
-
-// load returns the predicted peak of a replica's batch plus queue (no
-// candidate) as a fraction of capacity — the reactive autoscaler's signal.
-func (f *Fleet) load(rep *replica) float64 {
-	if f.cfg.NaiveProbe {
-		batch := rep.eng.RunningRequests()
-		batch = append(batch, rep.eng.QueuedRequests()...)
-		peak := core.PredictedBatchPeak(batch, rep.eng.History(), f.cfg.Quantile)
-		return float64(peak) / float64(rep.eng.Pool().CapacityTokens())
-	}
-	f.ensureEst(rep)
-	return float64(rep.est.Peak()) / float64(rep.eng.Pool().CapacityTokens())
-}
-
-// ensureEst rebuilds a replica's warm estimator if its engine stepped or
-// received a request since the last probe.
-func (f *Fleet) ensureEst(rep *replica) {
-	if rep.estValid {
-		return
-	}
-	rep.sampler = rep.eng.History().Sampler()
-	rep.est.Reset()
-	push := func(r *request.Request) {
-		rep.est.Push(core.QuantileEntry(r, rep.sampler, f.cfg.Quantile))
-	}
-	rep.eng.ForEachRunning(push)
-	rep.eng.ForEachQueued(push)
-	rep.estValid = true
-}
-
-// reactiveScale applies the high/low-water policy on the mean predicted
-// load of the accepting replicas (the original router's autoscaler).
-func (f *Fleet) reactiveScale(now float64) {
-	sc := f.cfg.Scale
-	if len(f.accepting) == 0 {
-		return
-	}
-	var loadSum float64
-	for _, rep := range f.accepting {
-		loadSum += f.load(rep)
-	}
-	mean := loadSum / float64(len(f.accepting))
-	if mean > sc.HighWater && f.ActiveReplicas() < sc.Max {
-		for _, rep := range f.reps {
-			if !rep.active {
-				f.activate(rep, now, sc.ActivationDelay)
-				break
-			}
-		}
-		return
-	}
-	if mean < sc.LowWater && f.ActiveReplicas() > sc.Min {
-		// Deactivate the last active, fully drained replica. Idle() (not
-		// just empty queue+batch) so a replica with a routed arrival still
-		// in its arrival heap keeps its replica-seconds clock running.
-		for i := len(f.reps) - 1; i >= 0; i-- {
-			rep := f.reps[i]
-			if rep.active && rep.eng.Idle() {
-				f.scaleIns++
-				f.retire(rep, now)
-				break
-			}
-		}
-	}
-}
-
-// applyTarget moves the fleet toward the planner's replica target: cancel
-// draining first (warm capacity), then activate cold replicas; scale in by
-// retiring idle replicas immediately and draining busy ones.
-func (f *Fleet) applyTarget(now float64, target int) {
-	active := f.ActiveReplicas()
-	for active < target {
-		undrained := false
-		for _, rep := range f.reps {
-			if rep.active && rep.draining {
-				rep.draining = false
-				f.scaleUps++
-				f.rebuildAccepting()
-				undrained = true
-				break
-			}
-		}
-		if undrained {
-			active++
-			continue
-		}
-		var cold *replica
-		for _, rep := range f.reps {
-			if !rep.active {
-				cold = rep
-				break
-			}
-		}
-		if cold == nil {
-			return
-		}
-		f.activate(cold, now, f.cfg.Planner.ActivationDelay)
-		active++
-	}
-	for active > target {
-		rep := f.scaleInVictim()
-		if rep == nil {
-			return
-		}
-		f.scaleIns++
-		if rep.eng.Idle() {
-			f.retire(rep, now)
-		} else {
-			rep.draining = true
-			f.rebuildAccepting()
-		}
-		active--
-	}
-}
-
-// scaleInVictim picks the next replica to scale in: idle ones first, then
-// the highest-index busy one (which will drain).
-func (f *Fleet) scaleInVictim() *replica {
-	for i := len(f.reps) - 1; i >= 0; i-- {
-		rep := f.reps[i]
-		if rep.active && !rep.draining && rep.eng.Idle() {
-			return rep
-		}
-	}
-	for i := len(f.reps) - 1; i >= 0; i-- {
-		rep := f.reps[i]
-		if rep.active && !rep.draining {
-			return rep
-		}
-	}
-	return nil
-}
-
-// activate provisions a replica: it starts paying replica-seconds now and
-// accepts traffic after the activation delay.
-func (f *Fleet) activate(rep *replica, now, delay float64) {
-	rep.active = true
-	rep.draining = false
-	rep.activeAt = now
-	f.scaleUps++
-	if delay <= 0 {
-		rep.awake = true
-		rep.wakeAt = now
-		f.rebuildAccepting()
-		return
-	}
-	rep.awake = false
-	rep.wakeAt = now + delay
-	f.evSeq++
-	f.events.push(event{at: rep.wakeAt, kind: evActivate, rep: rep.idx, seq: f.evSeq})
-}
-
-// retire closes a replica's active span (scale-in decision already
-// counted).
-func (f *Fleet) retire(rep *replica, now float64) {
-	if !rep.active {
-		return
-	}
-	rep.active = false
-	rep.awake = false
-	rep.draining = false
-	if span := now - rep.activeAt; span > 0 {
-		rep.activeSecs += span
-	}
-	f.rebuildAccepting()
-}
+func (f *Fleet) Duration() float64 { return f.clu.Duration() }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/lightllm-go/lightllm/internal/engine"
 	"github.com/lightllm-go/lightllm/internal/metrics"
 	"github.com/lightllm-go/lightllm/internal/perf"
 )
@@ -14,6 +15,13 @@ import (
 // whose interpolated TTFT/TPOT meets the SLA, and scales the fleet straight
 // to that target — the Dynamo-style alternative to threshold-reactive
 // scaling.
+//
+// The planner is role-aware: a mixed pool sizes against both targets (the
+// prefill-discounted decode throughput below); a prefill-only pool sizes
+// against TTFT alone (prompt throughput, with the expected KV-transfer
+// delay deducted from the budget); a decode-only pool sizes against TPOT
+// alone (decode residency). Each pool carries its own predictors and
+// correction factors.
 type PlannerConfig struct {
 	// SLA holds the targets: TTFT bounds the interpolated prefill latency,
 	// MTPOT bounds the interpolated decode step time.
@@ -79,13 +87,17 @@ type PlanSample struct {
 	CorrTPOT float64
 }
 
-// planner is the per-fleet planner state. The fleet owns the scaling
+// planner is the per-pool planner state. The pool owns the scaling
 // mechanics (activation events, draining); the planner owns forecasting and
 // target sizing.
 type planner struct {
-	cfg PlannerConfig
-	pm  *perf.Model
-	cap int // KV capacity tokens per replica (pool, not perf model)
+	cfg  PlannerConfig
+	pm   *perf.Model
+	cap  int         // KV capacity tokens per replica (pool, not perf model)
+	role engine.Role // selects the sizing rule
+	// xfer estimates the KV-transfer delay for a mean input length — the
+	// TTFT budget the link consumes ahead of a prefill pool. nil = free.
+	xfer func(isl float64) float64
 
 	predRate, predISL, predOSL Predictor
 
@@ -115,9 +127,9 @@ type planner struct {
 	History []PlanSample
 }
 
-func newPlanner(cfg PlannerConfig, pm *perf.Model, capacityTokens int) *planner {
+func newPlanner(cfg PlannerConfig, pm *perf.Model, capacityTokens int, role engine.Role, xfer func(float64) float64) *planner {
 	return &planner{
-		cfg: cfg, pm: pm, cap: capacityTokens,
+		cfg: cfg, pm: pm, cap: capacityTokens, role: role, xfer: xfer,
 		predRate: cfg.Predictor.New(),
 		predISL:  cfg.Predictor.New(),
 		predOSL:  cfg.Predictor.New(),
@@ -211,12 +223,24 @@ func (p *planner) tick(now float64, active int) int {
 }
 
 // targetReplicas converts a load forecast into the minimum replica count
-// whose interpolated latency meets the (correction-tightened) SLA.
+// whose interpolated latency meets the (correction-tightened) SLA, under
+// the pool's role-specific sizing rule.
 func (p *planner) targetReplicas(rate, isl, osl float64) int {
-	effTTFT := p.cfg.SLA.TTFT / p.corrTTFT
-	effTPOT := p.cfg.SLA.MTPOT / p.corrTPOT
-	perReplica, predTTFT, predTPOT := replicaThroughput(p.pm, p.cap, isl, osl, effTTFT, effTPOT)
-	p.lastPredTTFT, p.lastPredTPOT = predTTFT, predTPOT
+	var perReplica float64
+	switch p.role {
+	case engine.RolePrefillOnly:
+		perReplica = p.prefillThroughput(isl)
+	case engine.RoleDecodeOnly:
+		perReplica = p.decodeThroughput(isl, osl)
+	default:
+		effTTFT := p.cfg.SLA.TTFT / p.corrTTFT
+		effTPOT := p.cfg.SLA.MTPOT / p.corrTPOT
+		perReplica, p.lastPredTTFT, p.lastPredTPOT = replicaThroughput(p.pm, p.cap, isl, osl, effTTFT, effTPOT)
+	}
+	return p.clampTarget(rate, perReplica)
+}
+
+func (p *planner) clampTarget(rate, perReplica float64) int {
 	if perReplica <= 0 {
 		return p.cfg.Max // SLA infeasible at this shape: throw the fleet at it
 	}
@@ -228,6 +252,63 @@ func (p *planner) targetReplicas(rate, isl, osl float64) int {
 		n = p.cfg.Max
 	}
 	return n
+}
+
+// prefillThroughput interpolates the prompt rate one prefill-only replica
+// sustains inside the TTFT budget. A saturated prefill engine runs
+// back-to-back fused prefills, so its throughput is one prompt per
+// PrefillTime(isl); feasibility additionally requires a lone prompt's
+// prefill plus the expected KV-transfer delay to fit the
+// (correction-tightened) TTFT target — the correction factor then absorbs
+// the queueing the interpolation cannot see.
+func (p *planner) prefillThroughput(isl float64) float64 {
+	effTTFT := p.cfg.SLA.TTFT / p.corrTTFT
+	in := int(isl + 0.5)
+	if in < 1 {
+		in = 1
+	}
+	prefill := p.pm.PrefillTime(in)
+	xfer := 0.0
+	if p.xfer != nil {
+		xfer = p.xfer(isl)
+	}
+	p.lastPredTTFT = prefill + xfer
+	p.lastPredTPOT = 0 // decode is another pool's business
+	if prefill+xfer > effTTFT {
+		return 0
+	}
+	return 1 / prefill
+}
+
+// decodeThroughput interpolates the request rate one decode-only replica
+// sustains inside the TPOT budget: the largest decode batch B whose step
+// time meets the target serves B requests every osl steps — no prefill
+// discount, the whole point of disaggregation.
+//
+// The residency budget per request is the *completion* footprint isl + osl,
+// not the time-average isl + osl/2 a mixed pool amortises over: a decode
+// pool runs a future-peak admission scheduler that only admits while every
+// resident request's predicted final footprint fits, so memory-capped
+// batches are bounded by the peak, and sizing against the average would
+// overestimate the feasible batch and queue the handoffs — which a decode
+// pool pays for in MTPOT (the delivery→next-token gap), its actual SLA.
+func (p *planner) decodeThroughput(isl, osl float64) float64 {
+	effTPOT := p.cfg.SLA.MTPOT / p.corrTPOT
+	out := osl
+	if out < 1 {
+		out = 1
+	}
+	meanFootprint := isl + osl
+	if meanFootprint < 1 {
+		meanFootprint = 1
+	}
+	b, td := maxDecodeBatch(p.pm, p.cap, meanFootprint, effTPOT)
+	p.lastPredTPOT = td
+	p.lastPredTTFT = 0 // prefill is another pool's business
+	if td > effTPOT {
+		return 0 // even B=1 misses the TPOT target
+	}
+	return float64(b) / (out * td)
 }
 
 // replicaThroughput interpolates, from the perf model, the maximum request
@@ -264,12 +345,24 @@ func replicaThroughput(pm *perf.Model, capacityTokens int, isl, osl, ttft, tpot 
 	if meanFootprint < 1 {
 		meanFootprint = 1
 	}
+	b, td := maxDecodeBatch(pm, capacityTokens, meanFootprint, tpot)
+	if td > tpot {
+		return 0, prefill, td // even B=1 misses the TPOT target
+	}
+	rate := float64(b) / (out*td + float64(b)*prefill)
+	return rate, prefill, td
+}
+
+// maxDecodeBatch binary-searches the largest decode batch whose step time
+// stays under the TPOT target at the given mean per-request KV footprint,
+// capped by the pool capacity. DecodeTime grows monotonically in batch
+// size and KV tokens. Returns the batch and its step time (which exceeds
+// the target only when even B=1 misses it).
+func maxDecodeBatch(pm *perf.Model, capacityTokens int, meanFootprint, tpot float64) (b int, td float64) {
 	maxB := int(float64(capacityTokens) / meanFootprint)
 	if maxB < 1 {
 		maxB = 1
 	}
-	// DecodeTime grows monotonically in batch size and KV tokens: binary
-	// search the largest batch under the TPOT target.
 	lo, hi := 1, maxB
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
@@ -279,11 +372,5 @@ func replicaThroughput(pm *perf.Model, capacityTokens int, isl, osl, ttft, tpot 
 			hi = mid - 1
 		}
 	}
-	b := lo
-	td := pm.DecodeTime(b, int(float64(b)*meanFootprint))
-	if td > tpot {
-		return 0, prefill, td // even B=1 misses the TPOT target
-	}
-	rate := float64(b) / (out*td + float64(b)*prefill)
-	return rate, prefill, td
+	return lo, pm.DecodeTime(lo, int(float64(lo)*meanFootprint))
 }

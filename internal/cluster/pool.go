@@ -1,0 +1,547 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/lightllm-go/lightllm/internal/core"
+	"github.com/lightllm-go/lightllm/internal/dist"
+	"github.com/lightllm-go/lightllm/internal/engine"
+	"github.com/lightllm-go/lightllm/internal/request"
+)
+
+// Policy selects how arriving requests choose a replica.
+type Policy int
+
+const (
+	// RoundRobin cycles through accepting replicas, starting at the first.
+	RoundRobin Policy = iota
+	// LeastLoaded picks the replica with the fewest in-flight requests.
+	LeastLoaded
+	// FutureHeadroom picks the replica whose predicted future peak memory
+	// (running + queued + the candidate, conditional-quantile predictions
+	// from the replica's own history window) leaves the most headroom.
+	FutureHeadroom
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case LeastLoaded:
+		return "least-loaded"
+	case FutureHeadroom:
+		return "future-headroom"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy resolves a policy name (CLI flags), inverse of String.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range []Policy{RoundRobin, LeastLoaded, FutureHeadroom} {
+		if s == p.String() {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: unknown policy %q (round-robin, least-loaded, future-headroom)", s)
+}
+
+// AutoScale is the threshold-reactive scaling policy: scale out when the
+// mean predicted load of the accepting replicas exceeds HighWater, scale in
+// (one drained replica at a time) when it falls below LowWater. It is the
+// baseline the predictive planner is measured against.
+type AutoScale struct {
+	// Min and Max bound the active replica count.
+	Min, Max int
+	// HighWater: scale out when mean predicted load across accepting
+	// replicas exceeds this fraction (e.g. 0.85).
+	HighWater float64
+	// LowWater: scale in when mean predicted load falls below this
+	// fraction (e.g. 0.30) and a replica is drained.
+	LowWater float64
+	// ActivationDelay is the simulated seconds between a scale-out decision
+	// and the replica accepting traffic (model load time).
+	ActivationDelay float64
+	// EvalInterval, when positive, additionally evaluates the thresholds on
+	// a periodic tick (so the policy can scale in while traffic drains, not
+	// only at arrivals). 0 evaluates at arrivals only — the original
+	// router behavior.
+	EvalInterval float64
+}
+
+// Config configures one Pool: a set of same-role replicas behind a routing
+// policy with optional autoscaling. It doubles as the Fleet configuration —
+// a monolithic fleet *is* the one-pool RoleMixed cluster.
+type Config struct {
+	// Role is the serving phase this pool executes. Every replica engine
+	// must be built with the same engine.Role. RoleMixed (zero value) is
+	// monolithic serving.
+	Role engine.Role
+	// Replicas are homogeneous serving engines. Required, ≥ 1.
+	Replicas []*engine.Engine
+	// Policy selects the routing policy.
+	Policy Policy
+	// Quantile for FutureHeadroom predictions. 0 selects 0.9.
+	Quantile float64
+	// Scale enables threshold-reactive autoscaling. Mutually exclusive with
+	// Planner; nil (with nil Planner) serves on all replicas.
+	Scale *AutoScale
+	// Planner enables the predictive SLA planner. In a disaggregated
+	// cluster each pool carries its own planner, sized against the latency
+	// phase it owns: TTFT interpolation for a prefill pool, TPOT for a
+	// decode pool.
+	Planner *PlannerConfig
+	// NaiveProbe computes every FutureHeadroom probe and reactive load with
+	// the reference core.PredictedBatchPeak (one estimator clone+sort per
+	// probe) instead of the warm per-replica estimators. The decisions are
+	// identical either way; this switch exists as the benchmark baseline
+	// and for cross-check tests.
+	NaiveProbe bool
+	// OnRoute, when non-nil, observes every routing decision into this pool
+	// (pool-local replica index).
+	OnRoute func(r *request.Request, replica int)
+}
+
+// replica is the pool's bookkeeping around one engine.
+type replica struct {
+	eng *engine.Engine
+	idx int
+
+	active   bool    // provisioned (may still be activating)
+	awake    bool    // activation delay elapsed; eligible for traffic
+	draining bool    // scaling in: no new traffic, retires when drained
+	wakeAt   float64 // activation time of the pending/last activation
+
+	routed int
+	inHeap bool // a step event for this replica is in the event heap
+
+	// Warm probe state: est holds QuantileEntry for every running and
+	// queued request, rebuilt lazily after the replica's state changes.
+	est      core.PeakEstimator
+	sampler  *dist.Sampler
+	estValid bool
+
+	activeAt   float64 // when the current active span began
+	activeSecs float64 // closed active spans (replica-seconds accounting)
+}
+
+// Pool owns one role's replicas: routing, warm probe state, and scaling
+// mechanics. The cluster owns the shared event clock; the pool pushes its
+// activation and tick events through it.
+type Pool struct {
+	cfg Config
+	clu *Cluster
+	id  int // pool index in the cluster
+
+	reps []*replica
+
+	rr        int
+	accepting []*replica // active, awake, not draining; index order
+
+	plan          *planner
+	planScheduled bool
+
+	scaleUps int
+	scaleIns int
+}
+
+// newPool validates one pool configuration and builds it into the cluster.
+func newPool(c *Cluster, id int, cfg Config) (*Pool, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("cluster: pool %d: at least one replica required", id)
+	}
+	for i, e := range cfg.Replicas {
+		if e.Role() != cfg.Role {
+			return nil, fmt.Errorf("cluster: pool %d is %v but replica %d's engine is %v",
+				id, cfg.Role, i, e.Role())
+		}
+	}
+	if cfg.Quantile == 0 {
+		cfg.Quantile = 0.9
+	}
+	if cfg.Quantile < 0 || cfg.Quantile > 1 {
+		return nil, fmt.Errorf("cluster: quantile %v outside [0,1]", cfg.Quantile)
+	}
+	if cfg.Scale != nil && cfg.Planner != nil {
+		return nil, fmt.Errorf("cluster: reactive Scale and predictive Planner are mutually exclusive")
+	}
+	initial := len(cfg.Replicas)
+	if cfg.Scale != nil {
+		if cfg.Scale.Min < 1 || cfg.Scale.Max > len(cfg.Replicas) || cfg.Scale.Min > cfg.Scale.Max {
+			return nil, fmt.Errorf("cluster: bad autoscale bounds [%d, %d] for %d replicas",
+				cfg.Scale.Min, cfg.Scale.Max, len(cfg.Replicas))
+		}
+		if cfg.Scale.EvalInterval < 0 {
+			return nil, fmt.Errorf("cluster: negative autoscale eval interval %v", cfg.Scale.EvalInterval)
+		}
+		initial = cfg.Scale.Min
+	}
+	p := &Pool{cfg: cfg, clu: c, id: id}
+	if cfg.Planner != nil {
+		pc := *cfg.Planner
+		if err := pc.validate(len(cfg.Replicas)); err != nil {
+			return nil, err
+		}
+		pc = pc.withDefaults()
+		p.cfg.Planner = &pc
+		initial = pc.Min
+	}
+	p.reps = make([]*replica, len(cfg.Replicas))
+	for i, e := range cfg.Replicas {
+		p.reps[i] = &replica{eng: e, idx: i}
+	}
+	for i := 0; i < initial; i++ {
+		p.reps[i].active = true
+		p.reps[i].awake = true
+	}
+	if p.cfg.Planner != nil {
+		e0 := p.reps[0].eng
+		p.plan = newPlanner(*p.cfg.Planner, e0.Perf(), e0.Pool().CapacityTokens(), cfg.Role, c.transferEstimate(e0))
+		for _, rep := range p.reps {
+			rep.eng.AddFinishHook(func(_ float64, r *request.Request) {
+				p.plan.observeFinish(r.Generated, r.TTFT(), r.TPOT())
+			})
+		}
+	}
+	p.rebuildAccepting()
+	return p, nil
+}
+
+// Role returns the pool's serving role.
+func (p *Pool) Role() engine.Role { return p.cfg.Role }
+
+// RoutedCounts returns how many requests each replica received.
+func (p *Pool) RoutedCounts() []int {
+	out := make([]int, len(p.reps))
+	for i, rep := range p.reps {
+		out[i] = rep.routed
+	}
+	return out
+}
+
+// ScaleEvents returns (scale-out, scale-in) decision counts.
+func (p *Pool) ScaleEvents() (out, in int) { return p.scaleUps, p.scaleIns }
+
+// ActiveReplicas returns the number of provisioned, non-draining replicas.
+func (p *Pool) ActiveReplicas() int {
+	n := 0
+	for _, rep := range p.reps {
+		if rep.active && !rep.draining {
+			n++
+		}
+	}
+	return n
+}
+
+// ReplicaSeconds returns the accumulated provisioned time across the pool:
+// the integral of the active replica count over the run, the cost side of
+// the autoscaling comparison. Complete after Serve returns.
+func (p *Pool) ReplicaSeconds() float64 {
+	sum := 0.0
+	for _, rep := range p.reps {
+		sum += rep.activeSecs
+	}
+	return sum
+}
+
+// PlanHistory returns the planner's evaluation trace (nil without a
+// planner).
+func (p *Pool) PlanHistory() []PlanSample {
+	if p.plan == nil {
+		return nil
+	}
+	return p.plan.History
+}
+
+// Imbalance returns the coefficient of variation of per-replica routed
+// counts (0 = perfectly balanced). Only meaningful without autoscaling.
+func (p *Pool) Imbalance() float64 {
+	var sum float64
+	for _, rep := range p.reps {
+		sum += float64(rep.routed)
+	}
+	n := float64(len(p.reps))
+	mean := sum / n
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, rep := range p.reps {
+		d := float64(rep.routed) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/n) / mean
+}
+
+// tickInterval returns the pool's autoscaler tick period, 0 when untimed.
+func (p *Pool) tickInterval() float64 {
+	if p.plan != nil {
+		return p.cfg.Planner.Interval
+	}
+	if p.cfg.Scale != nil {
+		return p.cfg.Scale.EvalInterval
+	}
+	return 0
+}
+
+// ensureTick (re)arms the pool's periodic autoscaler tick after an arrival
+// or delivery; ticks self-rearm while the cluster is busy and stop when it
+// idles.
+func (p *Pool) ensureTick(now float64) {
+	if p.planScheduled {
+		return
+	}
+	if iv := p.tickInterval(); iv > 0 {
+		p.scheduleTick(now + iv)
+	}
+}
+
+func (p *Pool) scheduleTick(at float64) {
+	p.planScheduled = true
+	p.clu.pushEvent(event{at: at, kind: evPlan, pool: p.id})
+}
+
+// rebuildAccepting refreshes the routing candidate list. Called only when
+// the activation state changes, never per arrival.
+func (p *Pool) rebuildAccepting() {
+	p.accepting = p.accepting[:0]
+	for _, rep := range p.reps {
+		if rep.active && rep.awake && !rep.draining {
+			p.accepting = append(p.accepting, rep)
+		}
+	}
+}
+
+// pick selects the replica for one request under the configured policy.
+func (p *Pool) pick(req *request.Request) *replica {
+	cands := p.accepting
+	if len(cands) == 0 {
+		// Every provisioned replica is still activating (or draining): fall
+		// back to the first active one so traffic is never dropped by the
+		// pool itself.
+		for _, rep := range p.reps {
+			if rep.active {
+				return rep
+			}
+		}
+		return p.reps[0]
+	}
+	switch p.cfg.Policy {
+	case LeastLoaded:
+		best, bestLoad := cands[0], math.MaxInt
+		for _, rep := range cands {
+			load := rep.eng.QueueLen() + rep.eng.RunningLen()
+			if load < bestLoad {
+				best, bestLoad = rep, load
+			}
+		}
+		return best
+	case FutureHeadroom:
+		best, bestLoad := cands[0], math.Inf(1)
+		for _, rep := range cands {
+			load := p.probe(rep, req)
+			if load < bestLoad {
+				best, bestLoad = rep, load
+			}
+		}
+		return best
+	default: // RoundRobin — rotation starts at the first accepting replica
+		rep := cands[p.rr%len(cands)]
+		p.rr++
+		return rep
+	}
+}
+
+// route records and executes one routing decision into the pool.
+func (p *Pool) route(req *request.Request) *replica {
+	rep := p.pick(req)
+	rep.routed++
+	if p.cfg.OnRoute != nil {
+		p.cfg.OnRoute(req, rep.idx)
+	}
+	return rep
+}
+
+// probe returns the predicted future peak memory of a replica's batch plus
+// queue plus the candidate, as a fraction of its capacity. The warm path is
+// allocation-free: the per-replica estimator is rebuilt in place only when
+// the replica's state changed, and the candidate is an O(log B) PeakWith.
+func (p *Pool) probe(rep *replica, req *request.Request) float64 {
+	if p.cfg.NaiveProbe {
+		batch := rep.eng.RunningRequests()
+		batch = append(batch, rep.eng.QueuedRequests()...)
+		batch = append(batch, req)
+		peak := core.PredictedBatchPeak(batch, rep.eng.History(), p.cfg.Quantile)
+		return float64(peak) / float64(rep.eng.Pool().CapacityTokens())
+	}
+	p.ensureEst(rep)
+	cand := core.QuantileEntry(req, rep.sampler, p.cfg.Quantile)
+	return float64(rep.est.PeakWith(cand)) / float64(rep.eng.Pool().CapacityTokens())
+}
+
+// load returns the predicted peak of a replica's batch plus queue (no
+// candidate) as a fraction of capacity — the reactive autoscaler's signal.
+func (p *Pool) load(rep *replica) float64 {
+	if p.cfg.NaiveProbe {
+		batch := rep.eng.RunningRequests()
+		batch = append(batch, rep.eng.QueuedRequests()...)
+		peak := core.PredictedBatchPeak(batch, rep.eng.History(), p.cfg.Quantile)
+		return float64(peak) / float64(rep.eng.Pool().CapacityTokens())
+	}
+	p.ensureEst(rep)
+	return float64(rep.est.Peak()) / float64(rep.eng.Pool().CapacityTokens())
+}
+
+// ensureEst rebuilds a replica's warm estimator if its engine stepped or
+// received a request since the last probe.
+func (p *Pool) ensureEst(rep *replica) {
+	if rep.estValid {
+		return
+	}
+	rep.sampler = rep.eng.History().Sampler()
+	rep.est.Reset()
+	push := func(r *request.Request) {
+		rep.est.Push(core.QuantileEntry(r, rep.sampler, p.cfg.Quantile))
+	}
+	rep.eng.ForEachRunning(push)
+	rep.eng.ForEachQueued(push)
+	rep.estValid = true
+}
+
+// reactiveScale applies the high/low-water policy on the mean predicted
+// load of the accepting replicas (the original router's autoscaler).
+func (p *Pool) reactiveScale(now float64) {
+	sc := p.cfg.Scale
+	if len(p.accepting) == 0 {
+		return
+	}
+	var loadSum float64
+	for _, rep := range p.accepting {
+		loadSum += p.load(rep)
+	}
+	mean := loadSum / float64(len(p.accepting))
+	if mean > sc.HighWater && p.ActiveReplicas() < sc.Max {
+		for _, rep := range p.reps {
+			if !rep.active {
+				p.activate(rep, now, sc.ActivationDelay)
+				break
+			}
+		}
+		return
+	}
+	if mean < sc.LowWater && p.ActiveReplicas() > sc.Min {
+		// Deactivate the last active, fully drained replica. Idle() (not
+		// just empty queue+batch) so a replica with a routed arrival still
+		// in its arrival heap keeps its replica-seconds clock running.
+		for i := len(p.reps) - 1; i >= 0; i-- {
+			rep := p.reps[i]
+			if rep.active && rep.eng.Idle() {
+				p.scaleIns++
+				p.retire(rep, now)
+				break
+			}
+		}
+	}
+}
+
+// applyTarget moves the pool toward the planner's replica target: cancel
+// draining first (warm capacity), then activate cold replicas; scale in by
+// retiring idle replicas immediately and draining busy ones.
+func (p *Pool) applyTarget(now float64, target int) {
+	active := p.ActiveReplicas()
+	for active < target {
+		undrained := false
+		for _, rep := range p.reps {
+			if rep.active && rep.draining {
+				rep.draining = false
+				p.scaleUps++
+				p.rebuildAccepting()
+				undrained = true
+				break
+			}
+		}
+		if undrained {
+			active++
+			continue
+		}
+		var cold *replica
+		for _, rep := range p.reps {
+			if !rep.active {
+				cold = rep
+				break
+			}
+		}
+		if cold == nil {
+			return
+		}
+		p.activate(cold, now, p.cfg.Planner.ActivationDelay)
+		active++
+	}
+	for active > target {
+		rep := p.scaleInVictim()
+		if rep == nil {
+			return
+		}
+		p.scaleIns++
+		if rep.eng.Idle() {
+			p.retire(rep, now)
+		} else {
+			rep.draining = true
+			p.rebuildAccepting()
+		}
+		active--
+	}
+}
+
+// scaleInVictim picks the next replica to scale in: idle ones first, then
+// the highest-index busy one (which will drain).
+func (p *Pool) scaleInVictim() *replica {
+	for i := len(p.reps) - 1; i >= 0; i-- {
+		rep := p.reps[i]
+		if rep.active && !rep.draining && rep.eng.Idle() {
+			return rep
+		}
+	}
+	for i := len(p.reps) - 1; i >= 0; i-- {
+		rep := p.reps[i]
+		if rep.active && !rep.draining {
+			return rep
+		}
+	}
+	return nil
+}
+
+// activate provisions a replica: it starts paying replica-seconds now and
+// accepts traffic after the activation delay.
+func (p *Pool) activate(rep *replica, now, delay float64) {
+	rep.active = true
+	rep.draining = false
+	rep.activeAt = now
+	p.scaleUps++
+	if delay <= 0 {
+		rep.awake = true
+		rep.wakeAt = now
+		p.rebuildAccepting()
+		return
+	}
+	rep.awake = false
+	rep.wakeAt = now + delay
+	p.clu.pushEvent(event{at: rep.wakeAt, kind: evActivate, pool: p.id, rep: rep.idx})
+}
+
+// retire closes a replica's active span (scale-in decision already
+// counted).
+func (p *Pool) retire(rep *replica, now float64) {
+	if !rep.active {
+		return
+	}
+	rep.active = false
+	rep.awake = false
+	rep.draining = false
+	if span := now - rep.activeAt; span > 0 {
+		rep.activeSecs += span
+	}
+	p.rebuildAccepting()
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"github.com/lightllm-go/lightllm/internal/engine"
 	"github.com/lightllm-go/lightllm/internal/metrics"
 )
 
@@ -107,7 +108,7 @@ func TestPlannerTargetScalesWithRate(t *testing.T) {
 	pm := testPerf()
 	p := newPlanner(PlannerConfig{
 		SLA: metrics.SLASmall, Min: 1, Max: 8, Interval: 10, Predictor: ConstantPredictor,
-	}.withDefaults(), pm, pm.CapacityTokens())
+	}.withDefaults(), pm, pm.CapacityTokens(), engine.RoleMixed, nil)
 	low := p.targetReplicas(0.5, 500, 300)
 	high := p.targetReplicas(50, 500, 300)
 	if low < 1 || high > 8 {

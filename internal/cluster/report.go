@@ -8,32 +8,53 @@ import (
 	"github.com/lightllm-go/lightllm/internal/request"
 )
 
-// Report aggregates one fleet run: the per-replica engine results rolled up
-// into fleet-level SLA attainment, plus the autoscaling cost side
-// (replica-seconds) that single-engine results cannot express.
+// Report aggregates one cluster run: the per-replica engine results rolled
+// up into fleet-level SLA attainment, plus the autoscaling cost side
+// (replica-seconds) that single-engine results cannot express. In a
+// disaggregated run the TTFT entering the summary is attributed from
+// arrival to the first token *after* the KV-transfer delivery (the engine
+// shifts the SLA clock at RecordMigration), never to prefill completion —
+// users see nothing before the handoff lands.
 type Report struct {
 	// Summary is the fleet-level SLA attainment over every request the
-	// fleet finished (or abandoned), replicas merged.
+	// cluster finished (or abandoned), replicas merged across pools.
 	Summary metrics.Summary
-	// Replicas is the fleet size; ReplicaSeconds the provisioned time
-	// integral (the autoscaler's cost).
+	// Replicas is the total replica count across pools; ReplicaSeconds the
+	// provisioned time integral (the autoscaler's cost).
 	Replicas       int
 	ReplicaSeconds float64
-	// ScaleOuts / ScaleIns count autoscaler decisions.
+	// ScaleOuts / ScaleIns count autoscaler decisions across pools.
 	ScaleOuts, ScaleIns int
-	// RoutedCounts is requests per replica; Imbalance their coefficient of
-	// variation.
+	// RoutedCounts is requests per replica, pool-major; Imbalance their
+	// coefficient of variation within the entry pool.
 	RoutedCounts []int
 	Imbalance    float64
-	// Finished / Failed / TimedOut are fleet totals.
+	// Finished / Failed / TimedOut are cluster totals.
 	Finished, Failed, TimedOut int
 	// Duration is the simulated span of the run.
 	Duration float64
+
+	// Pools breaks the totals down per pool (one entry for a monolithic
+	// fleet).
+	Pools []PoolReport
+	// Handoffs counts completed KV migrations; MeanTransferDelay is the
+	// mean simulated prefill→decode delivery delay (0 when monolithic).
+	Handoffs          int
+	MeanTransferDelay float64
+}
+
+// PoolReport is one pool's share of a cluster report.
+type PoolReport struct {
+	Role                engine.Role
+	Replicas            int
+	ReplicaSeconds      float64
+	ScaleOuts, ScaleIns int
+	RoutedCounts        []int
 }
 
 // Report rolls up per-replica results against an SLA. Call after Serve with
-// the results it returned.
-func (f *Fleet) Report(results []*engine.Result, sla metrics.SLA) Report {
+// the results it returned (pool-major order).
+func (c *Cluster) Report(results []*engine.Result, sla metrics.SLA) Report {
 	var finished, timedOut []*request.Request
 	failed := 0
 	for _, res := range results {
@@ -41,26 +62,51 @@ func (f *Fleet) Report(results []*engine.Result, sla metrics.SLA) Report {
 		timedOut = append(timedOut, res.TimedOut...)
 		failed += len(res.Failed)
 	}
-	end := f.endAt
-	if end <= f.startAt {
-		end = f.startAt + 1e-9 // degenerate empty run: keep Summarize happy
+	end := c.endAt
+	if end <= c.startAt {
+		end = c.startAt + 1e-9 // degenerate empty run: keep Summarize happy
 	}
-	sum := metrics.Summarize(finished, sla, f.startAt, end)
-	sum.AddTimedOut(timedOut, f.startAt, end)
-	out, in := f.ScaleEvents()
-	return Report{
+	sum := metrics.Summarize(finished, sla, c.startAt, end)
+	sum.AddTimedOut(timedOut, c.startAt, end)
+	r := Report{
 		Summary:        sum,
-		Replicas:       len(f.reps),
-		ReplicaSeconds: f.ReplicaSeconds(),
-		ScaleOuts:      out,
-		ScaleIns:       in,
-		RoutedCounts:   f.RoutedCounts(),
-		Imbalance:      f.Imbalance(),
+		ReplicaSeconds: c.ReplicaSeconds(),
+		Imbalance:      c.pools[c.entry].Imbalance(),
 		Finished:       len(finished),
 		Failed:         failed,
 		TimedOut:       len(timedOut),
-		Duration:       f.Duration(),
+		Duration:       c.Duration(),
+		Handoffs:       len(c.handoffs),
 	}
+	for _, p := range c.pools {
+		out, in := p.ScaleEvents()
+		r.Replicas += len(p.reps)
+		r.ScaleOuts += out
+		r.ScaleIns += in
+		r.RoutedCounts = append(r.RoutedCounts, p.RoutedCounts()...)
+		r.Pools = append(r.Pools, PoolReport{
+			Role:           p.cfg.Role,
+			Replicas:       len(p.reps),
+			ReplicaSeconds: p.ReplicaSeconds(),
+			ScaleOuts:      out,
+			ScaleIns:       in,
+			RoutedCounts:   p.RoutedCounts(),
+		})
+	}
+	var delay float64
+	for _, h := range c.handoffs {
+		delay += h.DeliveredAt - h.PrefillDoneAt
+	}
+	if len(c.handoffs) > 0 {
+		r.MeanTransferDelay = delay / float64(len(c.handoffs))
+	}
+	return r
+}
+
+// Report rolls up per-replica results against an SLA — the monolithic
+// fleet's view of the cluster report.
+func (f *Fleet) Report(results []*engine.Result, sla metrics.SLA) Report {
+	return f.clu.Report(results, sla)
 }
 
 // String renders a one-line report for logs.

@@ -62,6 +62,40 @@ func (s Strategy) String() string {
 	}
 }
 
+// Role selects which serving phase the engine executes — the disaggregated
+// prefill/decode split (Dynamo, DistServe, Splitwise) at the engine level.
+type Role int
+
+const (
+	// RoleMixed runs both phases on one engine: monolithic serving, the
+	// default and the paper's setting.
+	RoleMixed Role = iota
+	// RolePrefillOnly runs prompts only: a request completes at its first
+	// token (computed by the prefill pass), frees its KV allocation, and is
+	// handed off to a decode engine through the OnHandoff hook — unless the
+	// first token is also its last, in which case it finishes here.
+	RolePrefillOnly
+	// RoleDecodeOnly runs decode only: it accepts requests migrated from a
+	// prefill engine via SubmitMigrated, whose KV footprint (prompt + the
+	// prefill token) is re-allocated without prefill compute on first
+	// admission — the transfer itself is the cluster link's business.
+	RoleDecodeOnly
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleMixed:
+		return "mixed"
+	case RolePrefillOnly:
+		return "prefill-only"
+	case RoleDecodeOnly:
+		return "decode-only"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
 // EvictionPolicy selects how evicted requests recover their KV state
 // (§2.4 mentions both: "recomputation or swapping").
 type EvictionPolicy int
@@ -105,6 +139,10 @@ type Hooks struct {
 	OnDrop func(now float64, r *request.Request)
 	// OnFail fires when the engine drops a request as unservable.
 	OnFail func(now float64, r *request.Request)
+	// OnHandoff fires when a prefill-only engine completes a request's
+	// prompt and releases it for migration to a decode engine. The request's
+	// KV memory is already freed; r.PrefillDoneAt records the handoff time.
+	OnHandoff func(now float64, r *request.Request)
 	// OnIteration fires after every engine iteration.
 	OnIteration func(now float64, it Iteration)
 }
@@ -132,6 +170,10 @@ type Config struct {
 	HistoryWindow int
 	// Strategy selects the iteration composition.
 	Strategy Strategy
+	// Role selects monolithic (RoleMixed, default) or disaggregated
+	// prefill-only/decode-only operation. Non-mixed roles require the
+	// PrefillPriority strategy.
+	Role Role
 	// SplitFuseBudget is the token budget per mixed iteration. 0 selects 512.
 	SplitFuseBudget int
 	// MaxPrefillTokens caps the prompt tokens fused into one prefill
@@ -198,6 +240,7 @@ type Engine struct {
 	finished        []*request.Request
 	failed          []*request.Request
 	timedOut        []*request.Request
+	handedOff       []*request.Request // prefill-only: completed prompts awaiting migration
 	decodeSteps     int
 	prefillIters    int
 	mixedIters      int
@@ -256,6 +299,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.QueueTimeout < 0 {
 		return nil, fmt.Errorf("engine: negative queue timeout %v", cfg.QueueTimeout)
+	}
+	if cfg.Role != RoleMixed && cfg.Strategy != PrefillPriority {
+		return nil, fmt.Errorf("engine: role %v requires the prefill-priority strategy, got %v", cfg.Role, cfg.Strategy)
 	}
 	e := &Engine{
 		cfg:     cfg,
@@ -316,6 +362,9 @@ func (e *Engine) History() *dist.Window { return e.history }
 // Perf exposes the latency/capacity model (the cluster SLA planner
 // interpolates TTFT/TPOT from it when sizing the fleet).
 func (e *Engine) Perf() *perf.Model { return e.cfg.Perf }
+
+// Role returns the engine's serving role (mixed, prefill-only, decode-only).
+func (e *Engine) Role() Role { return e.cfg.Role }
 
 // QueueLen returns the number of waiting requests.
 func (e *Engine) QueueLen() int { return e.queue.Len() }
@@ -408,6 +457,18 @@ func (e *Engine) AddDropHook(f func(now float64, r *request.Request)) {
 	}
 }
 
+// AddHandoffHook chains f after any existing OnHandoff hook. The cluster's
+// transfer link schedules the KV migration from here.
+func (e *Engine) AddHandoffHook(f func(now float64, r *request.Request)) {
+	prev := e.cfg.Hooks.OnHandoff
+	e.cfg.Hooks.OnHandoff = func(now float64, r *request.Request) {
+		if prev != nil {
+			prev(now, r)
+		}
+		f(now, r)
+	}
+}
+
 // AddFailHook chains f after any existing OnFail hook.
 func (e *Engine) AddFailHook(f func(now float64, r *request.Request)) {
 	prev := e.cfg.Hooks.OnFail
@@ -445,7 +506,27 @@ func (e *Engine) Submit(r *request.Request) {
 		r.ArrivalTime = e.clock
 	}
 	e.seq++
-	e.arrivals.push(arrivalItem{r: r, seq: e.seq})
+	e.arrivals.push(arrivalItem{r: r, at: r.ArrivalTime, seq: e.seq})
+}
+
+// SubmitMigrated schedules a request handed off from a prefill-only engine:
+// it enters this engine's queue at the KV-delivery time `at` (clamped to
+// now) while keeping its original ArrivalTime, so TTFT and queue-timeout
+// accounting stay measured from the user's arrival. The request must carry
+// the prefill token (call request.RecordMigration first); its pre-seeded KV
+// footprint (prompt + generated) and conditional remaining-length
+// distribution then feed the scheduler's PeakEstimator exactly like a
+// re-queued eviction — a known Generated prefix conditioning the quantile.
+func (e *Engine) SubmitMigrated(r *request.Request, at float64) {
+	if !r.Migrated {
+		panic(fmt.Sprintf("engine: SubmitMigrated of request %d without RecordMigration", r.ID))
+	}
+	if at < e.clock {
+		at = e.clock
+	}
+	r.State = request.Waiting
+	e.seq++
+	e.arrivals.push(arrivalItem{r: r, at: at, seq: e.seq})
 }
 
 // SubmitAll submits every request in rs as one bulk merge: the arrivals are
@@ -462,7 +543,7 @@ func (e *Engine) SubmitAll(rs []*request.Request) {
 			r.ArrivalTime = e.clock
 		}
 		e.seq++
-		e.arrivals = append(e.arrivals, arrivalItem{r: r, seq: e.seq})
+		e.arrivals = append(e.arrivals, arrivalItem{r: r, at: r.ArrivalTime, seq: e.seq})
 	}
 	e.arrivals.init()
 }
@@ -473,11 +554,15 @@ func (e *Engine) Idle() bool {
 		len(e.staticBatch) == 0 && e.arrivals.Len() == 0
 }
 
-// arrival heap: orders pending submissions by arrival time, FIFO on ties.
+// arrival heap: orders pending submissions by due time, FIFO on ties. The
+// due time `at` is the request's ArrivalTime for fresh submissions and the
+// KV-delivery time for migrated ones (whose ArrivalTime must stay the
+// user's arrival for SLA accounting).
 // A typed binary heap rather than container/heap: the interface{} boxing of
 // heap.Push/Pop allocates per arrival, which the scheduling hot path avoids.
 type arrivalItem struct {
 	r   *request.Request
+	at  float64
 	seq int64
 }
 
@@ -486,8 +571,8 @@ type arrivalHeap []arrivalItem
 func (h arrivalHeap) Len() int { return len(h) }
 
 func (h arrivalHeap) less(i, j int) bool {
-	if h[i].r.ArrivalTime != h[j].r.ArrivalTime {
-		return h[i].r.ArrivalTime < h[j].r.ArrivalTime
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }

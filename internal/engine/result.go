@@ -22,6 +22,10 @@ type Result struct {
 	// past the queue timeout (Config.QueueTimeout); they count as TTFT SLA
 	// violations in goodput accounting.
 	TimedOut []*request.Request
+	// HandedOff holds requests a prefill-only engine completed at their
+	// first token and released for KV migration to a decode engine; their
+	// remaining lifecycle (and SLA metrics) conclude on the decode side.
+	HandedOff []*request.Request
 
 	// DecodeSteps counts decode (and splitfuse mixed) iterations — Table 1's
 	// "Decoding Steps" column normalised per run.
@@ -118,6 +122,7 @@ func (e *Engine) Snapshot() *Result {
 		Finished:           append([]*request.Request(nil), e.finished...),
 		Failed:             append([]*request.Request(nil), e.failed...),
 		TimedOut:           append([]*request.Request(nil), e.timedOut...),
+		HandedOff:          append([]*request.Request(nil), e.handedOff...),
 		DecodeSteps:        e.decodeSteps,
 		PrefillIters:       e.prefillIters,
 		Evictions:          e.evictions,

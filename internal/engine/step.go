@@ -17,8 +17,8 @@ func (e *Engine) Step() bool {
 	}
 	if !e.started {
 		e.started = true
-		if e.arrivals.Len() > 0 && e.arrivals[0].r.ArrivalTime > e.clock {
-			e.clock = e.arrivals[0].r.ArrivalTime
+		if e.arrivals.Len() > 0 && e.arrivals[0].at > e.clock {
+			e.clock = e.arrivals[0].at
 		}
 		e.startClock = e.clock
 		e.memUtil.Start(e.clock)
@@ -68,7 +68,7 @@ func (e *Engine) Step() bool {
 
 	// Nothing is running and nothing was admitted.
 	if e.arrivals.Len() > 0 {
-		next := e.arrivals[0].r.ArrivalTime
+		next := e.arrivals[0].at
 		if next > e.clock {
 			e.observe(next) // idle gap: occupancy holds (zero) until arrival
 			e.clock = next
@@ -91,7 +91,7 @@ func (e *Engine) Step() bool {
 
 // moveArrivals transfers due arrivals into the FCFS queue.
 func (e *Engine) moveArrivals() {
-	for e.arrivals.Len() > 0 && e.arrivals[0].r.ArrivalTime <= e.clock {
+	for e.arrivals.Len() > 0 && e.arrivals[0].at <= e.clock {
 		e.queue.PushBack(e.arrivals.pop().r)
 	}
 }
@@ -148,25 +148,36 @@ func (e *Engine) admit() []*request.Request {
 	if n <= 0 {
 		return nil
 	}
+	if e.cfg.Strategy == PrefillPriority && e.cfg.MaxPrefillTokens > 0 {
+		// Trim the admitted prefix to the prefill token budget via the
+		// deque's maintained prefix sums — one O(log n) search instead of
+		// re-walking every candidate's footprint. At least one request is
+		// always prefilled so oversized prompts still make progress.
+		if cut := e.queue.PrefixWithin(int64(e.cfg.MaxPrefillTokens), n); cut < n {
+			n = cut
+			if n < 1 {
+				n = 1
+			}
+		}
+	}
 	admitted := e.admitScratch[:0]
-	prefillTokens := 0
 	for i := 0; i < n; i++ {
 		r := e.queue.Front()
-		if e.cfg.Strategy == PrefillPriority && e.cfg.MaxPrefillTokens > 0 &&
-			len(admitted) > 0 && prefillTokens+r.Footprint() > e.cfg.MaxPrefillTokens {
-			break // prefill budget reached; the rest stay queued for later
-		}
 		if !e.pool.Allocate(r.ID, r.Footprint()) {
 			break // block fragmentation: physically infeasible, stop here
 		}
-		prefillTokens += r.Footprint()
 		e.queue.PopFront()
 		r.State = request.Running
 		r.Admissions++
 		e.admissions++
-		e.inputTokens += int64(r.InputLen)
-		if r.Generated > 0 && !r.Swapped {
-			e.recomputeTokens += int64(r.Footprint())
+		// A migrated first admission encodes nothing here: the prompt was
+		// processed on the prefill engine and the KV arrived over the link,
+		// so neither input nor recompute tokens accrue to this engine.
+		if !r.Migrated {
+			e.inputTokens += int64(r.InputLen)
+			if r.Generated > 0 && !r.Swapped {
+				e.recomputeTokens += int64(r.Footprint())
+			}
 		}
 		admitted = append(admitted, r)
 	}
@@ -248,6 +259,14 @@ func (e *Engine) runPrefill(admitted []*request.Request) {
 	promptTokens := 0
 	swapTokens := 0
 	for _, r := range admitted {
+		if r.Migrated {
+			// First admission of a KV migration from a prefill engine: the
+			// cache arrived over the cluster's transfer link (already
+			// simulated there), so this engine pays nothing. A later
+			// eviction clears the flag's benefit: recompute as usual.
+			r.Migrated = false
+			continue
+		}
 		if r.Swapped {
 			// Swap recovery: the KV state streams back over the host link
 			// instead of being recomputed.
@@ -261,9 +280,45 @@ func (e *Engine) runPrefill(admitted []*request.Request) {
 	dur := e.cfg.Perf.PrefillTime(promptTokens) + e.cfg.Perf.SwapTime(swapTokens)
 	e.clock += dur
 	e.prefillIters++
+	if e.cfg.Role == RolePrefillOnly {
+		e.completePrefills(admitted)
+		e.observe(e.clock)
+		e.iterationHook("prefill", dur, len(admitted))
+		return
+	}
 	e.running = append(e.running, admitted...)
 	e.observe(e.clock)
 	e.iterationHook("prefill", dur, len(admitted))
+}
+
+// completePrefills ends admitted requests at their first token (prefill-only
+// role): the prefill pass computes the first output token, the KV memory is
+// released for the next prompt wave, and the request either finishes here
+// (single-token outputs need no decode phase) or is handed off for KV
+// migration to a decode engine.
+func (e *Engine) completePrefills(admitted []*request.Request) {
+	for _, r := range admitted {
+		r.EmitToken(e.clock)
+		if e.cfg.Hooks.OnToken != nil {
+			e.cfg.Hooks.OnToken(e.clock, r)
+		}
+		e.outputTokens++
+		e.pool.Free(r.ID)
+		if r.Done() {
+			r.Finish(e.clock)
+			e.recordFinishedLength(r.Class, r.TrueOutputLen)
+			e.finished = append(e.finished, r)
+			if e.cfg.Hooks.OnFinish != nil {
+				e.cfg.Hooks.OnFinish(e.clock, r)
+			}
+			continue
+		}
+		r.PrefillDoneAt = e.clock
+		e.handedOff = append(e.handedOff, r)
+		if e.cfg.Hooks.OnHandoff != nil {
+			e.cfg.Hooks.OnHandoff(e.clock, r)
+		}
+	}
 }
 
 // runDecode executes one decode step: every running request emits one token.

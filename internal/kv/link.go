@@ -1,0 +1,83 @@
+package kv
+
+import "fmt"
+
+// Link models the KV-cache transfer path between disaggregated prefill and
+// decode workers (NVLink/RDMA in Dynamo-style deployments, PCIe within a
+// node): a handoff is not free — it pays a fixed latency plus the cache
+// size over the link bandwidth, and transfers optionally serialize behind
+// each other so a burst of simultaneous handoffs queues on the wire.
+//
+// The link is a simulation-time resource like the Pool: not safe for
+// concurrent use, owned single-threaded by the cluster event loop.
+type Link struct {
+	// BandwidthBytesPerSec is the effective transfer bandwidth. 0 models an
+	// infinitely fast wire (latency-only link).
+	BandwidthBytesPerSec float64
+	// LatencySec is the fixed per-transfer setup cost (connection, metadata
+	// exchange, kernel launch on both ends).
+	LatencySec float64
+	// Serialize queues transfers behind each other: a handoff issued while
+	// an earlier one is still on the wire starts when the wire frees. When
+	// false, transfers overlap perfectly (a modeling upper bound).
+	Serialize bool
+
+	busyUntil float64
+}
+
+// NewLink validates the parameters and builds a serialized link, the
+// realistic default for a shared interconnect.
+func NewLink(bandwidthBytesPerSec, latencySec float64) (*Link, error) {
+	if bandwidthBytesPerSec < 0 {
+		return nil, fmt.Errorf("kv: negative link bandwidth %v", bandwidthBytesPerSec)
+	}
+	if latencySec < 0 {
+		return nil, fmt.Errorf("kv: negative link latency %v", latencySec)
+	}
+	return &Link{
+		BandwidthBytesPerSec: bandwidthBytesPerSec,
+		LatencySec:           latencySec,
+		Serialize:            true,
+	}, nil
+}
+
+// MustNewLink is NewLink for statically valid parameters.
+func MustNewLink(bandwidthBytesPerSec, latencySec float64) *Link {
+	l, err := NewLink(bandwidthBytesPerSec, latencySec)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// TransferTime returns the wire time for one transfer of the given size,
+// ignoring queueing.
+func (l *Link) TransferTime(bytes int64) float64 {
+	if bytes < 0 {
+		panic(fmt.Sprintf("kv: negative transfer size %d", bytes))
+	}
+	t := l.LatencySec
+	if l.BandwidthBytesPerSec > 0 {
+		t += float64(bytes) / l.BandwidthBytesPerSec
+	}
+	return t
+}
+
+// Schedule books one transfer issued at now and returns its completion
+// time. On a serialized link the transfer waits for the wire to free first;
+// the wire is then busy until the returned time.
+func (l *Link) Schedule(now float64, bytes int64) float64 {
+	start := now
+	if l.Serialize && l.busyUntil > start {
+		start = l.busyUntil
+	}
+	done := start + l.TransferTime(bytes)
+	if l.Serialize {
+		l.busyUntil = done
+	}
+	return done
+}
+
+// BusyUntil returns when the wire frees (0 if never used); observational,
+// for reports and tests.
+func (l *Link) BusyUntil() float64 { return l.busyUntil }

@@ -1,0 +1,62 @@
+package kv
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestLinkValidation(t *testing.T) {
+	if _, err := NewLink(-1, 0); err == nil {
+		t.Fatal("negative bandwidth accepted")
+	}
+	if _, err := NewLink(0, -1); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+	if l := MustNewLink(1e9, 0.001); !l.Serialize {
+		t.Fatal("NewLink should serialize by default")
+	}
+}
+
+func TestLinkTransferTime(t *testing.T) {
+	l := MustNewLink(100, 0.5) // 100 B/s, 500 ms setup
+	if got := l.TransferTime(200); !almost(got, 2.5) {
+		t.Fatalf("transfer time %v, want 2.5", got)
+	}
+	// Zero bandwidth = infinitely fast wire: latency only.
+	fast := MustNewLink(0, 0.25)
+	if got := fast.TransferTime(1 << 40); !almost(got, 0.25) {
+		t.Fatalf("latency-only transfer time %v, want 0.25", got)
+	}
+	if got := l.TransferTime(0); !almost(got, 0.5) {
+		t.Fatalf("empty transfer time %v, want latency 0.5", got)
+	}
+}
+
+func TestLinkSerializesTransfers(t *testing.T) {
+	l := MustNewLink(100, 0) // 1 byte per 10 ms
+	// Two transfers issued at the same instant queue behind each other.
+	first := l.Schedule(10, 100) // 10 → 11
+	second := l.Schedule(10, 50) // waits: 11 → 11.5
+	if !almost(first, 11) || !almost(second, 11.5) {
+		t.Fatalf("serialized completions (%v, %v), want (11, 11.5)", first, second)
+	}
+	if !almost(l.BusyUntil(), 11.5) {
+		t.Fatalf("busyUntil %v, want 11.5", l.BusyUntil())
+	}
+	// A transfer issued after the wire freed starts immediately.
+	third := l.Schedule(20, 100)
+	if !almost(third, 21) {
+		t.Fatalf("post-idle completion %v, want 21", third)
+	}
+}
+
+func TestLinkOverlapped(t *testing.T) {
+	l := &Link{BandwidthBytesPerSec: 100, Serialize: false}
+	a := l.Schedule(10, 100)
+	b := l.Schedule(10, 100)
+	if !almost(a, 11) || !almost(b, 11) {
+		t.Fatalf("overlapped completions (%v, %v), want (11, 11)", a, b)
+	}
+}

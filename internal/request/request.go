@@ -68,6 +68,22 @@ type Request struct {
 	// prompt recomputation.
 	Swapped bool
 
+	// Disaggregated-serving bookkeeping (prefill/decode pool handoff).
+	//
+	// Migrated marks a request whose KV cache arrived over the transfer
+	// link from a prefill-only engine: its first admission on the decode
+	// engine pays no prefill compute (the transfer was simulated by the
+	// link), and the flag clears on that admission so a later eviction
+	// recomputes normally.
+	Migrated bool
+	// PrefillDoneAt is when a prefill-only engine finished this request's
+	// prompt and emitted the handoff; <0 in monolithic serving.
+	PrefillDoneAt float64
+	// DeliveredAt is when the KV transfer landed on the decode side; <0
+	// until delivered. The SLA clock for the first token: users see nothing
+	// before the handoff completes.
+	DeliveredAt float64
+
 	// PredictedLen is scheduler scratch space: the current predicted total
 	// output length (Past-Future resamples it every step).
 	PredictedLen int
@@ -100,6 +116,8 @@ func New(id int64, inputLen, trueOutputLen, maxNewTokens int, arrival float64) *
 		LastEmitAt:    -1,
 		FinishedAt:    -1,
 		DroppedAt:     -1,
+		PrefillDoneAt: -1,
+		DeliveredAt:   -1,
 	}
 }
 
@@ -136,6 +154,26 @@ func (r *Request) Finish(now float64) {
 	}
 	r.State = Finished
 	r.FinishedAt = now
+}
+
+// RecordMigration marks the KV transfer from a prefill-only engine as
+// delivered at the given time. The first token was computed at prefill
+// completion but is not *visible* until the handoff lands, so the SLA
+// timestamps shift to the delivery time: TTFT is measured arrival →
+// delivery, and the decode engine's next token gaps from delivery. The
+// request becomes eligible for SubmitMigrated admission.
+func (r *Request) RecordMigration(deliveredAt float64) {
+	if r.Generated == 0 || r.FirstTokenAt < 0 {
+		panic(fmt.Sprintf("request %d: migration before the prefill token", r.ID))
+	}
+	if deliveredAt < r.FirstTokenAt {
+		panic(fmt.Sprintf("request %d: delivery at %v precedes prefill completion %v",
+			r.ID, deliveredAt, r.FirstTokenAt))
+	}
+	r.FirstTokenAt = deliveredAt
+	r.LastEmitAt = deliveredAt
+	r.DeliveredAt = deliveredAt
+	r.Migrated = true
 }
 
 // TTFT returns the time to first token, or -1 if none was emitted.

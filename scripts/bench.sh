@@ -1,10 +1,11 @@
 #!/bin/sh
 # Runs the scheduling hot-path micro-benchmarks (BenchmarkAdmitHotPath,
-# BenchmarkFutureRequiredMemory, BenchmarkWindowSampler, and the fleet-scale
-# BenchmarkFleetRoute series) and records ns/op and allocs/op in
-# BENCH_hotpath.json, then runs the cmd/fleetsim reactive-vs-predictive
-# autoscaling comparison into BENCH_fleet.json, so successive PRs can track
-# the perf trajectory. Invoked via `make bench`.
+# BenchmarkFutureRequiredMemory, BenchmarkWindowSampler, the fleet-scale
+# BenchmarkFleetRoute series, and the MaxPrefillTokens trim) and records
+# ns/op and allocs/op in BENCH_hotpath.json, then runs the cmd/fleetsim
+# autoscaling comparison (reactive vs predictive vs disaggregated
+# prefill/decode) into BENCH_fleet.json, so successive PRs can track the
+# perf trajectory. Invoked via `make bench`.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -18,6 +19,8 @@ go test -run '^$' -bench 'BenchmarkWindowSampler' \
 	-benchmem ./internal/dist/ | tee -a "$tmp"
 go test -run '^$' -bench 'BenchmarkFleetRoute' \
 	-benchmem ./internal/cluster/ | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkPrefillTrim' \
+	-benchmem ./internal/engine/ | tee -a "$tmp"
 
 awk '
 BEGIN { print "["; first = 1 }
@@ -37,6 +40,14 @@ END { print "\n]" }
 
 echo "wrote $out"
 
-# Fleet-scale SLA demo: predictive (Holt) vs reactive autoscaling on the
-# bursty ramp workload; attainment and replica-seconds per mode.
-go run ./cmd/fleetsim -compare -json BENCH_fleet.json
+# Fleet-scale SLA demo on the bursty ramp workload: reactive vs predictive
+# (Holt) autoscaling, plus the disaggregated prefill/decode cluster with
+# its dual-pool planner; attainment and replica-seconds per mode.
+go run ./cmd/fleetsim -disagg -compare -json BENCH_fleet.json
+
+# Fail loudly if the comparison did not refresh the record: a stale
+# BENCH_fleet.json would silently misreport the fleet trajectory.
+grep -q '"mode": "disaggregated-holt"' BENCH_fleet.json || {
+	echo "BENCH_fleet.json is stale: no disaggregated mode recorded" >&2
+	exit 1
+}
