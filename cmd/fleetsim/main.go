@@ -9,6 +9,7 @@
 //	fleetsim -csv plan.csv            # planner evaluation trace
 //	fleetsim -disagg                  # disaggregated prefill/decode pools
 //	fleetsim -disagg -compare         # reactive vs predictive vs disaggregated
+//	fleetsim -overload                # 2× overload ramp: admission control on/off
 //
 // The comparison mode is the paper-§7 demo the bench records in
 // BENCH_fleet.json: on a bursty workload, predictive scaling (EWMA/Holt
@@ -18,6 +19,15 @@
 // a prefill-only pool sized by the TTFT interpolation and a decode-only
 // pool sized by the TPOT interpolation, joined by a KV-transfer link with
 // finite bandwidth and latency.
+//
+// -overload is the graceful-degradation demo: the ramp peaks at 2× the
+// burst rate — beyond what the capped fleet can serve — and the same
+// disaggregated cluster runs three ways: route-on-arrival (no admission
+// control), a cluster-front admission queue without shedding, and full
+// deadline-aware shedding. The shedding mode must keep the p99 TTFT of
+// *served* requests inside the SLA and deliver more SLA-met completions
+// per second than both no-shed modes, which collapse into blown-deadline
+// completions.
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/lightllm-go/lightllm/internal/cluster"
 	"github.com/lightllm-go/lightllm/internal/core"
@@ -62,6 +73,10 @@ type options struct {
 	decodeHR float64
 	linkGBps float64
 	linkLat  float64
+
+	// Overload mode: ramp peak multiplier and admission slack.
+	overloadX float64
+	slack     float64
 }
 
 func main() {
@@ -85,8 +100,11 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		compare   = flag.Bool("compare", false, "run reactive vs predictive on the same workload")
 		disagg    = flag.Bool("disagg", false, "serve through disaggregated prefill/decode pools (with -compare: also run the monolithic modes)")
+		overload  = flag.Bool("overload", false, "run the overload trio (no admission / admission hold / admission+shed) on a ramp peaking at overload-factor × burst")
+		overloadX = flag.Float64("overload-factor", 2, "overload: burst-rate multiplier for the overload ramp")
+		slack     = flag.Float64("slack", 1.5, "overload: admission feasibility slack, seconds (reserve for engine-side waits the floor cannot see)")
 		prefillR  = flag.Int("prefill", 0, "disagg: prefill pool replicas (0 = replicas/4, min 1; the rest decode)")
-		decodeHR  = flag.Float64("decode-headroom", 0.6, "disagg: decode pool planner utilization target (decode queueing costs MTPOT, so run it slacker)")
+		decodeHR  = flag.Float64("decode-headroom", 0.7, "disagg: decode pool planner utilization target (decode queueing costs MTPOT; the MTPOT correction loop lets this run tighter than the old 0.6 default)")
 		linkGBps  = flag.Float64("link-gbps", 64, "disagg: KV-transfer link bandwidth, GB/s (0 = latency-only)")
 		linkLat   = flag.Float64("link-latency", 0.002, "disagg: KV-transfer link latency, seconds")
 		jsonPath  = flag.String("json", "", "write the report(s) as JSON to this file")
@@ -110,6 +128,7 @@ func main() {
 		high: *high, low: *low, headroom: *headroom,
 		rate: *rate, burst: *burst, phaseSec: *phaseSec, seed: *seed,
 		prefill: *prefillR, decodeHR: *decodeHR, linkGBps: *linkGBps, linkLat: *linkLat,
+		overloadX: *overloadX, slack: *slack,
 	}
 	if opts.prefill == 0 {
 		opts.prefill = opts.replicas / 4
@@ -129,8 +148,13 @@ func main() {
 		modes = []string{"reactive", "predictive"}
 	case *disagg:
 		modes = []string{"disaggregated"}
+	case *overload:
+		// -overload alone runs just the trio.
 	default:
 		modes = []string{opts.scaler}
+	}
+	if *overload {
+		modes = append(modes, "overload-noshed", "overload-admit", "overload-shed")
 	}
 	var rows []row
 	for _, mode := range modes {
@@ -144,7 +168,9 @@ func main() {
 	}
 }
 
-// row is one fleet run's reported outcome.
+// row is one fleet run's reported outcome. P99TTFT covers *served* requests
+// only (a shed request has no latency); SLAAttainment counts every shed as
+// a TTFT violation, so admission control cannot launder attainment.
 type row struct {
 	Mode           string  `json:"mode"`
 	Policy         string  `json:"policy"`
@@ -154,10 +180,18 @@ type row struct {
 	MeanTTFT       float64 `json:"mean_ttft_s"`
 	P99TTFT        float64 `json:"p99_ttft_s"`
 	Goodput        float64 `json:"goodput_tok_s"`
+	GoodputReq     float64 `json:"goodput_req_s"` // SLA-met completions per second
 	ReplicaSeconds float64 `json:"replica_seconds"`
 	ScaleOuts      int     `json:"scale_outs"`
 	ScaleIns       int     `json:"scale_ins"`
 	Duration       float64 `json:"duration_s"`
+
+	// Admission-control fields.
+	Shed         int     `json:"shed,omitempty"`
+	ShedFront    int     `json:"shed_front,omitempty"`
+	ShedBoundary int     `json:"shed_boundary,omitempty"`
+	ShedRate     float64 `json:"shed_rate,omitempty"` // shed fraction of arrivals
+	Arrivals     int     `json:"arrivals,omitempty"`
 
 	// Disaggregated-only fields.
 	PrefillReplicas       int     `json:"prefill_replicas,omitempty"`
@@ -168,12 +202,30 @@ type row struct {
 	MeanTransferDelay     float64 `json:"mean_transfer_delay_s,omitempty"`
 }
 
+// overloadMode returns the admission configuration an overload-trio mode
+// runs under, or nil for a non-overload mode.
+func overloadAdmission(opts options, mode string) *cluster.AdmissionConfig {
+	switch mode {
+	case "overload-admit":
+		return &cluster.AdmissionConfig{TTFTBudget: opts.sla.TTFT, Slack: opts.slack}
+	case "overload-shed":
+		return &cluster.AdmissionConfig{TTFTBudget: opts.sla.TTFT, Shed: true, Slack: opts.slack, DecodeMaxProbe: 0.9}
+	default:
+		return nil
+	}
+}
+
 func runOne(opts options, csvPath string) row {
-	reqs := burstyWorkload(opts)
+	overloaded := strings.HasPrefix(opts.scaler, "overload-")
+	wopts := opts
+	if overloaded {
+		wopts.burst *= opts.overloadX // ramp past what the capped fleet serves
+	}
+	reqs := burstyWorkload(wopts)
 	var rep cluster.Report
 	var history []cluster.PlanSample
-	if opts.scaler == "disaggregated" {
-		c := buildDisagg(opts)
+	if opts.scaler == "disaggregated" || overloaded {
+		c := buildDisagg(opts, overloadAdmission(opts, opts.scaler))
 		rep = c.Report(c.Serve(reqs, 1e9), opts.sla)
 		history = c.Pool(1).PlanHistory() // the decode pool dominates cost
 	} else {
@@ -195,18 +247,28 @@ func runOne(opts options, csvPath string) row {
 		MeanTTFT:       rep.Summary.MeanTTFT,
 		P99TTFT:        rep.Summary.P99TTFT,
 		Goodput:        rep.Summary.Goodput,
+		GoodputReq:     rep.Summary.GoodCompletionRate(),
 		ReplicaSeconds: rep.ReplicaSeconds,
 		ScaleOuts:      rep.ScaleOuts,
 		ScaleIns:       rep.ScaleIns,
 		Duration:       rep.Duration,
 	}
-	if opts.scaler == "disaggregated" {
+	if opts.scaler == "disaggregated" || overloaded {
 		r.PrefillReplicas = rep.Pools[0].Replicas
 		r.DecodeReplicas = rep.Pools[1].Replicas
 		r.PrefillReplicaSeconds = rep.Pools[0].ReplicaSeconds
 		r.DecodeReplicaSeconds = rep.Pools[1].ReplicaSeconds
 		r.Handoffs = rep.Handoffs
 		r.MeanTransferDelay = rep.MeanTransferDelay
+	}
+	if overloaded {
+		r.Arrivals = len(reqs)
+		r.Shed = rep.Shed
+		r.ShedFront = rep.ShedFront
+		r.ShedBoundary = rep.ShedBoundary
+		if len(reqs) > 0 {
+			r.ShedRate = float64(rep.Shed) / float64(len(reqs))
+		}
 	}
 	if csvPath != "" && (opts.scaler == "predictive" || opts.scaler == "disaggregated") {
 		writePlanCSV(csvPath, history)
@@ -218,8 +280,11 @@ func runOne(opts options, csvPath string) row {
 // (current-usage admission — prompts vacate at the end of their own
 // iteration) sized by the planner's TTFT interpolation, and a decode-only
 // pool (Past-Future admission) sized by its TPOT interpolation, joined by
-// a finite-bandwidth KV-transfer link.
-func buildDisagg(opts options) *cluster.Cluster {
+// a finite-bandwidth KV-transfer link. A non-nil admission config puts the
+// cluster-front pipeline (EDF hold + deadline shedding) in front of both
+// pools and gives every decode replica its own ingress lane, so the
+// contention-aware router can price per-destination wire queueing.
+func buildDisagg(opts options, adm *cluster.AdmissionConfig) *cluster.Cluster {
 	pm := perf.MustNew(perf.Config{Model: model.Llama2_7B, Cluster: hw.NewCluster(hw.A100_80G, 1)})
 	prefill := make([]*engine.Engine, opts.prefill)
 	for i := range prefill {
@@ -248,12 +313,20 @@ func buildDisagg(opts options) *cluster.Cluster {
 			ActivationDelay: opts.delay, Headroom: headroom,
 		}
 	}
+	link := kv.MustNewLink(opts.linkGBps*1e9, opts.linkLat)
+	// The overload trio compares admission policies on an identical link
+	// model: per-destination ingress lanes everywhere, so the only delta
+	// between the modes is the admission pipeline itself.
+	if strings.HasPrefix(opts.scaler, "overload-") {
+		link.PerDestination = true
+	}
 	c, err := cluster.NewCluster(cluster.ClusterConfig{
 		Pools: []cluster.Config{
 			{Role: engine.RolePrefillOnly, Replicas: prefill, Policy: opts.policy, Planner: planner(len(prefill), opts.headroom)},
 			{Role: engine.RoleDecodeOnly, Replicas: decode, Policy: opts.policy, Planner: planner(len(decode), opts.decodeHR)},
 		},
-		Link: kv.MustNewLink(opts.linkGBps*1e9, opts.linkLat),
+		Link:      link,
+		Admission: adm,
 	})
 	if err != nil {
 		fatal(err)
@@ -329,21 +402,27 @@ func burstyWorkload(opts options) []*request.Request {
 func printRows(opts options, rows []row) {
 	fmt.Printf("fleet: %d×Llama2-7B (cap %d tok), policy %s, SLA %s\n",
 		opts.replicas, opts.capacity, opts.policy, opts.sla)
-	fmt.Printf("workload: %.0f→%.0f→%.0f→%.0f req/s × %.0fs phases (seed %d)\n",
-		opts.rate, (opts.rate+opts.burst)/2, opts.burst, opts.rate, opts.phaseSec, opts.seed)
-	fmt.Printf("%-20s %9s %9s %9s %9s %12s %6s %6s\n",
-		"mode", "ttft-att", "sla-att", "meanTTFT", "p99TTFT", "replica-sec", "out", "in")
+	fmt.Printf("workload: %.0f→%.0f→%.0f→%.0f req/s × %.0fs phases (seed %d; overload ramps to %.0f)\n",
+		opts.rate, (opts.rate+opts.burst)/2, opts.burst, opts.rate, opts.phaseSec, opts.seed,
+		opts.burst*opts.overloadX)
+	fmt.Printf("%-20s %9s %9s %9s %9s %9s %12s %6s\n",
+		"mode", "ttft-att", "sla-att", "p99TTFT", "good-r/s", "shed", "replica-sec", "out/in")
 	for _, r := range rows {
-		fmt.Printf("%-20s %8.1f%% %8.1f%% %8.2fs %8.2fs %12.0f %6d %6d\n",
+		fmt.Printf("%-20s %8.1f%% %8.1f%% %8.2fs %9.2f %9d %12.0f %3d/%-3d\n",
 			r.Mode, r.TTFTAttainment*100, r.SLAAttainment*100,
-			r.MeanTTFT, r.P99TTFT, r.ReplicaSeconds, r.ScaleOuts, r.ScaleIns)
+			r.P99TTFT, r.GoodputReq, r.Shed, r.ReplicaSeconds, r.ScaleOuts, r.ScaleIns)
 	}
 	for _, r := range rows {
 		if r.Handoffs > 0 {
-			fmt.Printf("%s: %d prefill + %d decode replicas (%.0f + %.0f replica-sec), %d handoffs, mean transfer %.1f ms\n",
+			fmt.Printf("%s: %d prefill + %d decode replicas (%.0f + %.0f replica-sec), %d handoffs, mean transfer %.1f ms",
 				r.Mode, r.PrefillReplicas, r.DecodeReplicas,
 				r.PrefillReplicaSeconds, r.DecodeReplicaSeconds,
 				r.Handoffs, r.MeanTransferDelay*1e3)
+			if r.Shed > 0 {
+				fmt.Printf(", shed %d/%d (%d front, %d at transfer boundary)",
+					r.Shed, r.Arrivals, r.ShedFront, r.ShedBoundary)
+			}
+			fmt.Println()
 		}
 	}
 }
@@ -356,10 +435,12 @@ func writeJSON(path string, opts options, rows []row) {
 		TPOT     float64 `json:"sla_tpot_s"`
 		Rate     float64 `json:"base_rate"`
 		Burst    float64 `json:"burst_rate"`
+		Overload float64 `json:"overload_factor"`
+		Slack    float64 `json:"admission_slack_s"`
 		Seed     uint64  `json:"seed"`
 		Modes    []row   `json:"modes"`
 	}{opts.replicas, opts.capacity, opts.sla.TTFT, opts.sla.MTPOT,
-		opts.rate, opts.burst, opts.seed, rows}
+		opts.rate, opts.burst, opts.overloadX, opts.slack, opts.seed, rows}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,346 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/lightllm-go/lightllm/internal/perf"
+	"github.com/lightllm-go/lightllm/internal/request"
+)
+
+// AdmissionConfig enables cluster-front admission control: instead of
+// routing every arrival to a replica immediately (and letting per-engine
+// queues absorb overload), the cluster holds requests that no replica can
+// take right now in a deadline-indexed global queue, releases them in EDF
+// order when capacity frees, and — with Shed — refuses requests whose
+// remaining TTFT budget can no longer cover their predicted service floor,
+// before any KV-link bandwidth or decode capacity is spent on them.
+type AdmissionConfig struct {
+	// TTFTBudget stamps every arrival's absolute TTFT deadline
+	// (ArrivalTime + TTFTBudget) unless the request already carries one.
+	// Required (> 0) when Shed is set; with 0, the queue degrades to FIFO
+	// order and never sheds.
+	TTFTBudget float64
+	// MaxProbe is the entry-pool admission gate: an arrival is placed
+	// immediately only if some accepting replica's FutureHeadroom probe
+	// (predicted future peak as a fraction of capacity, candidate included)
+	// stays at or below this; otherwise it is held at the cluster front.
+	// 0 selects 1.0 — hold only when every replica predicts an overflow.
+	MaxProbe float64
+	// DecodeMaxProbe additionally gates arrivals on the decode pool of a
+	// disaggregated cluster (pool-aware admission: a saturated decode pool
+	// holds arrivals at the front instead of drowning in handoffs it pays
+	// for in MTPOT). 0 selects MaxProbe.
+	DecodeMaxProbe float64
+	// Shed enables deadline shedding: a held request whose remaining budget
+	// cannot cover predicted prefill + transfer is refused with
+	// request.OutcomeShed, and a handoff whose expected delivery would land
+	// past the deadline is dropped at the prefill→transfer boundary before
+	// the transfer is booked.
+	Shed bool
+	// Slack tightens every feasibility check by this many seconds — a
+	// reserve for the admission wait the floor cannot see (the engine-side
+	// queueing between placement and the prefill iteration). 0 = none.
+	Slack float64
+	// OnShed, when non-nil, observes every shed decision.
+	OnShed func(now float64, r *request.Request)
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.MaxProbe == 0 {
+		c.MaxProbe = 1.0
+	}
+	if c.DecodeMaxProbe == 0 {
+		c.DecodeMaxProbe = c.MaxProbe
+	}
+	return c
+}
+
+func (c AdmissionConfig) validate() error {
+	if c.TTFTBudget < 0 {
+		return fmt.Errorf("cluster: negative admission TTFT budget %v", c.TTFTBudget)
+	}
+	if c.MaxProbe < 0 || c.DecodeMaxProbe < 0 {
+		return fmt.Errorf("cluster: negative admission probe gate (%v, %v)", c.MaxProbe, c.DecodeMaxProbe)
+	}
+	if c.Slack < 0 {
+		return fmt.Errorf("cluster: negative admission slack %v", c.Slack)
+	}
+	if c.Shed && c.TTFTBudget == 0 {
+		return fmt.Errorf("cluster: shedding requires a TTFT budget")
+	}
+	return nil
+}
+
+// admitItem is one held request keyed by its TTFT deadline (+Inf when the
+// request carries none, so deadline-less traffic degrades to FIFO).
+type admitItem struct {
+	r        *request.Request
+	deadline float64
+	seq      int64
+}
+
+// admitHeap is the deadline-indexed global queue: a typed EDF min-heap
+// (earliest deadline first, FIFO on ties). Typed rather than
+// container/heap for the same reason as the engine's arrival heap — the
+// push/retry cycle runs on every capacity event and must not allocate in
+// steady state (storage is retained across pops).
+type admitHeap []admitItem
+
+func (h admitHeap) Len() int { return len(h) }
+
+func (h admitHeap) less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h admitHeap) top() admitItem { return h[0] }
+
+func (h *admitHeap) push(it admitItem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *admitHeap) pop() admitItem {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = admitItem{} // release the request pointer
+	*h = s[:n]
+	s = *h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
+}
+
+// where a shed decision was taken.
+const (
+	shedFront    = iota // at the cluster front, before any engine saw it
+	shedBoundary        // at the prefill→transfer boundary, before booking
+)
+
+// admission is the cluster-front pipeline state. The cluster owns the event
+// clock and calls retry on capacity events (a replica step that released a
+// request, an activation, a KV delivery, an autoscaler move); the pipeline
+// owns the EDF queue and the shed ledger.
+type admission struct {
+	cfg AdmissionConfig
+	clu *Cluster
+	pm  *perf.Model // entry pool's perf model: the prefill floor
+
+	heap admitHeap
+	seq  int64
+
+	// A pending evRetry event and its timestamp (coalescing: see
+	// Cluster.scheduleRetry).
+	retryPending bool
+	retryAt      float64
+
+	shedList      []*request.Request
+	frontSheds    int
+	boundarySheds int
+}
+
+func newAdmission(c *Cluster, cfg AdmissionConfig) (*admission, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &admission{
+		cfg: cfg.withDefaults(),
+		clu: c,
+		pm:  c.pools[c.entry].reps[0].eng.Perf(),
+	}, nil
+}
+
+// Held returns the number of requests currently held at the cluster front.
+func (a *admission) Held() int { return a.heap.Len() }
+
+// arrive runs one arrival through the pipeline: place it now if the gates
+// pass, shed it if its budget is already infeasible, hold it otherwise.
+func (a *admission) arrive(now float64, r *request.Request) {
+	if a.cfg.TTFTBudget > 0 && r.TTFTDeadline == 0 {
+		r.TTFTDeadline = r.ArrivalTime + a.cfg.TTFTBudget
+	}
+	a.shedExpired(now) // keep the head honest between capacity events
+	if a.tryPlace(now, r) {
+		return
+	}
+	if a.cfg.Shed && a.infeasible(now, r) {
+		a.shed(now, r, shedFront)
+		return
+	}
+	if !a.clu.anyBusy() {
+		// Nothing is running, so no capacity will ever free: holding would
+		// deadlock. Force the placement and let the engine's own admission
+		// (and unservable-request handling) judge it.
+		a.place(now, r)
+		return
+	}
+	a.seq++
+	a.heap.push(admitItem{r: r, deadline: deadlineKey(r), seq: a.seq})
+}
+
+// retry releases held requests in EDF order while the earliest-deadline
+// head passes the gates, shedding expired heads as it goes. Called on
+// every capacity event; stops at the first head that still cannot place
+// (EDF: the head owns the scarcest budget, so no later request may jump it).
+func (a *admission) retry(now float64) {
+	a.shedExpired(now)
+	for a.heap.Len() > 0 {
+		head := a.heap.top().r
+		if a.tryPlace(now, head) {
+			a.heap.pop()
+			a.shedExpired(now)
+			continue
+		}
+		if !a.clu.anyBusy() {
+			a.heap.pop()
+			a.place(now, head) // liveness: idle cluster, force the engine to judge
+			continue
+		}
+		return
+	}
+}
+
+// shedExpired sheds queue heads whose remaining budget can no longer cover
+// their service floor. Lazy (heads only): the EDF head owns the earliest
+// deadline, so expiry almost always surfaces there first; a later-deadline
+// request with a larger floor is caught when it reaches the head.
+func (a *admission) shedExpired(now float64) {
+	if !a.cfg.Shed {
+		return
+	}
+	for a.heap.Len() > 0 && a.infeasible(now, a.heap.top().r) {
+		a.shed(now, a.heap.pop().r, shedFront)
+	}
+}
+
+// infeasible reports whether the request's remaining TTFT budget cannot
+// cover its predicted service floor from now.
+func (a *admission) infeasible(now float64, r *request.Request) bool {
+	if r.TTFTDeadline <= 0 {
+		return false
+	}
+	return now+a.floor(r)+a.cfg.Slack > r.TTFTDeadline
+}
+
+// floor is the best-case remaining service time before the request's first
+// token becomes visible: its prefill, plus — in a disaggregated cluster —
+// the unqueued KV transfer of prompt + prefill token. Engine-side admission
+// waits are not modeled here (Slack reserves for them); wire queueing enters
+// separately at the transfer boundary, where the actual expected delivery
+// is known.
+func (a *admission) floor(r *request.Request) float64 {
+	f := a.pm.PrefillTime(r.InputLen)
+	c := a.clu
+	if c.Disaggregated() && c.link != nil {
+		f += c.link.TransferTime((int64(r.InputLen) + 1) * c.kvBytesPerToken)
+	}
+	return f
+}
+
+// tryPlace gates and places in one probe sweep: some accepting entry
+// replica must probe at or under the gate and — pool-aware — the decode
+// pool of a disaggregated cluster must absorb the eventual migration
+// without predicted overflow. Under the FutureHeadroom policy the gate's
+// argmin replica *is* the routing decision, so the placement reuses it
+// instead of probing the pool a second time.
+func (a *admission) tryPlace(now float64, r *request.Request) bool {
+	c := a.clu
+	entry := c.pools[c.entry]
+	rep, frac := entry.bestProbe(r)
+	if frac > a.cfg.MaxProbe {
+		return false
+	}
+	if c.Disaggregated() {
+		if _, df := c.pools[c.decode].bestProbe(r); df > a.cfg.DecodeMaxProbe {
+			return false
+		}
+	}
+	if entry.cfg.Policy == FutureHeadroom && rep != nil {
+		entry.routeTo(r, rep)
+		a.submit(now, r, rep)
+	} else {
+		a.place(now, r) // other policies route their own way
+	}
+	return true
+}
+
+// place routes the request into the entry pool under the configured policy,
+// preserving its ArrivalTime (the cluster-front hold is charged to TTFT).
+func (a *admission) place(now float64, r *request.Request) {
+	entry := a.clu.pools[a.clu.entry]
+	a.submit(now, r, entry.route(r))
+}
+
+func (a *admission) submit(now float64, r *request.Request, rep *replica) {
+	rep.eng.SubmitAt(r, now)
+	rep.estValid = false
+	a.clu.ensureStepEvent(a.clu.pools[a.clu.entry], rep)
+}
+
+// shed refuses a request terminally and feeds the planners' shed-rate
+// signal (demand existed; capacity did not).
+func (a *admission) shed(now float64, r *request.Request, where int) {
+	r.Shed(now)
+	a.shedList = append(a.shedList, r)
+	c := a.clu
+	switch where {
+	case shedBoundary:
+		a.boundarySheds++
+		if p := c.pools[c.decode]; p.plan != nil {
+			p.plan.observeShed()
+		}
+	default:
+		a.frontSheds++
+		if p := c.pools[c.entry]; p.plan != nil {
+			p.plan.observeShed()
+		}
+	}
+	if a.cfg.OnShed != nil {
+		a.cfg.OnShed(now, r)
+	}
+}
+
+// flush terminates every request still held when the run ends: the stream
+// is over, nothing more will free, and an unserved hold is a refusal.
+func (a *admission) flush(now float64) {
+	for a.heap.Len() > 0 {
+		a.shed(now, a.heap.pop().r, shedFront)
+	}
+}
+
+// deadlineKey maps a missing deadline to +Inf so deadline-less requests
+// sort behind every deadline-carrying one (FIFO among themselves).
+func deadlineKey(r *request.Request) float64 {
+	if r.TTFTDeadline <= 0 {
+		return math.Inf(1)
+	}
+	return r.TTFTDeadline
+}

@@ -69,3 +69,23 @@ func BenchmarkFleetRouteNaive(b *testing.B) {
 		f.pick(cand)
 	}
 }
+
+// BenchmarkClusterAdmit measures the deadline-heap hot path of cluster-front
+// admission: one retry cycle's pop + re-push on a warm EDF queue. The
+// storage is retained across operations, so the steady state performs zero
+// heap allocations (pinned by TestAdmitQueueZeroAllocs).
+func BenchmarkClusterAdmit(b *testing.B) {
+	var h admitHeap
+	r := request.New(1, 100, 10, 64, 0)
+	for i := 0; i < 1024; i++ {
+		h.push(admitItem{r: r, deadline: float64(i % 97), seq: int64(i)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := h.pop()
+		it.deadline = float64(i % 89)
+		it.seq = int64(i)
+		h.push(it)
+	}
+}

@@ -30,10 +30,21 @@
 // that forecasts load and scales straight to the replica count whose
 // interpolated latency meets the targets — TTFT sizes a prefill pool,
 // TPOT sizes a decode pool, both size a mixed pool.
+//
+// With AdmissionConfig the arrival path becomes a cluster-front admission
+// pipeline (admission.go): arrivals the probes cannot place are held in a
+// deadline-indexed global EDF queue, released on capacity events (replica
+// steps that freed a request, activations, KV deliveries, autoscaler
+// moves) instead of per-tick polling, and shed — request.OutcomeShed —
+// once their remaining TTFT budget cannot cover the predicted prefill +
+// transfer floor. Handoffs whose expected delivery already overruns the
+// deadline are dropped at the prefill→transfer boundary, before any link
+// bandwidth is booked.
 package cluster
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/lightllm-go/lightllm/internal/engine"
@@ -65,6 +76,13 @@ type ClusterConfig struct {
 	// instantaneous (a modeling upper bound). Ignored for monolithic
 	// clusters.
 	Link *kv.Link
+	// Admission enables cluster-front admission control: arrivals the
+	// FutureHeadroom probe cannot place now are held in a deadline-indexed
+	// global queue (EDF over TTFT deadlines), released on capacity events,
+	// and — with shedding — refused once their remaining budget cannot
+	// cover the predicted service floor. nil routes every arrival
+	// immediately (the pre-admission behavior).
+	Admission *AdmissionConfig
 	// OnHandoff, when non-nil, observes every completed KV migration at its
 	// delivery time.
 	OnHandoff func(h Handoff)
@@ -85,6 +103,8 @@ type Cluster struct {
 	link            *kv.Link
 	kvBytesPerToken int64
 	handoffs        []Handoff
+
+	adm *admission
 
 	started bool
 	startAt float64
@@ -127,6 +147,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			})
 		}
 	}
+	if cfg.Admission != nil {
+		adm, err := newAdmission(c, *cfg.Admission)
+		if err != nil {
+			return nil, err
+		}
+		c.adm = adm
+	}
 	return c, nil
 }
 
@@ -149,8 +176,29 @@ func (c *Cluster) NumPools() int { return len(c.pools) }
 // disaggregated).
 func (c *Cluster) Pool(i int) *Pool { return c.pools[i] }
 
-// Handoffs returns every recorded KV migration (complete after Serve).
+// Handoffs returns every recorded KV migration (complete after Serve). A
+// handoff record exists only for booked transfers: a request shed at the
+// prefill→transfer boundary never appears here and never consumed link
+// bandwidth.
 func (c *Cluster) Handoffs() []Handoff { return c.handoffs }
+
+// ShedRequests returns every request refused by admission control, in shed
+// order (nil without admission control). Complete after Serve.
+func (c *Cluster) ShedRequests() []*request.Request {
+	if c.adm == nil {
+		return nil
+	}
+	return c.adm.shedList
+}
+
+// HeldRequests returns the number of arrivals currently held at the
+// cluster front (0 after Serve: the run flush-sheds leftovers).
+func (c *Cluster) HeldRequests() int {
+	if c.adm == nil {
+		return 0
+	}
+	return c.adm.Held()
+}
 
 // ReplicaSeconds returns the provisioned-time integral across all pools.
 func (c *Cluster) ReplicaSeconds() float64 {
@@ -216,6 +264,10 @@ func (c *Cluster) Serve(reqs []*request.Request, deadline float64) []*engine.Res
 		if entry.cfg.Scale != nil {
 			entry.reactiveScale(t)
 		}
+		if c.adm != nil {
+			c.adm.arrive(t, req)
+			continue
+		}
 		rep := entry.route(req)
 		rep.eng.Submit(req)
 		rep.estValid = false
@@ -251,7 +303,9 @@ func (c *Cluster) start(t float64) {
 	}
 }
 
-// finish closes replica-seconds accounting at the cluster's end time.
+// finish closes replica-seconds accounting at the cluster's end time and
+// terminates whatever admission still holds (the stream is over; an
+// unserved hold is a refusal).
 func (c *Cluster) finish(deadline float64) {
 	c.endAt = c.startAt
 	for _, p := range c.pools {
@@ -263,6 +317,9 @@ func (c *Cluster) finish(deadline float64) {
 	}
 	if c.endAt > deadline {
 		c.endAt = deadline
+	}
+	if c.adm != nil {
+		c.adm.flush(c.endAt)
 	}
 	for _, p := range c.pools {
 		for _, rep := range p.reps {
@@ -299,10 +356,19 @@ func (c *Cluster) handle(ev event) {
 		// Invalidate unconditionally: a Step returning false can still have
 		// mutated state (queue-timeout drops run before the drained check).
 		rep.estValid = false
-		if rep.draining && rep.eng.Idle() {
+		if rep.draining && p.drained(rep) {
 			p.retire(rep, rep.eng.Clock())
 		}
 		c.ensureStepEvent(p, rep)
+		// A step that released a request (finish, handoff, timeout, fail)
+		// is a capacity event: a held arrival that probed over the gate may
+		// fit now. This replaces per-tick polling of the admission queue.
+		// The retry is deferred to an event at the step's end clock — steps
+		// pop in start-time order, so retrying inline here could shed a
+		// head at a timestamp later than events still in the heap.
+		if c.adm != nil && rep.eng.ReleasedLastStep() {
+			c.scheduleRetry(rep.eng.Clock())
+		}
 	case evActivate:
 		rep := p.reps[ev.rep]
 		// Stale activations (the replica was scaled back in, or re-armed
@@ -310,7 +376,15 @@ func (c *Cluster) handle(ev event) {
 		if rep.active && !rep.awake && rep.wakeAt == ev.at {
 			rep.awake = true
 			p.rebuildAccepting()
+			if c.adm != nil {
+				c.adm.retry(ev.at) // fresh capacity: release held arrivals
+			}
 		}
+	case evXfer:
+		c.issueHandoff(ev)
+	case evRetry:
+		c.adm.retryPending = false
+		c.adm.retry(ev.at)
 	case evDeliver:
 		c.deliver(ev)
 	case evPlan:
@@ -322,31 +396,118 @@ func (c *Cluster) handle(ev event) {
 		} else if p.cfg.Scale != nil {
 			p.reactiveScale(ev.at)
 		}
+		if c.adm != nil {
+			c.adm.retry(ev.at) // an un-drained replica is immediate capacity
+		}
 		if c.anyBusy() {
 			p.scheduleTick(ev.at + p.tickInterval())
 		}
 	}
 }
 
-// onHandoff fires inside a prefill engine's Step: the KV transfer is booked
-// on the link and a delivery event is queued for the decode pool. The event
-// carries the handoff record's index so delivery can complete it.
+// onHandoff fires inside a prefill engine's Step. The booking is deferred
+// to an evXfer event at the issue time rather than done here: engine steps
+// execute in start-time order while their effects land at their end times,
+// so booking eagerly would write the link in engine-step order — an
+// earlier-issued handoff could queue behind a later one. The event heap
+// replays the handoffs in issue-time order (ties broken by request arrival,
+// then ID).
 func (c *Cluster) onHandoff(fromRep int, now float64, r *request.Request) {
-	deliverAt := now
-	if c.link != nil {
-		deliverAt = c.link.Schedule(now, int64(r.Footprint())*c.kvBytesPerToken)
+	c.pushEvent(event{at: now, kind: evXfer, pool: c.decode, rep: fromRep, req: r})
+}
+
+// issueHandoff books one handoff at the prefill→transfer boundary: the
+// decode replica is picked on a (fits, expected delivery, headroom) cost
+// vector, and — under admission shedding — a request whose TTFT budget the
+// expected delivery already overruns is shed *before* any link bandwidth
+// is committed to it.
+func (c *Cluster) issueHandoff(ev event) {
+	r := ev.req
+	dp := c.pools[c.decode]
+	bytes := int64(r.Footprint()) * c.kvBytesPerToken
+	rep, deliverAt := c.pickDecode(ev.at, r, bytes, dp)
+	if c.adm != nil && c.adm.cfg.Shed && r.TTFTDeadline > 0 && deliverAt > r.TTFTDeadline {
+		c.adm.shed(ev.at, r, shedBoundary)
+		return
 	}
+	if c.link != nil {
+		deliverAt = c.link.ScheduleTo(ev.at, bytes, rep.idx)
+	}
+	dp.routeTo(r, rep)
+	rep.pendingIn++
 	c.handoffs = append(c.handoffs, Handoff{
-		Req: r, FromReplica: fromRep, ToReplica: -1,
-		PrefillDoneAt: now, DeliveredAt: deliverAt,
+		Req: r, FromReplica: ev.rep, ToReplica: rep.idx,
+		PrefillDoneAt: ev.at, DeliveredAt: deliverAt,
 	})
 	c.pushEvent(event{at: deliverAt, kind: evDeliver, pool: c.decode, rep: len(c.handoffs) - 1, req: r})
 }
 
-// deliver lands one KV migration: the request's SLA clock shifts to the
-// delivery (its first token is visible only now — TTFT includes the
-// transfer), the decode pool's planner observes the arrival, and the
-// second routing stage picks the decode replica.
+// pickDecode is the contention-aware second routing stage: each accepting
+// decode replica is priced as a cost vector — does the probed future peak
+// fit its capacity, when would the KV transfer land on its ingress lane
+// (kv.Link.ExpectedDeliveryTo, wire queueing included), and how much
+// headroom remains — ranked lexicographically (fits, delivery, headroom).
+// On a single shared wire every delivery estimate coincides and the pick
+// degrades to FutureHeadroom; with per-destination lanes a backed-up
+// ingress diverts bursts to replicas that can actually receive them.
+func (c *Cluster) pickDecode(now float64, r *request.Request, bytes int64, dp *Pool) (*replica, float64) {
+	cands := dp.accepting
+	if len(cands) == 0 {
+		rep := dp.fallbackReplica()
+		return rep, c.expectedDelivery(now, bytes, rep.idx)
+	}
+	var best *replica
+	bestFits, bestDeliver, bestFrac := false, math.Inf(1), math.Inf(1)
+	for _, rep := range cands {
+		frac := dp.probe(rep, r)
+		deliver := c.expectedDelivery(now, bytes, rep.idx)
+		fits := frac <= 1
+		better := false
+		switch {
+		case best == nil:
+			better = true
+		case fits != bestFits:
+			better = fits
+		case deliver != bestDeliver:
+			better = deliver < bestDeliver
+		default:
+			better = frac < bestFrac
+		}
+		if better {
+			best, bestFits, bestDeliver, bestFrac = rep, fits, deliver, frac
+		}
+	}
+	return best, bestDeliver
+}
+
+// scheduleRetry queues an admission re-examination at time `at`, coalescing
+// with an already-pending retry at an earlier-or-equal time: engine state is
+// mutated eagerly, so the earlier retry will already see this capacity (it
+// only evaluates feasibility at its own, earlier timestamp — a head it
+// cannot yet shed simply waits for the next capacity event).
+func (c *Cluster) scheduleRetry(at float64) {
+	if c.adm.retryPending && c.adm.retryAt <= at {
+		return
+	}
+	c.adm.retryPending = true
+	c.adm.retryAt = at
+	c.pushEvent(event{at: at, kind: evRetry})
+}
+
+// expectedDelivery prices one un-booked transfer to a decode replica.
+func (c *Cluster) expectedDelivery(now float64, bytes int64, dst int) float64 {
+	if c.link == nil {
+		return now
+	}
+	return c.link.ExpectedDeliveryTo(now, bytes, dst)
+}
+
+// deliver lands one KV migration on the replica picked at issue time: the
+// request's SLA clock shifts to the delivery (its first token is visible
+// only now — TTFT includes the transfer) and the decode pool's planner
+// observes the arrival. If the booked destination left the accepting set
+// while the transfer was on the wire (planner drain/retire), the migration
+// is re-routed on landing.
 func (c *Cluster) deliver(ev event) {
 	r := ev.req
 	r.RecordMigration(ev.at)
@@ -366,13 +527,27 @@ func (c *Cluster) deliver(ev event) {
 	if dp.cfg.Scale != nil {
 		dp.reactiveScale(ev.at)
 	}
-	rep := dp.route(r)
+	h := &c.handoffs[ev.rep]
+	rep := dp.reps[h.ToReplica]
+	rep.pendingIn--
+	if !rep.active || !rep.awake || rep.draining {
+		old := rep
+		rep = dp.pick(r)
+		old.routed--
+		dp.routeTo(r, rep) // a fresh routing decision: count it and tell observers
+		h.ToReplica = rep.idx
+		if old.draining && dp.drained(old) {
+			dp.retire(old, ev.at)
+		}
+	}
 	rep.eng.SubmitMigrated(r, ev.at)
 	rep.estValid = false
 	c.ensureStepEvent(dp, rep)
-	c.handoffs[ev.rep].ToReplica = rep.idx
 	if c.cfg.OnHandoff != nil {
-		c.cfg.OnHandoff(c.handoffs[ev.rep])
+		c.cfg.OnHandoff(*h)
+	}
+	if c.adm != nil {
+		c.adm.retry(ev.at) // the prefill side freed this footprint at handoff
 	}
 }
 

@@ -3,19 +3,31 @@ package cluster
 import "github.com/lightllm-go/lightllm/internal/request"
 
 // The cluster is driven by one typed min-heap of simulation events — a
-// single clock shared by every pool. The four event kinds interleave with
+// single clock shared by every pool. The five event kinds interleave with
 // the (externally sorted) arrival stream:
 //
 //   - evActivate: a scaling-out replica finishes its activation delay and
 //     starts accepting traffic.
-//   - evDeliver: a KV handoff from a prefill-only engine lands on the
-//     decode side of the transfer link; the request is routed into the
-//     decode pool at this instant.
+//   - evXfer: a prefill-only engine finished a prompt at this instant and
+//     the handoff is ready to book on the KV link. Handoffs are deferred to
+//     events instead of booked inside the engine step so the link sees them
+//     in issue-time order: engine steps pop by their *start* time, so a step
+//     spanning [4.0, 5.0] executes before one spanning [4.5, 4.8], and
+//     booking eagerly would queue the 4.8 handoff behind the 5.0 one.
+//     The transfer-boundary shed check and the contention-aware decode pick
+//     both run when this event fires.
+//   - evDeliver: a KV handoff lands on the decode side of the transfer
+//     link; the request enters its pre-picked decode replica.
 //   - evPlan: a periodic autoscaler evaluation for one pool (the SLA
 //     planner's adjustment interval, or the reactive policy's optional
 //     tick).
 //   - evStep: a busy replica's engine is due for its next iteration; the
 //     event's timestamp is the replica's clock when the event was pushed.
+//   - evRetry: cluster-front admission re-examines its held queue. A step
+//     that released capacity does so at its *end* time, so — like evXfer —
+//     the retry is deferred to an event rather than run inline: an eager
+//     retry at the step's end clock could shed a head that an
+//     earlier-timestamped event still in the heap would have placed.
 //
 // Advancing the cluster to an arrival time t pops events while their time
 // is before t (activations exactly at t also fire, because a replica whose
@@ -31,25 +43,30 @@ import "github.com/lightllm-go/lightllm/internal/request"
 // Serve's steady state must not.
 
 // evKind orders simultaneous events: activations first (so a replica waking
-// exactly at an arrival's timestamp can receive it), then KV deliveries (a
-// landed handoff is routable work), then autoscaler evaluations, then
-// engine steps.
+// exactly at an arrival's timestamp can receive it), then handoff bookings
+// (the wire must be priced before later work observes it), then KV
+// deliveries (a landed handoff is routable work), then autoscaler
+// evaluations, then engine steps.
 type evKind uint8
 
 const (
 	evActivate evKind = iota
+	evXfer
 	evDeliver
 	evPlan
 	evStep
+	// evRetry sorts last so a same-instant activation, delivery, or step
+	// has already exposed its capacity when the held queue re-examines.
+	evRetry
 )
 
 type event struct {
 	at   float64
 	kind evKind
-	pool int // owning pool for evActivate/evPlan/evStep; target pool for evDeliver
-	rep  int // replica index for evActivate/evStep; handoff index for evDeliver
+	pool int // owning pool for evActivate/evPlan/evStep; target pool for evXfer/evDeliver
+	rep  int // replica index for evActivate/evStep; source replica for evXfer; handoff index for evDeliver
 	seq  int64
-	req  *request.Request // the migrating request for evDeliver
+	req  *request.Request // the migrating request for evXfer/evDeliver
 }
 
 type eventHeap []event
@@ -62,6 +79,18 @@ func (h eventHeap) less(i, j int) bool {
 	}
 	if h[i].kind != h[j].kind {
 		return h[i].kind < h[j].kind
+	}
+	if h[i].kind == evXfer {
+		// Handoffs issued at the exact same instant book deterministically:
+		// earliest-arrived user first (then request ID), not whichever
+		// engine's step event happened to pop first.
+		a, b := h[i].req, h[j].req
+		if a.ArrivalTime != b.ArrivalTime {
+			return a.ArrivalTime < b.ArrivalTime
+		}
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
 	}
 	return h[i].seq < h[j].seq
 }

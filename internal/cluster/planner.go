@@ -85,6 +85,11 @@ type PlanSample struct {
 	Active   int     // active replicas after applying the decision
 	CorrTTFT float64 // correction factor at decision time
 	CorrTPOT float64
+	// Shed counts admission-control refusals charged to this pool during
+	// the closed interval — demand the pool could not serve in time. A
+	// shedding interval suppresses scale-in (the fleet is refusing work;
+	// shrinking it would be self-fulfilling).
+	Shed int
 }
 
 // planner is the per-pool planner state. The pool owns the scaling
@@ -108,6 +113,7 @@ type planner struct {
 	sumOSL   float64
 	sumTTFT  float64
 	sumTPOT  float64
+	sheds    int
 
 	// Correction factors: smoothed observed/interpolated latency ratios
 	// from past intervals, used to divide the SLA targets — if the fleet
@@ -144,7 +150,8 @@ func (p *planner) observeArrival(inputLen int) {
 }
 
 // observeFinish accounts one completed request (OSL and the latency
-// metrics are known on finish).
+// metrics are known on finish). A decode pool feeds MTPOT — the inter-token
+// metric its SLA actually bounds — where a mixed pool feeds mean TPOT.
 func (p *planner) observeFinish(generated int, ttft, tpot float64) {
 	p.finished++
 	p.sumOSL += float64(generated)
@@ -153,6 +160,11 @@ func (p *planner) observeFinish(generated int, ttft, tpot float64) {
 	}
 	p.sumTPOT += tpot
 }
+
+// observeShed accounts one admission-control refusal charged to this pool —
+// the shed-rate signal: demand arrived that the pool's capacity could not
+// serve inside the SLA.
+func (p *planner) observeShed() { p.sheds++ }
 
 // correctionSmoothing blends the latest observed/predicted ratio into the
 // running correction factor; corrections are clamped to [0.25, 4] so one
@@ -206,11 +218,20 @@ func (p *planner) tick(now float64, active int) int {
 	// Scale-out is immediate; scale-in waits for ScaleInPatience
 	// consecutive low evaluations so a one-interval lull (or a noisy
 	// forecast at a phase boundary) cannot flap the fleet down right
-	// before load returns.
+	// before load returns. An interval that shed demand resets the
+	// patience outright: refusing work is proof the pool is not
+	// over-provisioned, whatever the rate forecast says.
+	sheds := p.sheds
+	p.sheds = 0
 	if target < active {
-		p.belowFor++
-		if p.belowFor < p.cfg.ScaleInPatience {
+		if sheds > 0 {
+			p.belowFor = 0
 			target = active
+		} else {
+			p.belowFor++
+			if p.belowFor < p.cfg.ScaleInPatience {
+				target = active
+			}
 		}
 	} else {
 		p.belowFor = 0
@@ -218,6 +239,7 @@ func (p *planner) tick(now float64, active int) int {
 	p.History = append(p.History, PlanSample{
 		At: now, Rate: rate, ISL: isl, OSL: osl, PredRate: predRate,
 		Target: target, Active: active, CorrTTFT: p.corrTTFT, CorrTPOT: p.corrTPOT,
+		Shed: sheds,
 	})
 	return target
 }

@@ -114,8 +114,9 @@ type replica struct {
 	draining bool    // scaling in: no new traffic, retires when drained
 	wakeAt   float64 // activation time of the pending/last activation
 
-	routed int
-	inHeap bool // a step event for this replica is in the event heap
+	routed    int
+	inHeap    bool // a step event for this replica is in the event heap
+	pendingIn int  // booked KV transfers in flight toward this replica
 
 	// Warm probe state: est holds QuantileEntry for every running and
 	// queued request, rebuilt lazily after the replica's state changes.
@@ -201,7 +202,14 @@ func newPool(c *Cluster, id int, cfg Config) (*Pool, error) {
 		p.plan = newPlanner(*p.cfg.Planner, e0.Perf(), e0.Pool().CapacityTokens(), cfg.Role, c.transferEstimate(e0))
 		for _, rep := range p.reps {
 			rep.eng.AddFinishHook(func(_ float64, r *request.Request) {
-				p.plan.observeFinish(r.Generated, r.TTFT(), r.TPOT())
+				// A decode pool corrects on observed MTPOT — the metric it
+				// owns: the delivery→next-token queueing gap that mean TPOT
+				// amortises away is exactly what its sizing must absorb.
+				tpot := r.TPOT()
+				if cfg.Role == engine.RoleDecodeOnly {
+					tpot = r.MTPOT()
+				}
+				p.plan.observeFinish(r.Generated, r.TTFT(), tpot)
 			})
 		}
 	}
@@ -314,19 +322,23 @@ func (p *Pool) rebuildAccepting() {
 	}
 }
 
+// fallbackReplica is the no-accepting-replica escape hatch: every
+// provisioned replica is still activating (or draining), so fall back to
+// the first active one — traffic is never dropped by the pool itself.
+func (p *Pool) fallbackReplica() *replica {
+	for _, rep := range p.reps {
+		if rep.active {
+			return rep
+		}
+	}
+	return p.reps[0]
+}
+
 // pick selects the replica for one request under the configured policy.
 func (p *Pool) pick(req *request.Request) *replica {
 	cands := p.accepting
 	if len(cands) == 0 {
-		// Every provisioned replica is still activating (or draining): fall
-		// back to the first active one so traffic is never dropped by the
-		// pool itself.
-		for _, rep := range p.reps {
-			if rep.active {
-				return rep
-			}
-		}
-		return p.reps[0]
+		return p.fallbackReplica()
 	}
 	switch p.cfg.Policy {
 	case LeastLoaded:
@@ -357,11 +369,18 @@ func (p *Pool) pick(req *request.Request) *replica {
 // route records and executes one routing decision into the pool.
 func (p *Pool) route(req *request.Request) *replica {
 	rep := p.pick(req)
+	p.routeTo(req, rep)
+	return rep
+}
+
+// routeTo records one routing decision whose replica was already chosen
+// (cost-vector decode picks, admission placements reusing the gate's
+// argmin, deliver-time re-routes).
+func (p *Pool) routeTo(req *request.Request, rep *replica) {
 	rep.routed++
 	if p.cfg.OnRoute != nil {
 		p.cfg.OnRoute(req, rep.idx)
 	}
-	return rep
 }
 
 // probe returns the predicted future peak memory of a replica's batch plus
@@ -379,6 +398,23 @@ func (p *Pool) probe(rep *replica, req *request.Request) float64 {
 	p.ensureEst(rep)
 	cand := core.QuantileEntry(req, rep.sampler, p.cfg.Quantile)
 	return float64(rep.est.PeakWith(cand)) / float64(rep.eng.Pool().CapacityTokens())
+}
+
+// bestProbe returns the smallest FutureHeadroom probe across the accepting
+// replicas and the replica achieving it — the cluster-front admission
+// gate's view of the pool ((nil, +Inf) when no replica accepts, e.g.
+// everything is still activating). The iteration order and strict `<`
+// match pick()'s FutureHeadroom argmin, so a placement reusing the
+// returned replica is decision-identical to routing again.
+func (p *Pool) bestProbe(req *request.Request) (*replica, float64) {
+	var bestRep *replica
+	best := math.Inf(1)
+	for _, rep := range p.accepting {
+		if f := p.probe(rep, req); f < best {
+			bestRep, best = rep, f
+		}
+	}
+	return bestRep, best
 }
 
 // load returns the predicted peak of a replica's batch plus queue (no
@@ -437,7 +473,7 @@ func (p *Pool) reactiveScale(now float64) {
 		// in its arrival heap keeps its replica-seconds clock running.
 		for i := len(p.reps) - 1; i >= 0; i-- {
 			rep := p.reps[i]
-			if rep.active && rep.eng.Idle() {
+			if rep.active && p.drained(rep) {
 				p.scaleIns++
 				p.retire(rep, now)
 				break
@@ -485,7 +521,7 @@ func (p *Pool) applyTarget(now float64, target int) {
 			return
 		}
 		p.scaleIns++
-		if rep.eng.Idle() {
+		if p.drained(rep) {
 			p.retire(rep, now)
 		} else {
 			rep.draining = true
@@ -495,12 +531,20 @@ func (p *Pool) applyTarget(now float64, target int) {
 	}
 }
 
+// drained reports whether a replica holds no work now or in flight toward
+// it: its engine is idle and no booked KV transfer is still on the wire (a
+// pending migration is invisible to the engine until delivery, but retiring
+// its destination would strand it).
+func (p *Pool) drained(rep *replica) bool {
+	return rep.pendingIn == 0 && rep.eng.Idle()
+}
+
 // scaleInVictim picks the next replica to scale in: idle ones first, then
 // the highest-index busy one (which will drain).
 func (p *Pool) scaleInVictim() *replica {
 	for i := len(p.reps) - 1; i >= 0; i-- {
 		rep := p.reps[i]
-		if rep.active && !rep.draining && rep.eng.Idle() {
+		if rep.active && !rep.draining && p.drained(rep) {
 			return rep
 		}
 	}

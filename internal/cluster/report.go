@@ -31,6 +31,12 @@ type Report struct {
 	Imbalance    float64
 	// Finished / Failed / TimedOut are cluster totals.
 	Finished, Failed, TimedOut int
+	// Shed counts admission-control refusals (Summary counts each as a
+	// TTFT violation with zero good tokens); ShedFront were refused at the
+	// cluster front before any engine saw them, ShedBoundary at the
+	// prefill→transfer boundary after prefill but before the KV transfer
+	// was booked.
+	Shed, ShedFront, ShedBoundary int
 	// Duration is the simulated span of the run.
 	Duration float64
 
@@ -68,6 +74,9 @@ func (c *Cluster) Report(results []*engine.Result, sla metrics.SLA) Report {
 	}
 	sum := metrics.Summarize(finished, sla, c.startAt, end)
 	sum.AddTimedOut(timedOut, c.startAt, end)
+	if c.adm != nil {
+		sum.AddShed(c.adm.shedList, c.startAt, end)
+	}
 	r := Report{
 		Summary:        sum,
 		ReplicaSeconds: c.ReplicaSeconds(),
@@ -77,6 +86,11 @@ func (c *Cluster) Report(results []*engine.Result, sla metrics.SLA) Report {
 		TimedOut:       len(timedOut),
 		Duration:       c.Duration(),
 		Handoffs:       len(c.handoffs),
+	}
+	if c.adm != nil {
+		r.Shed = len(c.adm.shedList)
+		r.ShedFront = c.adm.frontSheds
+		r.ShedBoundary = c.adm.boundarySheds
 	}
 	for _, p := range c.pools {
 		out, in := p.ScaleEvents()

@@ -258,6 +258,7 @@ type Engine struct {
 	started         bool
 	startClock      float64
 	admitRetries    int
+	released        bool // a request left the engine during the last Step
 
 	staticBatch []*request.Request // StaticBatch mode: the batch in flight
 }
@@ -482,11 +483,22 @@ func (e *Engine) AddFailHook(f func(now float64, r *request.Request)) {
 
 // failRequest records a request as unservable and fires OnFail.
 func (e *Engine) failRequest(r *request.Request) {
+	r.MarkFailed()
 	e.failed = append(e.failed, r)
+	e.released = true
 	if e.cfg.Hooks.OnFail != nil {
 		e.cfg.Hooks.OnFail(e.clock, r)
 	}
 }
+
+// ReleasedLastStep reports whether the last Step released cluster-visible
+// capacity: a request left the engine (finished, handed off, timed out, or
+// failed), so a routing probe that previously refused this replica may now
+// accept. The cluster's admission queue retries held requests on exactly
+// these events instead of polling every tick. Evictions do not set it — an
+// evicted request re-queues on the same engine, leaving the predicted peak
+// unchanged.
+func (e *Engine) ReleasedLastStep() bool { return e.released }
 
 // AddIterationHook chains f after any existing OnIteration hook.
 func (e *Engine) AddIterationHook(f func(now float64, it Iteration)) {
@@ -509,6 +521,20 @@ func (e *Engine) Submit(r *request.Request) {
 	e.arrivals.push(arrivalItem{r: r, at: r.ArrivalTime, seq: e.seq})
 }
 
+// SubmitAt schedules a request to enter this engine at time `at` (clamped
+// to now) while preserving its original ArrivalTime — unlike Submit, which
+// clamps ArrivalTime itself. This is the release path of the cluster-front
+// admission queue: a request held at the cluster front keeps its SLA clock
+// running from the user's arrival, so the hold shows up in TTFT instead of
+// being silently forgiven.
+func (e *Engine) SubmitAt(r *request.Request, at float64) {
+	if at < e.clock {
+		at = e.clock
+	}
+	e.seq++
+	e.arrivals.push(arrivalItem{r: r, at: at, seq: e.seq})
+}
+
 // SubmitMigrated schedules a request handed off from a prefill-only engine:
 // it enters this engine's queue at the KV-delivery time `at` (clamped to
 // now) while keeping its original ArrivalTime, so TTFT and queue-timeout
@@ -521,12 +547,8 @@ func (e *Engine) SubmitMigrated(r *request.Request, at float64) {
 	if !r.Migrated {
 		panic(fmt.Sprintf("engine: SubmitMigrated of request %d without RecordMigration", r.ID))
 	}
-	if at < e.clock {
-		at = e.clock
-	}
 	r.State = request.Waiting
-	e.seq++
-	e.arrivals.push(arrivalItem{r: r, at: at, seq: e.seq})
+	e.SubmitAt(r, at)
 }
 
 // SubmitAll submits every request in rs as one bulk merge: the arrivals are

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/lightllm-go/lightllm/internal/core"
+	"github.com/lightllm-go/lightllm/internal/request"
+)
+
+// TestSubmitAtPreservesArrivalTime pins the admission-queue release path:
+// a request held at the cluster front and released late keeps its original
+// ArrivalTime, so the hold is charged to TTFT — unlike Submit, which clamps
+// ArrivalTime to the engine clock.
+func TestSubmitAtPreservesArrivalTime(t *testing.T) {
+	e := newEngine(t, core.NewOracle(), 10_000)
+	// Warm the clock past the request's arrival.
+	warm := request.New(1, 100, 5, 50, 0)
+	e.Submit(warm)
+	e.Run()
+	if e.Clock() <= 0 {
+		t.Fatal("warm-up did not advance the clock")
+	}
+
+	held := request.New(2, 100, 5, 50, 0.5) // arrived long before the release
+	releaseAt := e.Clock() + 3
+	e.SubmitAt(held, releaseAt)
+	if held.ArrivalTime != 0.5 {
+		t.Fatalf("SubmitAt mutated ArrivalTime to %v", held.ArrivalTime)
+	}
+	e.Run()
+	if held.State != request.Finished {
+		t.Fatalf("held request state %v", held.State)
+	}
+	// The first token cannot precede the release, and TTFT counts from the
+	// user's arrival — the cluster-front hold is not forgiven.
+	if held.FirstTokenAt < releaseAt {
+		t.Fatalf("first token at %v before release %v", held.FirstTokenAt, releaseAt)
+	}
+	if got, min := held.TTFT(), releaseAt-0.5; got < min {
+		t.Fatalf("TTFT %v hides the hold (want ≥ %v)", got, min)
+	}
+
+	// SubmitAt in the past clamps the entry time to now, like Submit.
+	late := request.New(3, 100, 5, 50, 1)
+	e.SubmitAt(late, e.Clock()-10)
+	e.Run()
+	if late.State != request.Finished {
+		t.Fatalf("late request state %v", late.State)
+	}
+}
+
+// TestReleasedLastStep pins the capacity-event signal the cluster admission
+// queue retries on: a Step that completes (or times out, or fails) a request
+// reports released capacity; a pure decode step does not.
+func TestReleasedLastStep(t *testing.T) {
+	e := newEngine(t, core.NewOracle(), 10_000)
+	e.Submit(request.New(1, 100, 4, 50, 0))
+	sawRelease := false
+	steps := 0
+	for e.Step() {
+		steps++
+		if e.ReleasedLastStep() {
+			sawRelease = true
+			if len(e.RunningRequests()) != 0 {
+				t.Fatal("release reported while the request still runs")
+			}
+		} else if steps > 1 && len(e.RunningRequests()) == 0 && e.QueueLen() == 0 {
+			t.Fatal("completion step did not report released capacity")
+		}
+	}
+	if !sawRelease {
+		t.Fatal("no step reported released capacity")
+	}
+
+	// Queue-timeout drops release the queued slot (the routing probe counts
+	// queued requests toward the predicted peak).
+	drop, err := New(Config{Perf: testPerf(t), Scheduler: core.MustNewConservative(1.0), CapacityOverride: 800, QueueTimeout: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop.Submit(request.New(1, 200, 400, 512, 0)) // reserves the pool for seconds
+	drop.Submit(request.New(2, 200, 10, 512, 0))  // cannot reserve; will time out
+	released := false
+	for drop.Step() {
+		if drop.ReleasedLastStep() {
+			released = true
+		}
+	}
+	res := drop.Snapshot()
+	if len(res.TimedOut) != 1 {
+		t.Fatalf("timed out %d, want 1", len(res.TimedOut))
+	}
+	if res.TimedOut[0].Outcome != request.OutcomeDropped {
+		t.Fatalf("timed-out outcome %v", res.TimedOut[0].Outcome)
+	}
+	if !released {
+		t.Fatal("drop never reported released capacity")
+	}
+	for _, r := range res.Finished {
+		if r.Outcome != request.OutcomeCompleted {
+			t.Fatalf("finished request outcome %v", r.Outcome)
+		}
+	}
+}

@@ -123,6 +123,7 @@ func (e *Engine) finishStaticDone() {
 		r.Finish(e.clock)
 		e.recordFinishedLength(r.Class, r.TrueOutputLen)
 		e.finished = append(e.finished, r)
+		e.released = true
 		if e.cfg.Hooks.OnFinish != nil {
 			e.cfg.Hooks.OnFinish(e.clock, r)
 		}

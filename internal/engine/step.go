@@ -12,6 +12,7 @@ const maxAdmitRetries = 3
 // Step executes one engine iteration and returns false when the engine is
 // fully drained (no queue, no batch, no future arrivals).
 func (e *Engine) Step() bool {
+	e.released = false
 	if e.Idle() {
 		return false
 	}
@@ -108,8 +109,9 @@ func (e *Engine) dropExpired() {
 			return !(r.FirstTokenAt < 0 && e.clock-r.ArrivalTime > e.cfg.QueueTimeout)
 		},
 		func(r *request.Request) {
-			r.DroppedAt = e.clock
+			r.MarkDropped(e.clock)
 			e.timedOut = append(e.timedOut, r)
+			e.released = true
 			if e.cfg.Hooks.OnDrop != nil {
 				e.cfg.Hooks.OnDrop(e.clock, r)
 			}
@@ -304,6 +306,7 @@ func (e *Engine) completePrefills(admitted []*request.Request) {
 		}
 		e.outputTokens++
 		e.pool.Free(r.ID)
+		e.released = true
 		if r.Done() {
 			r.Finish(e.clock)
 			e.recordFinishedLength(r.Class, r.TrueOutputLen)
@@ -447,6 +450,7 @@ func (e *Engine) completeDone() {
 			continue
 		}
 		e.pool.Free(r.ID)
+		e.released = true
 		r.Finish(e.clock)
 		e.recordFinishedLength(r.Class, r.TrueOutputLen)
 		e.finished = append(e.finished, r)

@@ -21,8 +21,16 @@ type Link struct {
 	// an earlier one is still on the wire starts when the wire frees. When
 	// false, transfers overlap perfectly (a modeling upper bound).
 	Serialize bool
+	// PerDestination gives every destination its own ingress lane (a
+	// per-GPU NIC on a non-blocking fabric): transfers to different
+	// destinations overlap, transfers to the same destination serialize
+	// (when Serialize is set). The destination-less Schedule and
+	// ExpectedDelivery keep treating the link as one shared wire, so
+	// existing single-wire callers are unaffected.
+	PerDestination bool
 
 	busyUntil float64
+	lanes     []float64 // per-destination busy-until, grown on demand
 }
 
 // NewLink validates the parameters and builds a serialized link, the
@@ -63,21 +71,74 @@ func (l *Link) TransferTime(bytes int64) float64 {
 	return t
 }
 
-// Schedule books one transfer issued at now and returns its completion
-// time. On a serialized link the transfer waits for the wire to free first;
-// the wire is then busy until the returned time.
-func (l *Link) Schedule(now float64, bytes int64) float64 {
+// ExpectedDelivery returns when a transfer of the given size issued at now
+// would land, given the current wire queueing — Schedule without the
+// booking. The contention-aware router and the admission shed checks use
+// it to price a handoff before committing bandwidth to it.
+func (l *Link) ExpectedDelivery(now float64, bytes int64) float64 {
 	start := now
 	if l.Serialize && l.busyUntil > start {
 		start = l.busyUntil
 	}
-	done := start + l.TransferTime(bytes)
+	return start + l.TransferTime(bytes)
+}
+
+// Schedule books one transfer issued at now and returns its completion
+// time. On a serialized link the transfer waits for the wire to free first;
+// the wire is then busy until the returned time.
+//
+// Bookings must be issued in nondecreasing `now` order — the cluster event
+// loop guarantees this by deferring handoffs to issue-time-ordered events
+// (booking in engine-step order instead used to queue an earlier-issued
+// transfer behind a later one).
+func (l *Link) Schedule(now float64, bytes int64) float64 {
+	done := l.ExpectedDelivery(now, bytes)
 	if l.Serialize {
 		l.busyUntil = done
 	}
 	return done
 }
 
-// BusyUntil returns when the wire frees (0 if never used); observational,
-// for reports and tests.
+// ExpectedDeliveryTo is ExpectedDelivery for one destination's ingress
+// lane. Without PerDestination (or for a negative destination) it falls
+// back to the shared-wire estimate, so the router's cost vector degrades
+// gracefully to headroom-only ranking on single-wire links.
+func (l *Link) ExpectedDeliveryTo(now float64, bytes int64, dst int) float64 {
+	if !l.PerDestination || dst < 0 {
+		return l.ExpectedDelivery(now, bytes)
+	}
+	start := now
+	if l.Serialize && dst < len(l.lanes) && l.lanes[dst] > start {
+		start = l.lanes[dst]
+	}
+	return start + l.TransferTime(bytes)
+}
+
+// ScheduleTo books one transfer to a destination lane and returns its
+// completion time. Without PerDestination it books the shared wire.
+func (l *Link) ScheduleTo(now float64, bytes int64, dst int) float64 {
+	if !l.PerDestination || dst < 0 {
+		return l.Schedule(now, bytes)
+	}
+	done := l.ExpectedDeliveryTo(now, bytes, dst)
+	if l.Serialize {
+		for dst >= len(l.lanes) {
+			l.lanes = append(l.lanes, 0)
+		}
+		l.lanes[dst] = done
+	}
+	return done
+}
+
+// BusyUntil returns when the shared wire frees (0 if never used);
+// observational, for reports and tests.
 func (l *Link) BusyUntil() float64 { return l.busyUntil }
+
+// LaneBusyUntil returns when a destination's ingress lane frees (0 if never
+// used); observational.
+func (l *Link) LaneBusyUntil(dst int) float64 {
+	if dst < 0 || dst >= len(l.lanes) {
+		return 0
+	}
+	return l.lanes[dst]
+}

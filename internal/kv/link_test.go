@@ -60,3 +60,64 @@ func TestLinkOverlapped(t *testing.T) {
 		t.Fatalf("overlapped completions (%v, %v), want (11, 11)", a, b)
 	}
 }
+
+func TestLinkExpectedDeliveryIsNonMutating(t *testing.T) {
+	l := MustNewLink(100, 0) // 1 byte per 10 ms
+	// A preview matches what Schedule would return, and booking nothing.
+	if got := l.ExpectedDelivery(10, 100); !almost(got, 11) {
+		t.Fatalf("expected delivery %v, want 11", got)
+	}
+	if l.BusyUntil() != 0 {
+		t.Fatal("preview booked the wire")
+	}
+	first := l.Schedule(10, 100) // wire busy until 11
+	if !almost(first, 11) {
+		t.Fatalf("schedule %v, want 11", first)
+	}
+	// The preview now sees the queueing the booking created.
+	if got := l.ExpectedDelivery(10.5, 50); !almost(got, 11.5) {
+		t.Fatalf("queued expected delivery %v, want 11.5", got)
+	}
+	if got := l.Schedule(10.5, 50); !almost(got, 11.5) {
+		t.Fatalf("queued schedule %v, want 11.5", got)
+	}
+}
+
+func TestLinkPerDestinationLanes(t *testing.T) {
+	l := MustNewLink(100, 0)
+	l.PerDestination = true
+	// Same instant, different destinations: the lanes overlap.
+	a := l.ScheduleTo(10, 100, 0)
+	b := l.ScheduleTo(10, 100, 1)
+	if !almost(a, 11) || !almost(b, 11) {
+		t.Fatalf("cross-lane completions (%v, %v), want (11, 11)", a, b)
+	}
+	// Same destination: the lane serializes, and the preview prices it.
+	if got := l.ExpectedDeliveryTo(10, 50, 0); !almost(got, 11.5) {
+		t.Fatalf("lane-0 expected delivery %v, want 11.5", got)
+	}
+	if got := l.ScheduleTo(10, 50, 0); !almost(got, 11.5) {
+		t.Fatalf("lane-0 completion %v, want 11.5", got)
+	}
+	if !almost(l.LaneBusyUntil(0), 11.5) || !almost(l.LaneBusyUntil(1), 11) {
+		t.Fatalf("lane busy (%v, %v), want (11.5, 11)", l.LaneBusyUntil(0), l.LaneBusyUntil(1))
+	}
+	// The shared wire was never booked by lane traffic.
+	if l.BusyUntil() != 0 {
+		t.Fatal("lane booking leaked onto the shared wire")
+	}
+	// A negative destination (monolithic callers) books the shared wire.
+	if got := l.ScheduleTo(10, 100, -1); !almost(got, 11) {
+		t.Fatalf("shared-wire fallback %v, want 11", got)
+	}
+	if !almost(l.BusyUntil(), 11) {
+		t.Fatalf("shared wire busy %v, want 11", l.BusyUntil())
+	}
+	// Without PerDestination, ScheduleTo is Schedule regardless of dst.
+	shared := MustNewLink(100, 0)
+	x := shared.ScheduleTo(10, 100, 0)
+	y := shared.ScheduleTo(10, 100, 1)
+	if !almost(x, 11) || !almost(y, 12) {
+		t.Fatalf("single-wire completions (%v, %v), want (11, 12)", x, y)
+	}
+}

@@ -48,6 +48,10 @@ type Summary struct {
 	// TimedOut counts requests abandoned in the queue past their TTFT
 	// budget (always SLA violations, contributing zero good tokens).
 	TimedOut int
+	// Shed counts requests refused by cluster-front admission control
+	// (always SLA violations, contributing zero good tokens — service was
+	// never rendered).
+	Shed int
 	// ViolatedTTFT / ViolatedMTPOT break down the violations (a request can
 	// appear in both).
 	ViolatedTTFT  int
@@ -138,6 +142,33 @@ func (s *Summary) AddTimedOut(dropped []*request.Request, from, to float64) {
 		s.TimedOut++
 		s.ViolatedTTFT++
 	}
+}
+
+// AddShed folds admission-shed requests (ShedAt in (from, to]) into the
+// summary: each counts as one request violating the TTFT SLA with zero good
+// tokens, so shedding cannot launder overall attainment — it can only trade
+// refused requests for protected ones. The latency percentiles stay
+// served-only (a shed request has no latency to report).
+func (s *Summary) AddShed(shed []*request.Request, from, to float64) {
+	for _, r := range shed {
+		if r.ShedAt <= from || r.ShedAt > to {
+			continue
+		}
+		s.Total++
+		s.Shed++
+		s.ViolatedTTFT++
+	}
+}
+
+// GoodCompletionRate returns SLA-met completions per second of window —
+// the goodput axis of the admission-control comparison, counted in
+// requests rather than tokens so shed-heavy and shed-free runs compare on
+// how many users actually got SLA-conforming service.
+func (s Summary) GoodCompletionRate() float64 {
+	if s.Window <= 0 {
+		return 0
+	}
+	return float64(s.SLAOK) / s.Window
 }
 
 // String renders a one-line summary for logs and tables.

@@ -180,3 +180,28 @@ func TestStringers(t *testing.T) {
 		t.Fatalf("summary string = %q", s.String())
 	}
 }
+
+func TestAddShedCountsAsTTFTViolation(t *testing.T) {
+	r1 := request.New(1, 10, 5, 10, 0)
+	r1.Shed(2)
+	r2 := request.New(2, 10, 5, 10, 0)
+	r2.Shed(50) // outside the window: excluded
+	served := request.New(3, 10, 2, 10, 0)
+	served.EmitToken(1)
+	served.EmitToken(1.5)
+	served.Finish(1.5)
+
+	s := Summarize([]*request.Request{served}, SLASmall, 0, 10)
+	s.AddShed([]*request.Request{r1, r2}, 0, 10)
+	if s.Total != 2 || s.Shed != 1 || s.ViolatedTTFT != 1 {
+		t.Fatalf("total %d, shed %d, ttft-violated %d; want 2, 1, 1", s.Total, s.Shed, s.ViolatedTTFT)
+	}
+	// Goodput in completions/s counts only the served, SLA-met request.
+	if got, want := s.GoodCompletionRate(), 0.1; got != want {
+		t.Fatalf("good completion rate %v, want %v", got, want)
+	}
+	// The latency percentiles stay served-only.
+	if s.P99TTFT != 1 {
+		t.Fatalf("p99 TTFT %v polluted by shed requests", s.P99TTFT)
+	}
+}

@@ -36,6 +36,48 @@ func (s State) String() string {
 	}
 }
 
+// Outcome is a request's terminal disposition. State tracks where a request
+// sits inside one engine (queue vs batch); Outcome tracks how its life ends
+// across the whole cluster — exactly one terminal outcome per request, which
+// is the conservation law the fleet tests pin: every arrival ends exactly
+// once in {completed, shed, dropped, failed}.
+type Outcome int
+
+const (
+	// OutcomePending: still in flight (or never served before the run ended).
+	OutcomePending Outcome = iota
+	// OutcomeCompleted: every output token delivered.
+	OutcomeCompleted
+	// OutcomeShed: refused by cluster-front admission control — the request's
+	// remaining TTFT budget could not cover its predicted service floor, so
+	// no further capacity (KV link bandwidth, decode slots) was spent on it.
+	OutcomeShed
+	// OutcomeDropped: abandoned by an SLA-aware client after waiting in an
+	// engine queue past the queue timeout.
+	OutcomeDropped
+	// OutcomeFailed: unservable by the engine (e.g. a prompt that can never
+	// fit the KV pool).
+	OutcomeFailed
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomePending:
+		return "pending"
+	case OutcomeCompleted:
+		return "completed"
+	case OutcomeShed:
+		return "shed"
+	case OutcomeDropped:
+		return "dropped"
+	case OutcomeFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
 // Request is one generation request. Fields in the first block are immutable
 // after construction; the engine mutates the runtime block.
 type Request struct {
@@ -62,6 +104,16 @@ type Request struct {
 	MaxGap       float64 // max gap between consecutive output tokens (MTPOT)
 	FinishedAt   float64 // completion timestamp; <0 until finished
 	DroppedAt    float64 // queue-timeout abandonment timestamp; <0 if never
+
+	// Outcome is the request's terminal disposition (set exactly once).
+	Outcome Outcome
+	// TTFTDeadline is the absolute time by which the first token must be
+	// visible for the SLA to hold (ArrivalTime + TTFT budget); 0 when no
+	// deadline was stamped. Cluster-front admission control sheds requests
+	// whose remaining budget cannot cover the predicted service floor.
+	TTFTDeadline float64
+	// ShedAt is when admission control shed the request; <0 if never.
+	ShedAt float64
 
 	// Swapped marks a request whose KV cache sits in host memory after a
 	// swap-policy eviction; re-admission pays a swap-in transfer instead of
@@ -116,6 +168,7 @@ func New(id int64, inputLen, trueOutputLen, maxNewTokens int, arrival float64) *
 		LastEmitAt:    -1,
 		FinishedAt:    -1,
 		DroppedAt:     -1,
+		ShedAt:        -1,
 		PrefillDoneAt: -1,
 		DeliveredAt:   -1,
 	}
@@ -152,8 +205,45 @@ func (r *Request) Finish(now float64) {
 	if !r.Done() {
 		panic(fmt.Sprintf("request %d: finished with %d of %d tokens", r.ID, r.Generated, r.TrueOutputLen))
 	}
+	if r.Outcome != OutcomePending {
+		panic(fmt.Sprintf("request %d: finished after terminal outcome %v", r.ID, r.Outcome))
+	}
 	r.State = Finished
 	r.FinishedAt = now
+	r.Outcome = OutcomeCompleted
+}
+
+// Shed marks the request refused by cluster-front admission control at the
+// given time: its remaining TTFT budget could not cover the predicted
+// prefill + transfer + admission wait, so serving it would only burn
+// capacity on a guaranteed SLA violation. Shedding is terminal — the
+// request must not already hold another terminal outcome — and legal both
+// before any engine saw the request (front-of-cluster shed) and after a
+// prefill-only engine handed it off but before the KV transfer was booked
+// (transfer-boundary shed).
+func (r *Request) Shed(now float64) {
+	if r.Outcome != OutcomePending {
+		panic(fmt.Sprintf("request %d: shed after terminal outcome %v", r.ID, r.Outcome))
+	}
+	r.Outcome = OutcomeShed
+	r.ShedAt = now
+}
+
+// MarkDropped records a queue-timeout abandonment as the terminal outcome.
+func (r *Request) MarkDropped(now float64) {
+	if r.Outcome != OutcomePending {
+		panic(fmt.Sprintf("request %d: dropped after terminal outcome %v", r.ID, r.Outcome))
+	}
+	r.Outcome = OutcomeDropped
+	r.DroppedAt = now
+}
+
+// MarkFailed records an unservable drop as the terminal outcome.
+func (r *Request) MarkFailed() {
+	if r.Outcome != OutcomePending {
+		panic(fmt.Sprintf("request %d: failed after terminal outcome %v", r.ID, r.Outcome))
+	}
+	r.Outcome = OutcomeFailed
 }
 
 // RecordMigration marks the KV transfer from a prefill-only engine as

@@ -152,3 +152,64 @@ func TestRemainingTrue(t *testing.T) {
 		t.Fatalf("remaining = %d", r.RemainingTrue())
 	}
 }
+
+func TestOutcomeTerminalExactlyOnce(t *testing.T) {
+	// Completion is a terminal outcome.
+	r := New(1, 10, 1, 10, 0)
+	if r.Outcome != OutcomePending {
+		t.Fatalf("new request outcome %v, want pending", r.Outcome)
+	}
+	r.EmitToken(1)
+	r.Finish(1)
+	if r.Outcome != OutcomeCompleted || r.FinishedAt != 1 {
+		t.Fatalf("finished request outcome %v at %v", r.Outcome, r.FinishedAt)
+	}
+	mustPanic(t, "shed after completion", func() { r.Shed(2) })
+
+	// Shedding is terminal and excludes every other ending.
+	s := New(2, 10, 4, 10, 0)
+	s.TTFTDeadline = 8
+	s.Shed(3)
+	if s.Outcome != OutcomeShed || s.ShedAt != 3 {
+		t.Fatalf("shed request outcome %v at %v", s.Outcome, s.ShedAt)
+	}
+	mustPanic(t, "double shed", func() { s.Shed(4) })
+	mustPanic(t, "drop after shed", func() { s.MarkDropped(4) })
+	mustPanic(t, "fail after shed", func() { s.MarkFailed() })
+
+	d := New(3, 10, 4, 10, 0)
+	d.MarkDropped(5)
+	if d.Outcome != OutcomeDropped || d.DroppedAt != 5 {
+		t.Fatalf("dropped request outcome %v at %v", d.Outcome, d.DroppedAt)
+	}
+
+	f := New(4, 10, 4, 10, 0)
+	f.MarkFailed()
+	if f.Outcome != OutcomeFailed {
+		t.Fatalf("failed request outcome %v", f.Outcome)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o, want := range map[Outcome]string{
+		OutcomePending: "pending", OutcomeCompleted: "completed",
+		OutcomeShed: "shed", OutcomeDropped: "dropped", OutcomeFailed: "failed",
+	} {
+		if o.String() != want {
+			t.Fatalf("outcome %d string %q, want %q", int(o), o.String(), want)
+		}
+	}
+	if !strings.HasPrefix(Outcome(99).String(), "outcome(") {
+		t.Fatal("unknown outcome string wrong")
+	}
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	f()
+}

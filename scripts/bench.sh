@@ -1,11 +1,12 @@
 #!/bin/sh
 # Runs the scheduling hot-path micro-benchmarks (BenchmarkAdmitHotPath,
 # BenchmarkFutureRequiredMemory, BenchmarkWindowSampler, the fleet-scale
-# BenchmarkFleetRoute series, and the MaxPrefillTokens trim) and records
-# ns/op and allocs/op in BENCH_hotpath.json, then runs the cmd/fleetsim
-# autoscaling comparison (reactive vs predictive vs disaggregated
-# prefill/decode) into BENCH_fleet.json, so successive PRs can track the
-# perf trajectory. Invoked via `make bench`.
+# BenchmarkFleetRoute series, the cluster-front admission deadline heap,
+# and the MaxPrefillTokens trim) and records ns/op and allocs/op in
+# BENCH_hotpath.json, then runs the cmd/fleetsim autoscaling comparison
+# (reactive vs predictive vs disaggregated prefill/decode) plus the 2×
+# overload-ramp admission comparison (shed on/off) into BENCH_fleet.json,
+# so successive PRs can track the perf trajectory. Invoked via `make bench`.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -17,7 +18,7 @@ go test -run '^$' -bench 'BenchmarkAdmitHotPath|BenchmarkFutureRequiredMemory' \
 	-benchmem ./internal/core/ | tee "$tmp"
 go test -run '^$' -bench 'BenchmarkWindowSampler' \
 	-benchmem ./internal/dist/ | tee -a "$tmp"
-go test -run '^$' -bench 'BenchmarkFleetRoute' \
+go test -run '^$' -bench 'BenchmarkFleetRoute|BenchmarkClusterAdmit' \
 	-benchmem ./internal/cluster/ | tee -a "$tmp"
 go test -run '^$' -bench 'BenchmarkPrefillTrim' \
 	-benchmem ./internal/engine/ | tee -a "$tmp"
@@ -42,12 +43,18 @@ echo "wrote $out"
 
 # Fleet-scale SLA demo on the bursty ramp workload: reactive vs predictive
 # (Holt) autoscaling, plus the disaggregated prefill/decode cluster with
-# its dual-pool planner; attainment and replica-seconds per mode.
-go run ./cmd/fleetsim -disagg -compare -json BENCH_fleet.json
+# its dual-pool planner; then the 2× overload ramp served three ways —
+# route-on-arrival, admission hold without shedding, and deadline-aware
+# shedding — recording goodput (SLA-met completions/s) and shed rates.
+go run ./cmd/fleetsim -disagg -compare -overload -json BENCH_fleet.json
 
 # Fail loudly if the comparison did not refresh the record: a stale
 # BENCH_fleet.json would silently misreport the fleet trajectory.
 grep -q '"mode": "disaggregated-holt"' BENCH_fleet.json || {
 	echo "BENCH_fleet.json is stale: no disaggregated mode recorded" >&2
+	exit 1
+}
+grep -q '"mode": "overload-shed"' BENCH_fleet.json || {
+	echo "BENCH_fleet.json is stale: no overload shedding mode recorded" >&2
 	exit 1
 }
