@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check bench cover ci
+.PHONY: build test vet fmt-check bench bench-fleet cover ci
 
 build:
 	$(GO) build ./...
@@ -25,8 +25,15 @@ fmt-check:
 
 # bench runs the scheduler hot-path micro-benchmarks and records ns/op and
 # allocs/op in BENCH_hotpath.json so future PRs can track the perf
-# trajectory (see ROADMAP.md "Hot path & complexity").
+# trajectory (see ROADMAP.md "Hot path & complexity"), then the fleet-scale
+# scenario family into BENCH_fleet.json.
 bench:
 	./scripts/bench.sh
+
+# bench-fleet refreshes only BENCH_fleet.json (the cmd/fleetsim scenario
+# family: autoscaling comparison, disaggregation, overload shedding, and
+# the heterogeneous mixed-GPU fleet) without the micro-bench suite.
+bench-fleet:
+	./scripts/bench.sh fleet
 
 ci: build vet fmt-check test

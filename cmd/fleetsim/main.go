@@ -10,6 +10,7 @@
 //	fleetsim -disagg                  # disaggregated prefill/decode pools
 //	fleetsim -disagg -compare         # reactive vs predictive vs disaggregated
 //	fleetsim -overload                # 2× overload ramp: admission control on/off
+//	fleetsim -hetero                  # mixed-GPU fleet: cost-aware vs premium-only
 //
 // The comparison mode is the paper-§7 demo the bench records in
 // BENCH_fleet.json: on a bursty workload, predictive scaling (EWMA/Holt
@@ -28,6 +29,14 @@
 // *served* requests inside the SLA and deliver more SLA-met completions
 // per second than both no-shed modes, which collapse into blown-deadline
 // completions.
+//
+// -hetero is the heterogeneous-fleet demo: the same ramp served by a mixed
+// fleet (premium A100-80G replicas plus cheaper economy replicas, RTX-4090
+// by default) under the cost-aware planner — which fills demand with the
+// cheapest flavor whose interpolated latency still meets the SLA — against
+// the ramp forced onto the premium flavor alone. The comparison axis is
+// CostSeconds: replica-seconds weighted by each flavor's normalized hourly
+// price (1.0 = one A100-80G), plus cost per SLA-met completion.
 package main
 
 import (
@@ -77,6 +86,13 @@ type options struct {
 	// Overload mode: ramp peak multiplier and admission slack.
 	overloadX float64
 	slack     float64
+
+	// Heterogeneous mode: economy GPU flavor and replica count (the
+	// premium flavor is the default A100-80G fleet), and the mixed fleet's
+	// planner utilization target.
+	econGPU  hw.GPU
+	econR    int
+	heteroHR float64
 }
 
 func main() {
@@ -103,6 +119,10 @@ func main() {
 		overload  = flag.Bool("overload", false, "run the overload trio (no admission / admission hold / admission+shed) on a ramp peaking at overload-factor × burst")
 		overloadX = flag.Float64("overload-factor", 2, "overload: burst-rate multiplier for the overload ramp")
 		slack     = flag.Float64("slack", 1.5, "overload: admission feasibility slack, seconds (reserve for engine-side waits the floor cannot see)")
+		hetero    = flag.Bool("hetero", false, "run the heterogeneous-fleet duo on the same ramp: a mixed premium+economy fleet under the cost-aware planner vs the ramp forced onto the premium flavor alone")
+		econGPU   = flag.String("econ-gpu", "RTX-4090", "hetero: economy GPU flavor (A100-80G, H800, RTX-4090, A30)")
+		econR     = flag.Int("econ", 0, "hetero: economy replicas in the mixed fleet (0 = 2×replicas)")
+		heteroHR  = flag.Float64("hetero-headroom", 0.65, "hetero: mixed-fleet planner utilization target (slower GPUs pay proportionally longer absolute queueing at equal utilization, so the mixed fleet runs slacker than the premium baseline)")
 		prefillR  = flag.Int("prefill", 0, "disagg: prefill pool replicas (0 = replicas/4, min 1; the rest decode)")
 		decodeHR  = flag.Float64("decode-headroom", 0.7, "disagg: decode pool planner utilization target (decode queueing costs MTPOT; the MTPOT correction loop lets this run tighter than the old 0.6 default)")
 		linkGBps  = flag.Float64("link-gbps", 64, "disagg: KV-transfer link bandwidth, GB/s (0 = latency-only)")
@@ -120,6 +140,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	econ, err := hw.GPUByName(*econGPU)
+	if err != nil {
+		fatal(err)
+	}
 	opts := options{
 		replicas: *replicas, capacity: *capacity, policy: pol, scaler: *scaler,
 		predictor: kind, interval: *interval, delay: *delay,
@@ -129,6 +153,10 @@ func main() {
 		rate: *rate, burst: *burst, phaseSec: *phaseSec, seed: *seed,
 		prefill: *prefillR, decodeHR: *decodeHR, linkGBps: *linkGBps, linkLat: *linkLat,
 		overloadX: *overloadX, slack: *slack,
+		econGPU: econ, econR: *econR, heteroHR: *heteroHR,
+	}
+	if opts.econR == 0 {
+		opts.econR = 2 * opts.replicas
 	}
 	if opts.prefill == 0 {
 		opts.prefill = opts.replicas / 4
@@ -150,11 +178,16 @@ func main() {
 		modes = []string{"disaggregated"}
 	case *overload:
 		// -overload alone runs just the trio.
+	case *hetero:
+		// -hetero alone runs just the duo.
 	default:
 		modes = []string{opts.scaler}
 	}
 	if *overload {
 		modes = append(modes, "overload-noshed", "overload-admit", "overload-shed")
+	}
+	if *hetero {
+		modes = append(modes, "hetero-cost", "hetero-premium")
 	}
 	var rows []row
 	for _, mode := range modes {
@@ -182,9 +215,13 @@ type row struct {
 	Goodput        float64 `json:"goodput_tok_s"`
 	GoodputReq     float64 `json:"goodput_req_s"` // SLA-met completions per second
 	ReplicaSeconds float64 `json:"replica_seconds"`
-	ScaleOuts      int     `json:"scale_outs"`
-	ScaleIns       int     `json:"scale_ins"`
-	Duration       float64 `json:"duration_s"`
+	// CostSeconds is replica-seconds × flavor cost weight (A100-equivalent
+	// seconds); CostPerGood is the cost per SLA-met completion.
+	CostSeconds float64 `json:"cost_seconds"`
+	CostPerGood float64 `json:"cost_per_good_completion"`
+	ScaleOuts   int     `json:"scale_outs"`
+	ScaleIns    int     `json:"scale_ins"`
+	Duration    float64 `json:"duration_s"`
 
 	// Admission-control fields.
 	Shed         int     `json:"shed,omitempty"`
@@ -200,6 +237,10 @@ type row struct {
 	DecodeReplicaSeconds  float64 `json:"decode_replica_seconds,omitempty"`
 	Handoffs              int     `json:"handoffs,omitempty"`
 	MeanTransferDelay     float64 `json:"mean_transfer_delay_s,omitempty"`
+
+	// Heterogeneous-only field: the fleet's flavor mix, e.g.
+	// "6×A100-80G + 12×RTX-4090".
+	Flavors string `json:"flavors,omitempty"`
 }
 
 // overloadMode returns the admission configuration an overload-trio mode
@@ -217,6 +258,7 @@ func overloadAdmission(opts options, mode string) *cluster.AdmissionConfig {
 
 func runOne(opts options, csvPath string) row {
 	overloaded := strings.HasPrefix(opts.scaler, "overload-")
+	heteroMode := strings.HasPrefix(opts.scaler, "hetero-")
 	wopts := opts
 	if overloaded {
 		wopts.burst *= opts.overloadX // ramp past what the capped fleet serves
@@ -224,11 +266,22 @@ func runOne(opts options, csvPath string) row {
 	reqs := burstyWorkload(wopts)
 	var rep cluster.Report
 	var history []cluster.PlanSample
-	if opts.scaler == "disaggregated" || overloaded {
+	var flavorMix string
+	switch {
+	case opts.scaler == "disaggregated" || overloaded:
 		c := buildDisagg(opts, overloadAdmission(opts, opts.scaler))
 		rep = c.Report(c.Serve(reqs, 1e9), opts.sla)
 		history = c.Pool(1).PlanHistory() // the decode pool dominates cost
-	} else {
+	case heteroMode:
+		f := buildHetero(opts)
+		rep = f.Report(f.Serve(reqs, 1e9), opts.sla)
+		history = f.PlanHistory()
+		var parts []string
+		for _, fi := range f.Flavors() {
+			parts = append(parts, fmt.Sprintf("%d×%s", fi.Replicas, fi.Name))
+		}
+		flavorMix = strings.Join(parts, " + ")
+	default:
 		f := buildFleet(opts)
 		rep = f.Report(f.Serve(reqs, 1e9), opts.sla)
 		history = f.PlanHistory()
@@ -249,9 +302,12 @@ func runOne(opts options, csvPath string) row {
 		Goodput:        rep.Summary.Goodput,
 		GoodputReq:     rep.Summary.GoodCompletionRate(),
 		ReplicaSeconds: rep.ReplicaSeconds,
+		CostSeconds:    rep.CostSeconds,
+		CostPerGood:    rep.Summary.CostPerGoodCompletion(),
 		ScaleOuts:      rep.ScaleOuts,
 		ScaleIns:       rep.ScaleIns,
 		Duration:       rep.Duration,
+		Flavors:        flavorMix,
 	}
 	if opts.scaler == "disaggregated" || overloaded {
 		r.PrefillReplicas = rep.Pools[0].Replicas
@@ -270,7 +326,10 @@ func runOne(opts options, csvPath string) row {
 			r.ShedRate = float64(rep.Shed) / float64(len(reqs))
 		}
 	}
-	if csvPath != "" && (opts.scaler == "predictive" || opts.scaler == "disaggregated") {
+	// Only the cost-aware hetero mode writes its trace: the premium
+	// baseline runs after it against the same path and would overwrite the
+	// per-flavor planning history the flag exists to study.
+	if csvPath != "" && (opts.scaler == "predictive" || opts.scaler == "disaggregated" || opts.scaler == "hetero-cost") {
 		writePlanCSV(csvPath, history)
 	}
 	return r
@@ -341,18 +400,60 @@ func attainment(total, violated int) float64 {
 	return 1 - float64(violated)/float64(total)
 }
 
-func buildFleet(opts options) *cluster.Fleet {
-	pm := perf.MustNew(perf.Config{Model: model.Llama2_7B, Cluster: hw.NewCluster(hw.A100_80G, 1)})
-	engines := make([]*engine.Engine, opts.replicas)
-	for i := range engines {
-		engines[i] = engine.MustNew(engine.Config{
+// buildHetero assembles the heterogeneous-fleet modes: "hetero-cost" is a
+// mixed monolithic fleet — `replicas` premium A100-80G plus `econ` economy
+// replicas — under the cost-aware SLA planner, which fills demand with the
+// cheapest flavor whose interpolated latency still meets the budget;
+// "hetero-premium" forces the same ramp onto the premium flavor alone (the
+// pre-heterogeneity fleet), the baseline the CostSeconds axis is judged
+// against.
+func buildHetero(opts options) *cluster.Fleet {
+	if opts.scaler == "hetero-premium" {
+		// The premium baseline IS the predictive fleet — same engines, same
+		// seeds, same planner — so build it through the same code path.
+		opts.scaler = "predictive"
+		return buildFleet(opts)
+	}
+	premium := perf.MustNew(perf.Config{Model: model.Llama2_7B, Cluster: hw.NewCluster(hw.A100_80G, 1)})
+	econ := perf.MustNew(perf.Config{Model: model.Llama2_7B, Cluster: hw.NewCluster(opts.econGPU, 1)})
+	// Seed offset disjoint from both the premium engines (0..replicas) and
+	// the workload generator (seed+1000), so no scheduler shares an RNG
+	// stream with the stream that generated its load.
+	engines := append(mkEngines(premium, opts.replicas, opts, 0), mkEngines(econ, opts.econR, opts, 1_000_000)...)
+	f, err := cluster.New(cluster.Config{
+		Replicas: engines,
+		Policy:   opts.policy,
+		Planner: &cluster.PlannerConfig{
+			SLA: opts.sla, Min: opts.min, Max: len(engines),
+			Interval: opts.interval, Predictor: opts.predictor,
+			ActivationDelay: opts.delay, Headroom: opts.heteroHR,
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	return f
+}
+
+// mkEngines builds n Past-Future replicas on one perf model, seeded
+// deterministically from the run seed (seedOff separates flavor groups).
+func mkEngines(pm *perf.Model, n int, opts options, seedOff uint64) []*engine.Engine {
+	out := make([]*engine.Engine, n)
+	for i := range out {
+		out[i] = engine.MustNew(engine.Config{
 			Perf: pm,
 			Scheduler: core.MustNewPastFuture(core.PastFutureConfig{
-				Reserved: 0.05, Rng: rng.New(opts.seed + uint64(i)),
+				Reserved: 0.05, Rng: rng.New(opts.seed + seedOff + uint64(i)),
 			}),
 			CapacityOverride: opts.capacity,
 		})
 	}
+	return out
+}
+
+func buildFleet(opts options) *cluster.Fleet {
+	pm := perf.MustNew(perf.Config{Model: model.Llama2_7B, Cluster: hw.NewCluster(hw.A100_80G, 1)})
+	engines := mkEngines(pm, opts.replicas, opts, 0)
 	cfg := cluster.Config{Replicas: engines, Policy: opts.policy}
 	switch opts.scaler {
 	case "none":
@@ -405,12 +506,18 @@ func printRows(opts options, rows []row) {
 	fmt.Printf("workload: %.0f→%.0f→%.0f→%.0f req/s × %.0fs phases (seed %d; overload ramps to %.0f)\n",
 		opts.rate, (opts.rate+opts.burst)/2, opts.burst, opts.rate, opts.phaseSec, opts.seed,
 		opts.burst*opts.overloadX)
-	fmt.Printf("%-20s %9s %9s %9s %9s %9s %12s %6s\n",
-		"mode", "ttft-att", "sla-att", "p99TTFT", "good-r/s", "shed", "replica-sec", "out/in")
+	fmt.Printf("%-20s %9s %9s %9s %9s %9s %12s %10s %6s\n",
+		"mode", "ttft-att", "sla-att", "p99TTFT", "good-r/s", "shed", "replica-sec", "cost-sec", "out/in")
 	for _, r := range rows {
-		fmt.Printf("%-20s %8.1f%% %8.1f%% %8.2fs %9.2f %9d %12.0f %3d/%-3d\n",
+		fmt.Printf("%-20s %8.1f%% %8.1f%% %8.2fs %9.2f %9d %12.0f %10.0f %3d/%-3d\n",
 			r.Mode, r.TTFTAttainment*100, r.SLAAttainment*100,
-			r.P99TTFT, r.GoodputReq, r.Shed, r.ReplicaSeconds, r.ScaleOuts, r.ScaleIns)
+			r.P99TTFT, r.GoodputReq, r.Shed, r.ReplicaSeconds, r.CostSeconds, r.ScaleOuts, r.ScaleIns)
+	}
+	for _, r := range rows {
+		if r.Flavors != "" {
+			fmt.Printf("%s: %s, %.0f cost-sec (%.2f per SLA-met completion)\n",
+				r.Mode, r.Flavors, r.CostSeconds, r.CostPerGood)
+		}
 	}
 	for _, r := range rows {
 		if r.Handoffs > 0 {
@@ -457,10 +564,18 @@ func writePlanCSV(path string, samples []cluster.PlanSample) {
 		fatal(err)
 	}
 	defer fl.Close()
-	fmt.Fprintln(fl, "at_s,rate,isl,osl,pred_rate,target,active,corr_ttft,corr_tpot")
+	// targets is the per-flavor breakdown of target, "|"-joined in flavor
+	// order — one value for a homogeneous pool, the cost-aware placement
+	// decision itself for a mixed fleet.
+	fmt.Fprintln(fl, "at_s,rate,isl,osl,pred_rate,target,active,corr_ttft,corr_tpot,targets")
 	for _, s := range samples {
-		fmt.Fprintf(fl, "%.1f,%.3f,%.1f,%.1f,%.3f,%d,%d,%.3f,%.3f\n",
-			s.At, s.Rate, s.ISL, s.OSL, s.PredRate, s.Target, s.Active, s.CorrTTFT, s.CorrTPOT)
+		parts := make([]string, len(s.Targets))
+		for i, t := range s.Targets {
+			parts[i] = fmt.Sprintf("%d", t)
+		}
+		fmt.Fprintf(fl, "%.1f,%.3f,%.1f,%.1f,%.3f,%d,%d,%.3f,%.3f,%s\n",
+			s.At, s.Rate, s.ISL, s.OSL, s.PredRate, s.Target, s.Active, s.CorrTTFT, s.CorrTPOT,
+			strings.Join(parts, "|"))
 	}
 	fmt.Println("wrote", path)
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"github.com/lightllm-go/lightllm/internal/perf"
 	"github.com/lightllm-go/lightllm/internal/request"
 )
 
@@ -42,6 +41,24 @@ type AdmissionConfig struct {
 	// reserve for the admission wait the floor cannot see (the engine-side
 	// queueing between placement and the prefill iteration). 0 = none.
 	Slack float64
+	// ClassRank orders held requests *within one deadline bucket* by
+	// service class: lower ranks release first when capacity frees, so at
+	// equal slack the higher-ranked (less critical) class is the one left
+	// behind to expire — best-effort sheds before interactive, the
+	// policy-controllable half of overload degradation. nil ranks every
+	// class 0, preserving pure EDF + FIFO.
+	ClassRank func(class string) int
+	// ClassBucket widens the deadline tie the class rank breaks: deadlines
+	// are quantized into *fixed* absolute windows of this many seconds
+	// ([k·bucket, (k+1)·bucket)), and within one window class rank
+	// dominates (EDF still orders inside one rank). Real arrival streams
+	// never produce bit-identical deadlines, so without a bucket the class
+	// policy only fires on hand-crafted ties. The windows are fixed, not
+	// sliding: two deadlines 20 ms apart straddling a boundary do not tie,
+	// while two at opposite ends of one window do — the quantization is
+	// what keeps the heap a single-key order. 0 = exact ties only (pure
+	// EDF across classes).
+	ClassBucket float64
 	// OnShed, when non-nil, observes every shed decision.
 	OnShed func(now float64, r *request.Request)
 }
@@ -66,6 +83,9 @@ func (c AdmissionConfig) validate() error {
 	if c.Slack < 0 {
 		return fmt.Errorf("cluster: negative admission slack %v", c.Slack)
 	}
+	if c.ClassBucket < 0 {
+		return fmt.Errorf("cluster: negative admission class bucket %v", c.ClassBucket)
+	}
 	if c.Shed && c.TTFTBudget == 0 {
 		return fmt.Errorf("cluster: shedding requires a TTFT budget")
 	}
@@ -73,23 +93,37 @@ func (c AdmissionConfig) validate() error {
 }
 
 // admitItem is one held request keyed by its TTFT deadline (+Inf when the
-// request carries none, so deadline-less traffic degrades to FIFO).
+// request carries none, so deadline-less traffic degrades to FIFO), the
+// deadline's class bucket (the deadline itself when ClassBucket is 0), and
+// its service-class rank (0 without a ClassRank policy).
 type admitItem struct {
 	r        *request.Request
 	deadline float64
+	bucket   float64
+	rank     int
 	seq      int64
 }
 
-// admitHeap is the deadline-indexed global queue: a typed EDF min-heap
-// (earliest deadline first, FIFO on ties). Typed rather than
-// container/heap for the same reason as the engine's arrival heap — the
-// push/retry cycle runs on every capacity event and must not allocate in
-// steady state (storage is retained across pops).
+// admitHeap is the deadline-indexed global queue: a typed EDF min-heap —
+// earliest deadline bucket first, class rank inside one bucket, exact
+// deadline inside one rank, FIFO last — so at (bucket-)equal slack an
+// interactive request is released ahead of a best-effort one, and the
+// best-effort one is what expires. With ClassBucket 0 the bucket is the
+// deadline itself and the order is pure EDF (rank, FIFO on exact ties).
+// Typed rather than container/heap for the same reason as the engine's
+// arrival heap — the push/retry cycle runs on every capacity event and
+// must not allocate in steady state (storage is retained across pops).
 type admitHeap []admitItem
 
 func (h admitHeap) Len() int { return len(h) }
 
 func (h admitHeap) less(i, j int) bool {
+	if h[i].bucket != h[j].bucket {
+		return h[i].bucket < h[j].bucket
+	}
+	if h[i].rank != h[j].rank {
+		return h[i].rank < h[j].rank
+	}
 	if h[i].deadline != h[j].deadline {
 		return h[i].deadline < h[j].deadline
 	}
@@ -152,7 +186,6 @@ const (
 type admission struct {
 	cfg AdmissionConfig
 	clu *Cluster
-	pm  *perf.Model // entry pool's perf model: the prefill floor
 
 	heap admitHeap
 	seq  int64
@@ -174,8 +207,24 @@ func newAdmission(c *Cluster, cfg AdmissionConfig) (*admission, error) {
 	return &admission{
 		cfg: cfg.withDefaults(),
 		clu: c,
-		pm:  c.pools[c.entry].reps[0].eng.Perf(),
 	}, nil
+}
+
+// rank maps one request to its service-class rank (0 without a policy).
+func (a *admission) rank(r *request.Request) int {
+	if a.cfg.ClassRank == nil {
+		return 0
+	}
+	return a.cfg.ClassRank(r.Class)
+}
+
+// bucketKey quantizes a deadline into its class-tie bucket (the deadline
+// itself without a ClassBucket, so only exact ties break by class).
+func (a *admission) bucketKey(deadline float64) float64 {
+	if a.cfg.ClassBucket <= 0 {
+		return deadline
+	}
+	return math.Floor(deadline / a.cfg.ClassBucket)
 }
 
 // Held returns the number of requests currently held at the cluster front.
@@ -203,7 +252,8 @@ func (a *admission) arrive(now float64, r *request.Request) {
 		return
 	}
 	a.seq++
-	a.heap.push(admitItem{r: r, deadline: deadlineKey(r), seq: a.seq})
+	dl := deadlineKey(r)
+	a.heap.push(admitItem{r: r, deadline: dl, bucket: a.bucketKey(dl), rank: a.rank(r), seq: a.seq})
 }
 
 // retry releases held requests in EDF order while the earliest-deadline
@@ -229,9 +279,15 @@ func (a *admission) retry(now float64) {
 }
 
 // shedExpired sheds queue heads whose remaining budget can no longer cover
-// their service floor. Lazy (heads only): the EDF head owns the earliest
-// deadline, so expiry almost always surfaces there first; a later-deadline
-// request with a larger floor is caught when it reaches the head.
+// their service floor. Lazy (heads only): under pure EDF the head owns the
+// earliest deadline, so expiry almost always surfaces there first; a
+// later-deadline request with a larger floor is caught when it reaches the
+// head. With ClassRank + ClassBucket the head can instead be a
+// higher-priority request whose deadline is up to one bucket later, so a
+// buried lower-rank request may expire before surfacing — its shed is then
+// recorded late (bounded by the bucket width, or by the end-of-run flush),
+// the deliberate price of letting class order trump strict EDF inside one
+// window.
 func (a *admission) shedExpired(now float64) {
 	if !a.cfg.Shed {
 		return
@@ -251,35 +307,43 @@ func (a *admission) infeasible(now float64, r *request.Request) bool {
 }
 
 // floor is the best-case remaining service time before the request's first
-// token becomes visible: its prefill, plus — in a disaggregated cluster —
-// the unqueued KV transfer of prompt + prefill token. Engine-side admission
+// token becomes visible: the *fastest flavor's* prefill across the entry
+// pool (a request is refused only when no flavor can make its deadline),
+// plus — in a disaggregated cluster — the unqueued KV transfer of prompt +
+// prefill token at the smallest per-token footprint. Engine-side admission
 // waits are not modeled here (Slack reserves for them); wire queueing enters
 // separately at the transfer boundary, where the actual expected delivery
 // is known.
 func (a *admission) floor(r *request.Request) float64 {
-	f := a.pm.PrefillTime(r.InputLen)
 	c := a.clu
+	f := math.Inf(1)
+	for _, fl := range c.pools[c.entry].flavors {
+		if t := fl.pm.PrefillTime(r.InputLen); t < f {
+			f = t
+		}
+	}
 	if c.Disaggregated() && c.link != nil {
-		f += c.link.TransferTime((int64(r.InputLen) + 1) * c.kvBytesPerToken)
+		f += c.link.TransferTime((int64(r.InputLen) + 1) * c.minKVBytesPerToken)
 	}
 	return f
 }
 
 // tryPlace gates and places in one probe sweep: some accepting entry
-// replica must probe at or under the gate and — pool-aware — the decode
-// pool of a disaggregated cluster must absorb the eventual migration
-// without predicted overflow. Under the FutureHeadroom policy the gate's
-// argmin replica *is* the routing decision, so the placement reuses it
-// instead of probing the pool a second time.
+// replica must probe at or under the gate (raw memory fraction — speed
+// does not gate feasibility) and — pool-aware — the decode pool of a
+// disaggregated cluster must absorb the eventual migration without
+// predicted overflow. Under the FutureHeadroom policy the gate's
+// speed-normalized argmin replica *is* the routing decision, so the
+// placement reuses it instead of probing the pool a second time.
 func (a *admission) tryPlace(now float64, r *request.Request) bool {
 	c := a.clu
 	entry := c.pools[c.entry]
-	rep, frac := entry.bestProbe(r)
+	rep, frac := entry.bestProbe(r, a.cfg.MaxProbe)
 	if frac > a.cfg.MaxProbe {
 		return false
 	}
 	if c.Disaggregated() {
-		if _, df := c.pools[c.decode].bestProbe(r); df > a.cfg.DecodeMaxProbe {
+		if _, df := c.pools[c.decode].bestProbe(r, a.cfg.DecodeMaxProbe); df > a.cfg.DecodeMaxProbe {
 			return false
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"testing"
 
+	"github.com/lightllm-go/lightllm/internal/core"
 	"github.com/lightllm-go/lightllm/internal/engine"
 	"github.com/lightllm-go/lightllm/internal/kv"
 	"github.com/lightllm-go/lightllm/internal/metrics"
@@ -100,6 +101,114 @@ func TestAdmitQueueEDFProperty(t *testing.T) {
 				t.Fatalf("final sizes differ: heap %d, model %d", h.Len(), len(model))
 			}
 		})
+	}
+}
+
+// TestAdmitQueueClassRankOrder pins the class-aware EDF tie-break at the
+// heap level. Without bucketing (bucket = deadline, the ClassBucket 0
+// default): within one exact deadline, lower class ranks pop first
+// (interactive ahead of best-effort), FIFO inside one rank, and the
+// deadline still dominates — a later-deadline interactive request never
+// jumps an earlier-deadline best-effort one. With bucketing, class rank
+// dominates inside one bucket even across distinct deadlines, and EDF
+// still orders within one rank.
+func TestAdmitQueueClassRankOrder(t *testing.T) {
+	var h admitHeap
+	push := func(deadline float64, rank int, seq int64) {
+		h.push(admitItem{deadline: deadline, bucket: deadline, rank: rank, seq: seq})
+	}
+	push(5, 1, 1) // best-effort, deadline 5
+	push(5, 0, 2) // interactive, same deadline, later arrival
+	push(5, 1, 3) // best-effort, same deadline, later arrival
+	push(3, 1, 4) // best-effort, earlier deadline: pops before everything
+	push(5, 0, 5) // interactive, same deadline, latest arrival
+	want := []int64{4, 2, 5, 1, 3}
+	for i, w := range want {
+		got := h.pop()
+		if got.seq != w {
+			t.Fatalf("pop %d: seq %d, want %d", i, got.seq, w)
+		}
+	}
+
+	// Bucketed: deadlines 5.1/5.9 share bucket 5 (width 1s), so the
+	// later-deadline interactive request jumps the earlier best-effort
+	// one; deadline 6.2 is the next bucket and pops last regardless of
+	// rank; EDF orders the two interactive items inside their rank.
+	bucketed := func(deadline float64, rank int, seq int64) {
+		h.push(admitItem{deadline: deadline, bucket: math.Floor(deadline / 1.0), rank: rank, seq: seq})
+	}
+	bucketed(5.1, 1, 10) // best-effort, earliest deadline in the bucket
+	bucketed(5.9, 0, 11) // interactive, same bucket: jumps it
+	bucketed(5.5, 0, 12) // interactive, same bucket, earlier deadline
+	bucketed(6.2, 0, 13) // interactive, next bucket: pops last
+	want = []int64{12, 11, 10, 13}
+	for i, w := range want {
+		got := h.pop()
+		if got.seq != w {
+			t.Fatalf("bucketed pop %d: seq %d, want %d", i, got.seq, w)
+		}
+	}
+}
+
+// TestClassAwareShedTieBreak is the end-to-end overload-policy claim
+// (ROADMAP open item): when two held requests carry equal slack — here,
+// deadlines within one ClassBucket, the way real staggered arrivals tie —
+// and one placement slot frees, the interactive request is released and
+// the best-effort one is the one shed; with no ClassRank policy the pure
+// EDF order (best-effort arrived first, earlier deadline, so it wins)
+// reasserts itself.
+func TestClassAwareShedTieBreak(t *testing.T) {
+	interactiveRank := func(class string) int {
+		if class == "interactive" {
+			return 0
+		}
+		return 1
+	}
+	run := func(rank func(string) int) (outcomes map[string]request.Outcome) {
+		eng := engine.MustNew(engine.Config{
+			Perf: testPerf(),
+			Scheduler: core.MustNewPastFuture(core.PastFutureConfig{
+				Reserved: 0.05, Rng: rng.New(1),
+			}),
+			CapacityOverride: 6_000,
+		})
+		c := MustNewCluster(ClusterConfig{
+			Pools: []Config{{Replicas: []*engine.Engine{eng}, Policy: FutureHeadroom}},
+			// MaxProbe 0.01 never passes, so every placement goes through
+			// the idle-liveness path — which releases exactly one held head
+			// per idle moment: a single serving slot the tie-break decides.
+			// ClassBucket 1s: the staggered arrivals' deadlines (6.5, 6.6)
+			// land in one bucket, the realistic "equal slack" tie.
+			Admission: &AdmissionConfig{TTFTBudget: 6, MaxProbe: 0.01, Shed: true, ClassRank: rank, ClassBucket: 1},
+		})
+		// The occupier blocks the replica until ~1.6s; whichever held
+		// request wins the slot then runs long enough (500 output tokens,
+		// ~6s of decode) that the loser's deadline expires before the next
+		// capacity event — exactly one of the two can be served.
+		occupier := request.New(1, 2_000, 120, 256, 0)
+		batch := request.New(2, 500, 500, 512, 0.5)       // best-effort, arrives first (deadline 6.5)
+		interactive := request.New(3, 500, 500, 512, 0.6) // interactive, arrives second (deadline 6.6)
+		batch.Class, interactive.Class = "batch", "interactive"
+		c.Serve([]*request.Request{occupier, batch, interactive}, 1e9)
+		if c.HeldRequests() != 0 {
+			t.Fatal("requests left held after Serve")
+		}
+		if occupier.Outcome != request.OutcomeCompleted {
+			t.Fatalf("occupier outcome %v", occupier.Outcome)
+		}
+		return map[string]request.Outcome{
+			"batch":       batch.Outcome,
+			"interactive": interactive.Outcome,
+		}
+	}
+
+	ranked := run(interactiveRank)
+	if ranked["interactive"] != request.OutcomeCompleted || ranked["batch"] != request.OutcomeShed {
+		t.Fatalf("class-ranked outcomes %v, want interactive completed and batch shed", ranked)
+	}
+	fifo := run(nil)
+	if fifo["batch"] != request.OutcomeCompleted || fifo["interactive"] != request.OutcomeShed {
+		t.Fatalf("FIFO outcomes %v, want batch completed and interactive shed (pure EDF+FIFO)", fifo)
 	}
 }
 

@@ -100,9 +100,13 @@ type Cluster struct {
 	entry  int // pool receiving external arrivals
 	decode int // pool receiving KV deliveries (== entry when monolithic)
 
-	link            *kv.Link
-	kvBytesPerToken int64
-	handoffs        []Handoff
+	link *kv.Link
+	// minKVBytesPerToken is the smallest per-token KV footprint across the
+	// entry pool's flavors — the optimistic transfer size the admission
+	// floor prices (a request is only refused when *no* flavor could make
+	// its deadline). Actual bookings size by the source replica's own model.
+	minKVBytesPerToken int64
+	handoffs           []Handoff
 
 	adm *admission
 
@@ -131,6 +135,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: %d pools; want one mixed or prefill+decode", len(cfg.Pools))
 	}
 	for i, pc := range cfg.Pools {
+		if pc.Admission != nil {
+			return nil, fmt.Errorf("cluster: pool %d carries an AdmissionConfig; admission is cluster-wide, set ClusterConfig.Admission", i)
+		}
 		p, err := newPool(c, i, pc)
 		if err != nil {
 			return nil, err
@@ -138,8 +145,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		c.pools = append(c.pools, p)
 	}
 	if c.Disaggregated() {
-		spec := c.pools[c.decode].reps[0].eng.Perf().Spec()
-		c.kvBytesPerToken = spec.KVBytesPerToken()
+		for _, f := range c.pools[c.entry].flavors {
+			if bpt := f.pm.Spec().KVBytesPerToken(); c.minKVBytesPerToken == 0 || bpt < c.minKVBytesPerToken {
+				c.minKVBytesPerToken = bpt
+			}
+		}
 		for _, rep := range c.pools[c.entry].reps {
 			rep := rep
 			rep.eng.AddHandoffHook(func(now float64, r *request.Request) {
@@ -209,17 +219,28 @@ func (c *Cluster) ReplicaSeconds() float64 {
 	return sum
 }
 
+// CostSeconds returns the normalized provisioning cost across all pools:
+// replica-seconds scaled by each replica's flavor cost weight (1.0 = one
+// A100-80G replica-second) — the axis the cost-aware planner minimizes.
+func (c *Cluster) CostSeconds() float64 {
+	sum := 0.0
+	for _, p := range c.pools {
+		sum += p.CostSeconds()
+	}
+	return sum
+}
+
 // Duration returns the simulated span of the served stream (after Serve).
 func (c *Cluster) Duration() float64 { return c.endAt - c.startAt }
 
 // transferEstimate returns the prefill planner's expected transfer delay as
-// a function of the mean input length — the TTFT budget the link consumes.
-// Monolithic clusters and nil links estimate zero.
-func (c *Cluster) transferEstimate(e *engine.Engine) func(isl float64) float64 {
+// a function of the mean input length — the TTFT budget the link consumes —
+// for a flavor whose model stores bytesPerToken of KV per token. Monolithic
+// clusters and nil links estimate zero.
+func (c *Cluster) transferEstimate(bytesPerToken int64) func(isl float64) float64 {
 	if c.link == nil || !c.Disaggregated() {
 		return nil
 	}
-	bytesPerToken := e.Perf().Spec().KVBytesPerToken()
 	link := c.link
 	return func(isl float64) float64 {
 		// The migrating footprint is the prompt plus the prefill token.
@@ -390,8 +411,8 @@ func (c *Cluster) handle(ev event) {
 	case evPlan:
 		p.planScheduled = false
 		if p.plan != nil {
-			target := p.plan.tick(ev.at, p.ActiveReplicas())
-			p.applyTarget(ev.at, target)
+			targets := p.plan.tick(ev.at, p.activeByFlavor())
+			p.applyTargets(ev.at, targets)
 			p.plan.History[len(p.plan.History)-1].Active = p.ActiveReplicas()
 		} else if p.cfg.Scale != nil {
 			p.reactiveScale(ev.at)
@@ -424,7 +445,11 @@ func (c *Cluster) onHandoff(fromRep int, now float64, r *request.Request) {
 func (c *Cluster) issueHandoff(ev event) {
 	r := ev.req
 	dp := c.pools[c.decode]
-	bytes := int64(r.Footprint()) * c.kvBytesPerToken
+	// The transfer moves the KV cache the source replica materialized, so
+	// its size comes from that replica's own model — per-flavor in a
+	// heterogeneous prefill pool, identical to the old fleet-wide constant
+	// in a homogeneous one.
+	bytes := int64(r.Footprint()) * c.pools[c.entry].reps[ev.rep].eng.KVBytesPerToken()
 	rep, deliverAt := c.pickDecode(ev.at, r, bytes, dp)
 	if c.adm != nil && c.adm.cfg.Shed && r.TTFTDeadline > 0 && deliverAt > r.TTFTDeadline {
 		c.adm.shed(ev.at, r, shedBoundary)
@@ -446,10 +471,13 @@ func (c *Cluster) issueHandoff(ev event) {
 // decode replica is priced as a cost vector — does the probed future peak
 // fit its capacity, when would the KV transfer land on its ingress lane
 // (kv.Link.ExpectedDeliveryTo, wire queueing included), and how much
-// headroom remains — ranked lexicographically (fits, delivery, headroom).
-// On a single shared wire every delivery estimate coincides and the pick
-// degrades to FutureHeadroom; with per-destination lanes a backed-up
-// ingress diverts bursts to replicas that can actually receive them.
+// speed-normalized headroom remains (the raw fraction scaled by the
+// replica's flavor speed, so a 4090's and an A100's probes compare) —
+// ranked lexicographically (fits, delivery, headroom). On a single shared
+// wire every delivery estimate coincides and the pick degrades to
+// FutureHeadroom; with per-destination lanes a backed-up ingress diverts
+// bursts to replicas that can actually receive them. Fitting stays a raw
+// memory test: speed does not make an overflowing batch fit.
 func (c *Cluster) pickDecode(now float64, r *request.Request, bytes int64, dp *Pool) (*replica, float64) {
 	cands := dp.accepting
 	if len(cands) == 0 {
@@ -457,9 +485,10 @@ func (c *Cluster) pickDecode(now float64, r *request.Request, bytes int64, dp *P
 		return rep, c.expectedDelivery(now, bytes, rep.idx)
 	}
 	var best *replica
-	bestFits, bestDeliver, bestFrac := false, math.Inf(1), math.Inf(1)
+	bestFits, bestDeliver, bestScore := false, math.Inf(1), math.Inf(1)
 	for _, rep := range cands {
 		frac := dp.probe(rep, r)
+		score := frac / rep.flv.relSpeed
 		deliver := c.expectedDelivery(now, bytes, rep.idx)
 		fits := frac <= 1
 		better := false
@@ -471,10 +500,11 @@ func (c *Cluster) pickDecode(now float64, r *request.Request, bytes int64, dp *P
 		case deliver != bestDeliver:
 			better = deliver < bestDeliver
 		default:
-			better = frac < bestFrac
+			// Equal fit and delivery: the shared (fits, score) ranking.
+			better = betterFit(fits, score, bestFits, bestScore)
 		}
 		if better {
-			best, bestFits, bestDeliver, bestFrac = rep, fits, deliver, frac
+			best, bestFits, bestDeliver, bestScore = rep, fits, deliver, score
 		}
 	}
 	return best, bestDeliver

@@ -15,9 +15,14 @@ type Fleet struct {
 	clu *Cluster
 }
 
-// New validates the configuration and builds a fleet.
+// New validates the configuration and builds a fleet. A non-nil
+// cfg.Admission puts the cluster-front admission pipeline (EDF hold +
+// deadline shedding) in front of the fleet — the monolithic API gets the
+// same overload protection as an explicit cluster, decision for decision.
 func New(cfg Config) (*Fleet, error) {
-	clu, err := NewCluster(ClusterConfig{Pools: []Config{cfg}})
+	adm := cfg.Admission
+	cfg.Admission = nil // cluster-wide concern: lift it out of the pool config
+	clu, err := NewCluster(ClusterConfig{Pools: []Config{cfg}, Admission: adm})
 	if err != nil {
 		return nil, err
 	}
@@ -44,3 +49,11 @@ func (f *Fleet) Serve(reqs []*request.Request, deadline float64) []*engine.Resul
 
 // Duration returns the simulated span of the served stream (after Serve).
 func (f *Fleet) Duration() float64 { return f.clu.Duration() }
+
+// ShedRequests returns every request refused by admission control, in shed
+// order (nil without cfg.Admission). Complete after Serve.
+func (f *Fleet) ShedRequests() []*request.Request { return f.clu.ShedRequests() }
+
+// HeldRequests returns the number of arrivals currently held at the fleet
+// front (0 after Serve: the run flush-sheds leftovers).
+func (f *Fleet) HeldRequests() int { return f.clu.HeldRequests() }

@@ -1,0 +1,459 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/lightllm-go/lightllm/internal/core"
+	"github.com/lightllm-go/lightllm/internal/engine"
+	"github.com/lightllm-go/lightllm/internal/hw"
+	"github.com/lightllm-go/lightllm/internal/kv"
+	"github.com/lightllm-go/lightllm/internal/metrics"
+	"github.com/lightllm-go/lightllm/internal/model"
+	"github.com/lightllm-go/lightllm/internal/perf"
+	"github.com/lightllm-go/lightllm/internal/request"
+	"github.com/lightllm-go/lightllm/internal/rng"
+)
+
+// perfFor builds a perf model for one GPU platform serving the test model.
+func perfFor(gpu hw.GPU) *perf.Model {
+	return perf.MustNew(perf.Config{Model: model.Llama2_7B, Cluster: hw.NewCluster(gpu, 1)})
+}
+
+// mixedReplicas builds a heterogeneous RoleMixed replica set: nA engines on
+// pmA followed by nB engines on pmB, all with the same capacity override.
+func mixedReplicas(pmA *perf.Model, nA int, pmB *perf.Model, nB int, capacity int, seed uint64) []*engine.Engine {
+	out := make([]*engine.Engine, 0, nA+nB)
+	pms := []*perf.Model{pmA, pmB}
+	counts := []int{nA, nB}
+	i := 0
+	for g, pm := range pms {
+		for k := 0; k < counts[g]; k++ {
+			out = append(out, engine.MustNew(engine.Config{
+				Perf: pm,
+				Scheduler: core.MustNewPastFuture(core.PastFutureConfig{
+					Reserved: 0.05, Rng: rng.New(seed + uint64(i)),
+				}),
+				CapacityOverride: capacity,
+			}))
+			i++
+		}
+	}
+	return out
+}
+
+// TestFlavorGrouping pins the flavor derivation: replicas sharing one perf
+// model and capacity collapse into one flavor, distinct hardware splits,
+// cost weights come from the hardware price, and the relative speed of the
+// fastest flavor is exactly 1.
+func TestFlavorGrouping(t *testing.T) {
+	pmFast, pmSlow := perfFor(hw.A100_80G), perfFor(hw.A30)
+	f := MustNew(Config{
+		Replicas: mixedReplicas(pmFast, 2, pmSlow, 3, 8_000, 1),
+		Policy:   FutureHeadroom,
+	})
+	flavors := f.Flavors()
+	if len(flavors) != 2 {
+		t.Fatalf("flavors %d, want 2: %+v", len(flavors), flavors)
+	}
+	if flavors[0].Name != "A100-80G" || flavors[0].Replicas != 2 {
+		t.Fatalf("flavor 0 wrong: %+v", flavors[0])
+	}
+	if flavors[1].Name != "A30" || flavors[1].Replicas != 3 {
+		t.Fatalf("flavor 1 wrong: %+v", flavors[1])
+	}
+	if w := flavors[0].CostWeight; math.Abs(w-1.0) > 1e-12 {
+		t.Fatalf("A100-80G cost weight %v, want 1.0 (the baseline)", w)
+	}
+	if w := flavors[1].CostWeight; math.Abs(w-hw.A30.CostPerHour/hw.A100_80G.CostPerHour) > 1e-12 {
+		t.Fatalf("A30 cost weight %v", w)
+	}
+	if flavors[0].RelSpeed != 1.0 {
+		t.Fatalf("fastest flavor relSpeed %v, want exactly 1.0", flavors[0].RelSpeed)
+	}
+	if s := flavors[1].RelSpeed; s <= 0 || s >= 1 {
+		t.Fatalf("A30 relSpeed %v, want in (0,1)", s)
+	}
+
+	// A homogeneous pool is one flavor with relSpeed exactly 1.0 — the
+	// invariant that makes speed-normalized scores bit-identical to raw
+	// probe fractions.
+	h := MustNew(Config{Replicas: replicas(3, 8_000), Policy: FutureHeadroom})
+	hf := h.Flavors()
+	if len(hf) != 1 || hf[0].RelSpeed != 1.0 || hf[0].Replicas != 3 {
+		t.Fatalf("homogeneous flavors wrong: %+v", hf)
+	}
+}
+
+// TestHomogeneousPlanRejectsMixedPool: the scalar reference plan is only
+// legal on single-flavor pools.
+func TestHomogeneousPlanRejectsMixedPool(t *testing.T) {
+	_, err := New(Config{
+		Replicas:        mixedReplicas(perfFor(hw.A100_80G), 1, perfFor(hw.A30), 1, 8_000, 1),
+		Policy:          FutureHeadroom,
+		HomogeneousPlan: true,
+	})
+	if err == nil {
+		t.Fatal("HomogeneousPlan accepted on a two-flavor pool")
+	}
+}
+
+// TestPoolAdmissionRejected: pool-level AdmissionConfig inside an explicit
+// ClusterConfig is ambiguous (admission is cluster-wide) and must be
+// rejected; the field exists for the monolithic Fleet constructor.
+func TestPoolAdmissionRejected(t *testing.T) {
+	_, err := NewCluster(ClusterConfig{
+		Pools: []Config{{
+			Replicas:  replicas(1, 10_000),
+			Policy:    FutureHeadroom,
+			Admission: &AdmissionConfig{TTFTBudget: 8},
+		}},
+	})
+	if err == nil {
+		t.Fatal("pool-level AdmissionConfig accepted inside ClusterConfig")
+	}
+}
+
+// TestCostSecondsAccounting: without autoscaling every replica is active
+// for the whole run, so CostSeconds is the run duration times the summed
+// flavor weights — and the all-baseline fleet's CostSeconds equals its
+// ReplicaSeconds.
+func TestCostSecondsAccounting(t *testing.T) {
+	pmFast, pmSlow := perfFor(hw.A100_80G), perfFor(hw.A30)
+	f := MustNew(Config{
+		Replicas: mixedReplicas(pmFast, 1, pmSlow, 2, 20_000, 3),
+		Policy:   RoundRobin,
+	})
+	results := f.Serve(poissonReqs(60, 20, 29), 1e9)
+	if len(results) != 3 {
+		t.Fatalf("results %d, want 3", len(results))
+	}
+	wantWeight := pmFast.CostWeight() + 2*pmSlow.CostWeight()
+	want := wantWeight * f.Duration()
+	if got := f.CostSeconds(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("cost-seconds %v, want %v (%.3f weight × %.2fs)", got, want, wantWeight, f.Duration())
+	}
+
+	h := MustNew(Config{Replicas: replicas(2, 20_000), Policy: RoundRobin})
+	h.Serve(poissonReqs(40, 20, 31), 1e9)
+	if got, want := h.CostSeconds(), h.ReplicaSeconds(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("baseline fleet cost-seconds %v != replica-seconds %v", got, want)
+	}
+}
+
+// TestSpeedNormalizedPick: two idle replicas with identical capacity probe
+// the same raw memory fraction, so the pre-flavor argmin would stick with
+// the first (slow) replica; the speed-normalized score must route to the
+// faster flavor instead — headroom on an A100 clears sooner than the same
+// headroom on an A30.
+func TestSpeedNormalizedPick(t *testing.T) {
+	pmSlow, pmFast := perfFor(hw.A30), perfFor(hw.A100_80G)
+	// Slow flavor first: on a raw-fraction tie the old argmin picks index 0.
+	f := MustNew(Config{
+		Replicas: mixedReplicas(pmSlow, 1, pmFast, 1, 10_000, 5),
+		Policy:   FutureHeadroom,
+	})
+	var picks []int
+	f.cfg.OnRoute = func(_ *request.Request, rep int) { picks = append(picks, rep) }
+	f.Serve([]*request.Request{request.New(1, 400, 4, 64, 0)}, 1e9)
+	if len(picks) != 1 || picks[0] != 1 {
+		t.Fatalf("first pick %v, want the fast replica (index 1)", picks)
+	}
+}
+
+// TestHeteroPlannerPrefersCheapFlavor pins the cost-aware sizing rule
+// directly: demand that fits the cheap flavor's capacity leaves the
+// expensive flavor at zero; demand beyond it spills onto the expensive
+// flavor; an SLA-infeasible shape still maxes the fleet out.
+func TestHeteroPlannerPrefersCheapFlavor(t *testing.T) {
+	pmExp, pmCheap := perfFor(hw.A100_80G), perfFor(hw.RTX4090)
+	cheap := &flavor{name: "cheap", pm: pmCheap, capacity: 10_000, cost: pmCheap.CostWeight(), relSpeed: 1, reps: make([]*replica, 4)}
+	exp := &flavor{name: "premium", pm: pmExp, capacity: 10_000, cost: pmExp.CostWeight(), relSpeed: 1, reps: make([]*replica, 4)}
+	p := newPlanner(PlannerConfig{
+		SLA: metrics.SLASmall, Min: 1, Max: 8, Interval: 10, Predictor: ConstantPredictor,
+	}.withDefaults(), []*flavor{exp, cheap}, engine.RoleMixed, false)
+
+	// Sanity: the 4090 must actually be the cheaper way to buy throughput
+	// at this shape, else the scenario tests nothing.
+	thrExp := p.flavorThroughput(exp, 500, 300)
+	thrCheap := p.flavorThroughput(cheap, 500, 300)
+	if thrExp.thr <= 0 || thrCheap.thr <= 0 {
+		t.Fatalf("flavors infeasible at test shape: %v %v", thrExp, thrCheap)
+	}
+	if cheap.cost/thrCheap.thr >= exp.cost/thrExp.thr {
+		t.Skipf("4090 not cheaper per throughput at this shape (%.3f vs %.3f)",
+			cheap.cost/thrCheap.thr, exp.cost/thrExp.thr)
+	}
+
+	// Low demand: everything lands on the cheap flavor (flavor order in the
+	// targets vector follows the pool's flavor order: premium first).
+	low := p.sizeTargets(thrCheap.thr*2, 500, 300)
+	if low[0] != 0 || low[1] < 1 || low[1] > 4 {
+		t.Fatalf("low-demand targets %v, want premium 0 and cheap in [1,4]", low)
+	}
+	// Demand beyond the cheap flavor's four replicas spills onto premium.
+	high := p.sizeTargets(thrCheap.thr*8, 500, 300)
+	if high[1] != 4 || high[0] < 1 {
+		t.Fatalf("high-demand targets %v, want cheap maxed at 4 and premium > 0", high)
+	}
+	// An infeasible shape (absurd rate with impossible SLA) maxes out.
+	pTight := newPlanner(PlannerConfig{
+		SLA: metrics.SLA{TTFT: 1e-9, MTPOT: 1e-9}, Min: 1, Max: 8, Interval: 10, Predictor: ConstantPredictor,
+	}.withDefaults(), []*flavor{exp, cheap}, engine.RoleMixed, false)
+	all := pTight.sizeTargets(5, 500, 300)
+	if all[0]+all[1] != 8 {
+		t.Fatalf("infeasible shape targets %v, want the whole fleet (8)", all)
+	}
+}
+
+// TestHoldRespectsMaxTotal is the patience-hold bound regression: when a
+// demand shift moves the allocation onto the cheap flavor while the
+// expensive flavor is still active, the hold floors the shrinking flavor
+// at its active count AND trims the increases so the per-flavor targets
+// never sum past PlannerConfig.Max.
+func TestHoldRespectsMaxTotal(t *testing.T) {
+	pmExp, pmCheap := perfFor(hw.A100_80G), perfFor(hw.RTX4090)
+	exp := &flavor{name: "premium", pm: pmExp, capacity: 10_000, cost: pmExp.CostWeight(), relSpeed: 1, reps: make([]*replica, 8)}
+	cheap := &flavor{name: "cheap", pm: pmCheap, capacity: 10_000, cost: pmCheap.CostWeight(), relSpeed: 1, reps: make([]*replica, 6)}
+	p := newPlanner(PlannerConfig{
+		SLA: metrics.SLASmall, Min: 1, Max: 10, Interval: 10,
+		Predictor: ConstantPredictor, ScaleInPatience: 2,
+	}.withDefaults(), []*flavor{exp, cheap}, engine.RoleMixed, false)
+
+	thrCheap := p.flavorThroughput(cheap, 500, 300)
+	if thrCheap.thr <= 0 {
+		t.Fatalf("cheap flavor infeasible at test shape: %v", thrCheap)
+	}
+	// Demand sized to ~5 cheap replicas while 8 premium replicas are
+	// active: the raw targets want [0, 5]; flooring premium at 8 without a
+	// trim would return 13 > Max.
+	rate := thrCheap.thr * 0.8 * 4.5
+	p.arrivals = int(rate * 10)
+	p.sumISL = 500 * float64(p.arrivals)
+	p.lastOSL = 300
+	targets := p.tick(10, []int{8, 0})
+	total := targets[0] + targets[1]
+	if total > 10 {
+		t.Fatalf("held targets %v sum to %d, past Max 10", targets, total)
+	}
+	if targets[0] != 8 {
+		t.Fatalf("held targets %v shrank the active premium flavor below 8 with patience pending", targets)
+	}
+	if targets[1] == 0 {
+		t.Fatalf("held targets %v gave the cheap flavor nothing despite Max room", targets)
+	}
+}
+
+// TestHeteroFloorUsesFastestFlavor: the admission shed floor must be the
+// *minimum* feasible floor across the entry pool's flavors — a request is
+// refused only when no flavor could make its deadline.
+func TestHeteroFloorUsesFastestFlavor(t *testing.T) {
+	pmSlow, pmFast := perfFor(hw.A30), perfFor(hw.A100_80G)
+	c := MustNewCluster(ClusterConfig{
+		Pools: []Config{{
+			Replicas: mixedReplicas(pmSlow, 1, pmFast, 1, 10_000, 7),
+			Policy:   FutureHeadroom,
+		}},
+		Admission: &AdmissionConfig{TTFTBudget: 8, Shed: true},
+	})
+	r := request.New(1, 2_000, 4, 64, 0)
+	slow, fast := pmSlow.PrefillTime(r.InputLen), pmFast.PrefillTime(r.InputLen)
+	if fast >= slow {
+		t.Fatalf("scenario broken: A100 prefill %v not faster than A30 %v", fast, slow)
+	}
+	if got := c.adm.floor(r); got != fast {
+		t.Fatalf("floor %v, want the fastest flavor's prefill %v (slow %v)", got, fast, slow)
+	}
+	// A deadline only the fast flavor can meet must not be infeasible.
+	r.TTFTDeadline = fast + (slow-fast)/2
+	if c.adm.infeasible(0, r) {
+		t.Fatal("request feasible on the fast flavor judged infeasible")
+	}
+}
+
+// TestHeteroServesEverything: a mixed-GPU fleet under the predictive
+// planner must still serve every request exactly once — the conservation
+// law survives per-flavor scaling.
+func TestHeteroServesEverything(t *testing.T) {
+	const n = 200
+	pmExp, pmCheap := perfFor(hw.A100_80G), perfFor(hw.RTX4090)
+	f := MustNew(Config{
+		Replicas: mixedReplicas(pmExp, 2, pmCheap, 4, 10_000, 11),
+		Policy:   FutureHeadroom,
+		Planner: &PlannerConfig{
+			SLA: metrics.SLASmall, Min: 1, Max: 6, Interval: 5,
+			Predictor: HoltPredictor, ActivationDelay: 1,
+		},
+	})
+	results := f.Serve(poissonReqs(n, 25, 13), 1e9)
+	seen := map[int64]bool{}
+	for _, res := range results {
+		for _, req := range res.Finished {
+			if seen[req.ID] {
+				t.Fatalf("request %d served twice", req.ID)
+			}
+			seen[req.ID] = true
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("served %d of %d on the mixed fleet", len(seen), n)
+	}
+	if f.CostSeconds() <= 0 {
+		t.Fatal("mixed fleet recorded no provisioning cost")
+	}
+	for _, s := range f.PlanHistory() {
+		if len(s.Targets) != 2 {
+			t.Fatalf("plan sample lacks per-flavor targets: %+v", s)
+		}
+		if tot := s.Targets[0] + s.Targets[1]; tot != s.Target {
+			t.Fatalf("per-flavor targets %v do not sum to %d", s.Targets, s.Target)
+		}
+	}
+}
+
+// decisionTrace drives one full disaggregated admission+planner scenario
+// and records every decision the seam refactor could have disturbed:
+// routing picks per pool, plan targets, shed identities and times, handoff
+// bookings, and the rolled-up report.
+type decisionTrace struct {
+	routes   []string
+	plans    []string
+	sheds    []string
+	handoffs []string
+	report   string
+}
+
+func runSeamScenario(seed uint64, homogeneous bool) decisionTrace {
+	var tr decisionTrace
+	onRoute := func(pool int) func(r *request.Request, rep int) {
+		return func(r *request.Request, rep int) {
+			tr.routes = append(tr.routes, fmt.Sprintf("p%d r%d req%d", pool, rep, r.ID))
+		}
+	}
+	sla := metrics.SLA{TTFT: 6, MTPOT: 1.5}
+	planner := func(max int) *PlannerConfig {
+		return &PlannerConfig{
+			SLA: sla, Min: 1, Max: max, Interval: 5,
+			Predictor: HoltPredictor, ActivationDelay: 1,
+		}
+	}
+	c := MustNewCluster(ClusterConfig{
+		Pools: []Config{
+			{
+				Role: engine.RolePrefillOnly, Replicas: prefillReplicas(2, 20_000), Policy: FutureHeadroom,
+				Planner: planner(2), HomogeneousPlan: homogeneous, OnRoute: onRoute(0),
+			},
+			{
+				Role: engine.RoleDecodeOnly, Replicas: decodeReplicas(3, 12_000, seed), Policy: FutureHeadroom,
+				Planner: planner(3), HomogeneousPlan: homogeneous, OnRoute: onRoute(1),
+			},
+		},
+		Link:      kv.MustNewLink(50e9, 0.002),
+		Admission: &AdmissionConfig{TTFTBudget: sla.TTFT, Shed: true, Slack: 0.5},
+	})
+	results := c.Serve(poissonReqs(350, 60, seed), 1e9)
+	for _, s := range c.ShedRequests() {
+		tr.sheds = append(tr.sheds, fmt.Sprintf("req%d@%.9f", s.ID, s.ShedAt))
+	}
+	for _, h := range c.Handoffs() {
+		tr.handoffs = append(tr.handoffs, fmt.Sprintf("req%d %d->%d @%.9f", h.Req.ID, h.FromReplica, h.ToReplica, h.DeliveredAt))
+	}
+	for pi := 0; pi < c.NumPools(); pi++ {
+		for _, s := range c.Pool(pi).PlanHistory() {
+			tr.plans = append(tr.plans, fmt.Sprintf("p%d @%.3f target=%d active=%d targets=%v", pi, s.At, s.Target, s.Active, s.Targets))
+		}
+	}
+	tr.report = fmt.Sprintf("%+v", c.Report(results, sla))
+	return tr
+}
+
+// TestSingleFlavorMatchesHomogeneous is the refactor-seam equivalence
+// test: a cluster configured with a single flavor must route, plan, and
+// shed bit-identically to the pre-refactor homogeneous path (the scalar
+// HomogeneousPlan reference, replica 0's model everywhere) — same seeds,
+// same decisions — across the full disaggregated admission pipeline.
+func TestSingleFlavorMatchesHomogeneous(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			flavored := runSeamScenario(seed, false)
+			reference := runSeamScenario(seed, true)
+			compare := func(kind string, got, want []string) {
+				if len(got) != len(want) {
+					t.Fatalf("%s counts differ: flavored %d, reference %d", kind, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s %d differs:\nflavored:  %s\nreference: %s", kind, i, got[i], want[i])
+					}
+				}
+			}
+			compare("route", flavored.routes, reference.routes)
+			compare("plan", flavored.plans, reference.plans)
+			compare("shed", flavored.sheds, reference.sheds)
+			compare("handoff", flavored.handoffs, reference.handoffs)
+			if len(flavored.sheds) == 0 {
+				t.Fatal("scenario shed nothing; the seam test exercises no admission pressure")
+			}
+			if flavored.report != reference.report {
+				t.Fatalf("reports differ:\nflavored:  %s\nreference: %s", flavored.report, reference.report)
+			}
+		})
+	}
+}
+
+// TestFleetAdmissionMatchesCluster pins the Fleet/router admission
+// threading (ROADMAP open item): a monolithic Fleet with shedding must
+// refuse exactly the same arrivals, and route the survivors identically,
+// as the equivalent explicit one-pool Cluster.
+func TestFleetAdmissionMatchesCluster(t *testing.T) {
+	adm := func() *AdmissionConfig {
+		return &AdmissionConfig{TTFTBudget: 4, Shed: true, Slack: 0.5, MaxProbe: 0.9}
+	}
+	type trace struct {
+		routes []string
+		sheds  []string
+	}
+	run := func(fleet bool, seed uint64) trace {
+		var tr trace
+		cfg := Config{
+			Replicas: replicas(2, 8_000),
+			Policy:   FutureHeadroom,
+			OnRoute: func(r *request.Request, rep int) {
+				tr.routes = append(tr.routes, fmt.Sprintf("r%d req%d", rep, r.ID))
+			},
+		}
+		reqs := poissonReqs(300, 60, seed)
+		var shed []*request.Request
+		if fleet {
+			cfg.Admission = adm()
+			f := MustNew(cfg)
+			f.Serve(reqs, 1e9)
+			shed = f.ShedRequests()
+			if f.HeldRequests() != 0 {
+				t.Fatal("fleet left requests held after Serve")
+			}
+		} else {
+			c := MustNewCluster(ClusterConfig{Pools: []Config{cfg}, Admission: adm()})
+			c.Serve(reqs, 1e9)
+			shed = c.ShedRequests()
+		}
+		for _, s := range shed {
+			tr.sheds = append(tr.sheds, fmt.Sprintf("req%d@%.9f", s.ID, s.ShedAt))
+		}
+		return tr
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		fl, cl := run(true, seed), run(false, seed)
+		if len(fl.sheds) == 0 {
+			t.Fatalf("seed %d: fleet shed nothing; no admission pressure", seed)
+		}
+		if fmt.Sprint(fl.sheds) != fmt.Sprint(cl.sheds) {
+			t.Fatalf("seed %d: shed sets differ:\nfleet:   %v\ncluster: %v", seed, fl.sheds, cl.sheds)
+		}
+		if fmt.Sprint(fl.routes) != fmt.Sprint(cl.routes) {
+			t.Fatalf("seed %d: routing differs", seed)
+		}
+	}
+}

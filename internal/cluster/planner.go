@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/lightllm-go/lightllm/internal/engine"
 	"github.com/lightllm-go/lightllm/internal/metrics"
@@ -81,7 +82,7 @@ type PlanSample struct {
 	Rate     float64 // observed arrivals/s over the closed interval
 	ISL, OSL float64 // observed mean input / output lengths
 	PredRate float64 // forecast arrival rate for the next interval
-	Target   int     // replica target the planner chose
+	Target   int     // total replica target the planner chose
 	Active   int     // active replicas after applying the decision
 	CorrTTFT float64 // correction factor at decision time
 	CorrTPOT float64
@@ -90,19 +91,23 @@ type PlanSample struct {
 	// shedding interval suppresses scale-in (the fleet is refusing work;
 	// shrinking it would be self-fulfilling).
 	Shed int
+	// Targets breaks Target down per flavor (flavor order; length 1 for a
+	// homogeneous pool) — the cost-aware placement decision itself.
+	Targets []int
 }
 
 // planner is the per-pool planner state. The pool owns the scaling
 // mechanics (activation events, draining); the planner owns forecasting and
-// target sizing.
+// target sizing — per flavor: each flavor's TTFT/TPOT is interpolated from
+// its own perf curves, and demand is filled cheapest-feasible-flavor first.
 type planner struct {
-	cfg  PlannerConfig
-	pm   *perf.Model
-	cap  int         // KV capacity tokens per replica (pool, not perf model)
-	role engine.Role // selects the sizing rule
-	// xfer estimates the KV-transfer delay for a mean input length — the
-	// TTFT budget the link consumes ahead of a prefill pool. nil = free.
-	xfer func(isl float64) float64
+	cfg     PlannerConfig
+	flavors []*flavor   // the pool's flavor groups (sizing inputs)
+	role    engine.Role // selects the sizing rule
+	// homogeneous selects the pre-flavor scalar sizing rule (replica 0's
+	// flavor assumed everywhere) — the cross-check reference. Only legal
+	// with one flavor.
+	homogeneous bool
 
 	predRate, predISL, predOSL Predictor
 
@@ -130,16 +135,33 @@ type planner struct {
 	// active count (scale-in patience).
 	belowFor int
 
+	// Tick scratch (per-flavor throughputs, ranking order, targets).
+	thrs    []flavorThr
+	order   []int
+	targets []int
+
 	History []PlanSample
 }
 
-func newPlanner(cfg PlannerConfig, pm *perf.Model, capacityTokens int, role engine.Role, xfer func(float64) float64) *planner {
+// flavorThr is one flavor's interpolated operating point at the forecast
+// shape: its SLA-feasible request rate per replica and the predicted
+// latencies the correction factors compare against.
+type flavorThr struct {
+	thr      float64 // requests/s one replica sustains inside the SLA; 0 = infeasible
+	predTTFT float64
+	predTPOT float64
+}
+
+func newPlanner(cfg PlannerConfig, flavors []*flavor, role engine.Role, homogeneous bool) *planner {
 	return &planner{
-		cfg: cfg, pm: pm, cap: capacityTokens, role: role, xfer: xfer,
+		cfg: cfg, flavors: flavors, role: role, homogeneous: homogeneous,
 		predRate: cfg.Predictor.New(),
 		predISL:  cfg.Predictor.New(),
 		predOSL:  cfg.Predictor.New(),
 		corrTTFT: 1, corrTPOT: 1,
+		thrs:    make([]flavorThr, len(flavors)),
+		order:   make([]int, len(flavors)),
+		targets: make([]int, len(flavors)),
 	}
 }
 
@@ -185,8 +207,13 @@ func updateCorrection(corr, observed, predicted float64) float64 {
 }
 
 // tick closes the current observation interval at time now and returns the
-// replica target for the next interval.
-func (p *planner) tick(now float64, active int) int {
+// per-flavor replica targets for the next interval (flavor order; the
+// returned slice is planner-owned scratch, valid until the next tick).
+func (p *planner) tick(now float64, activeByFlavor []int) []int {
+	active := 0
+	for _, a := range activeByFlavor {
+		active += a
+	}
 	rate := float64(p.arrivals) / p.cfg.Interval
 	isl, osl := p.lastISL, p.lastOSL
 	if p.arrivals > 0 {
@@ -214,23 +241,67 @@ func (p *planner) tick(now float64, active int) int {
 	// scale in below load that is demonstrably arriving right now (a
 	// transient forecast dip at a ramp onset would otherwise shed the
 	// capacity the next interval needs).
-	target := p.targetReplicas(math.Max(predRate, rate), predISL, predOSL)
+	targets := p.sizeTargets(math.Max(predRate, rate), predISL, predOSL)
+	total := 0
+	for _, t := range targets {
+		total += t
+	}
 	// Scale-out is immediate; scale-in waits for ScaleInPatience
-	// consecutive low evaluations so a one-interval lull (or a noisy
+	// consecutive shrinking evaluations so a one-interval lull (or a noisy
 	// forecast at a phase boundary) cannot flap the fleet down right
-	// before load returns. An interval that shed demand resets the
-	// patience outright: refusing work is proof the pool is not
-	// over-provisioned, whatever the rate forecast says.
+	// before load returns. The patience guards every *per-flavor*
+	// reduction, not just the total: a cost-ranking flip at equal total
+	// would otherwise drain a whole flavor instantly while its replacement
+	// is still paying ActivationDelay. Holding floors each flavor at its
+	// current active count while increases elsewhere still go out
+	// immediately, so by the time the patience expires the replacement
+	// capacity is warm. (For a single flavor "some flavor shrinks" is
+	// exactly "total < active", the pre-flavor rule.) An interval that
+	// shed demand resets the patience outright: refusing work is proof the
+	// pool is not over-provisioned, whatever the rate forecast says.
 	sheds := p.sheds
 	p.sheds = 0
-	if target < active {
+	shrinking := false
+	for i, t := range targets {
+		if t < activeByFlavor[i] {
+			shrinking = true
+			break
+		}
+	}
+	if shrinking {
+		hold := false
 		if sheds > 0 {
 			p.belowFor = 0
-			target = active
+			hold = true
 		} else {
 			p.belowFor++
 			if p.belowFor < p.cfg.ScaleInPatience {
-				target = active
+				hold = true
+			}
+		}
+		if hold {
+			total = 0
+			for i := range targets {
+				if targets[i] < activeByFlavor[i] {
+					targets[i] = activeByFlavor[i]
+				}
+				total += targets[i]
+			}
+			// Flooring the shrinking flavors while other flavors grew can
+			// push the total past Max; trim the increases — most expensive
+			// capacity first (reverse cost order) — so a hold never
+			// provisions beyond the configured bound. Floors are never cut:
+			// active counts are themselves bounded by Max, so trimming the
+			// increases alone always suffices.
+			for i := len(p.order) - 1; i >= 0 && total > p.cfg.Max; i-- {
+				fi := p.order[i]
+				if cut := targets[fi] - activeByFlavor[fi]; cut > 0 {
+					if over := total - p.cfg.Max; cut > over {
+						cut = over
+					}
+					targets[fi] -= cut
+					total -= cut
+				}
 			}
 		}
 	} else {
@@ -238,35 +309,35 @@ func (p *planner) tick(now float64, active int) int {
 	}
 	p.History = append(p.History, PlanSample{
 		At: now, Rate: rate, ISL: isl, OSL: osl, PredRate: predRate,
-		Target: target, Active: active, CorrTTFT: p.corrTTFT, CorrTPOT: p.corrTPOT,
-		Shed: sheds,
+		Target: total, Active: active, CorrTTFT: p.corrTTFT, CorrTPOT: p.corrTPOT,
+		Shed:    sheds,
+		Targets: append([]int(nil), targets...),
 	})
-	return target
+	return targets
 }
 
-// targetReplicas converts a load forecast into the minimum replica count
-// whose interpolated latency meets the (correction-tightened) SLA, under
-// the pool's role-specific sizing rule.
-func (p *planner) targetReplicas(rate, isl, osl float64) int {
-	var perReplica float64
-	switch p.role {
-	case engine.RolePrefillOnly:
-		perReplica = p.prefillThroughput(isl)
-	case engine.RoleDecodeOnly:
-		perReplica = p.decodeThroughput(isl, osl)
-	default:
-		effTTFT := p.cfg.SLA.TTFT / p.corrTTFT
-		effTPOT := p.cfg.SLA.MTPOT / p.corrTPOT
-		perReplica, p.lastPredTTFT, p.lastPredTPOT = replicaThroughput(p.pm, p.cap, isl, osl, effTTFT, effTPOT)
+// sizeTargets converts a demand forecast into per-flavor replica targets:
+// the scalar pre-flavor rule under HomogeneousPlan, the cost-aware vector
+// rule otherwise. The two are decision-identical on single-flavor pools.
+func (p *planner) sizeTargets(rate, isl, osl float64) []int {
+	if p.homogeneous {
+		p.targets[0] = p.targetScalar(rate, isl, osl)
+		return p.targets
 	}
-	return p.clampTarget(rate, perReplica)
+	return p.targetVec(rate, isl, osl)
 }
 
-func (p *planner) clampTarget(rate, perReplica float64) int {
-	if perReplica <= 0 {
+// targetScalar is the pre-flavor sizing rule: the minimum replica count
+// whose interpolated latency meets the (correction-tightened) SLA, with
+// every replica assumed identical to the pool's single flavor. Kept as the
+// cross-check reference for the refactor-seam equivalence tests.
+func (p *planner) targetScalar(rate, isl, osl float64) int {
+	op := p.flavorThroughput(p.flavors[0], isl, osl)
+	p.lastPredTTFT, p.lastPredTPOT = op.predTTFT, op.predTPOT
+	if op.thr <= 0 {
 		return p.cfg.Max // SLA infeasible at this shape: throw the fleet at it
 	}
-	n := int(math.Ceil(rate / (perReplica * p.cfg.Headroom)))
+	n := int(math.Ceil(rate / (op.thr * p.cfg.Headroom)))
 	if n < p.cfg.Min {
 		n = p.cfg.Min
 	}
@@ -276,36 +347,154 @@ func (p *planner) clampTarget(rate, perReplica float64) int {
 	return n
 }
 
+// targetVec is the cost-aware sizing rule: every flavor's SLA-feasible
+// per-replica rate is interpolated from its *own* perf curves, flavors are
+// ranked by cost per unit of that throughput, and the demand is filled
+// cheapest-first — so scale-out buys the cheapest capacity that still
+// meets the latency targets, and a smaller total drains the worst
+// cost-per-goodput flavors first (they are the last filled). Flavors whose
+// interpolated latency cannot meet the SLA at this shape are used only
+// when the feasible ones run out (capacity is capacity under overload).
+func (p *planner) targetVec(rate, isl, osl float64) []int {
+	for i, f := range p.flavors {
+		p.thrs[i] = p.flavorThroughput(f, isl, osl)
+		p.targets[i] = 0
+		p.order[i] = i
+	}
+	sort.Slice(p.order, func(x, y int) bool {
+		a, b := p.order[x], p.order[y]
+		ta, tb := p.thrs[a].thr, p.thrs[b].thr
+		if (ta > 0) != (tb > 0) {
+			return ta > 0 // feasible flavors first
+		}
+		ca, cb := p.flavors[a].cost, p.flavors[b].cost
+		if ta > 0 {
+			if ra, rb := ca/ta, cb/tb; ra != rb {
+				return ra < rb // cheapest cost-per-throughput first
+			}
+		}
+		if ca != cb {
+			return ca < cb
+		}
+		return a < b
+	})
+	// Correction factors compare the pool's observed latency against the
+	// workhorse flavor — the first in cost order, which serves the bulk of
+	// the demand (and is the pool's only flavor when homogeneous).
+	lead := p.thrs[p.order[0]]
+	p.lastPredTTFT, p.lastPredTPOT = lead.predTTFT, lead.predTPOT
+
+	total := 0
+	remaining := rate
+	met := false
+	for _, fi := range p.order {
+		op := p.thrs[fi]
+		if op.thr <= 0 {
+			break // only infeasible flavors remain
+		}
+		avail := len(p.flavors[fi].reps)
+		if room := p.cfg.Max - total; avail > room {
+			avail = room
+		}
+		if avail <= 0 {
+			continue
+		}
+		need := int(math.Ceil(remaining / (op.thr * p.cfg.Headroom)))
+		if need <= avail {
+			if need > 0 {
+				p.targets[fi] = need
+				total += need
+			}
+			met = true
+			break
+		}
+		p.targets[fi] = avail
+		total += avail
+		remaining -= float64(avail) * op.thr * p.cfg.Headroom
+	}
+	if !met {
+		// Feasible capacity exhausted (or nothing feasible at this shape):
+		// throw the rest of the fleet at it, cheapest first, up to Max.
+		for _, fi := range p.order {
+			room := p.cfg.Max - total
+			if room <= 0 {
+				break
+			}
+			add := len(p.flavors[fi].reps) - p.targets[fi]
+			if add > room {
+				add = room
+			}
+			if add > 0 {
+				p.targets[fi] += add
+				total += add
+			}
+		}
+	}
+	// Floor at Min total, adding the cheapest capacity available.
+	for total < p.cfg.Min {
+		added := false
+		for _, fi := range p.order {
+			if p.targets[fi] < len(p.flavors[fi].reps) {
+				p.targets[fi]++
+				total++
+				added = true
+				break
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	return p.targets
+}
+
+// flavorThroughput interpolates, from one flavor's perf curves, the
+// request rate one of its replicas sustains inside the
+// (correction-tightened) SLA under the pool's role-specific sizing rule.
+func (p *planner) flavorThroughput(f *flavor, isl, osl float64) flavorThr {
+	switch p.role {
+	case engine.RolePrefillOnly:
+		return p.prefillThroughput(f, isl)
+	case engine.RoleDecodeOnly:
+		return p.decodeThroughput(f, isl, osl)
+	default:
+		effTTFT := p.cfg.SLA.TTFT / p.corrTTFT
+		effTPOT := p.cfg.SLA.MTPOT / p.corrTPOT
+		thr, predTTFT, predTPOT := replicaThroughput(f.pm, f.capacity, isl, osl, effTTFT, effTPOT)
+		return flavorThr{thr: thr, predTTFT: predTTFT, predTPOT: predTPOT}
+	}
+}
+
 // prefillThroughput interpolates the prompt rate one prefill-only replica
-// sustains inside the TTFT budget. A saturated prefill engine runs
-// back-to-back fused prefills, so its throughput is one prompt per
-// PrefillTime(isl); feasibility additionally requires a lone prompt's
+// of this flavor sustains inside the TTFT budget. A saturated prefill
+// engine runs back-to-back fused prefills, so its throughput is one prompt
+// per PrefillTime(isl); feasibility additionally requires a lone prompt's
 // prefill plus the expected KV-transfer delay to fit the
 // (correction-tightened) TTFT target — the correction factor then absorbs
 // the queueing the interpolation cannot see.
-func (p *planner) prefillThroughput(isl float64) float64 {
+func (p *planner) prefillThroughput(f *flavor, isl float64) flavorThr {
 	effTTFT := p.cfg.SLA.TTFT / p.corrTTFT
 	in := int(isl + 0.5)
 	if in < 1 {
 		in = 1
 	}
-	prefill := p.pm.PrefillTime(in)
+	prefill := f.pm.PrefillTime(in)
 	xfer := 0.0
-	if p.xfer != nil {
-		xfer = p.xfer(isl)
+	if f.xfer != nil {
+		xfer = f.xfer(isl)
 	}
-	p.lastPredTTFT = prefill + xfer
-	p.lastPredTPOT = 0 // decode is another pool's business
+	out := flavorThr{predTTFT: prefill + xfer, predTPOT: 0} // decode is another pool's business
 	if prefill+xfer > effTTFT {
-		return 0
+		return out
 	}
-	return 1 / prefill
+	out.thr = 1 / prefill
+	return out
 }
 
 // decodeThroughput interpolates the request rate one decode-only replica
-// sustains inside the TPOT budget: the largest decode batch B whose step
-// time meets the target serves B requests every osl steps — no prefill
-// discount, the whole point of disaggregation.
+// of this flavor sustains inside the TPOT budget: the largest decode batch
+// B whose step time meets the target serves B requests every osl steps —
+// no prefill discount, the whole point of disaggregation.
 //
 // The residency budget per request is the *completion* footprint isl + osl,
 // not the time-average isl + osl/2 a mixed pool amortises over: a decode
@@ -314,7 +503,7 @@ func (p *planner) prefillThroughput(isl float64) float64 {
 // batches are bounded by the peak, and sizing against the average would
 // overestimate the feasible batch and queue the handoffs — which a decode
 // pool pays for in MTPOT (the delivery→next-token gap), its actual SLA.
-func (p *planner) decodeThroughput(isl, osl float64) float64 {
+func (p *planner) decodeThroughput(f *flavor, isl, osl float64) flavorThr {
 	effTPOT := p.cfg.SLA.MTPOT / p.corrTPOT
 	out := osl
 	if out < 1 {
@@ -324,13 +513,13 @@ func (p *planner) decodeThroughput(isl, osl float64) float64 {
 	if meanFootprint < 1 {
 		meanFootprint = 1
 	}
-	b, td := maxDecodeBatch(p.pm, p.cap, meanFootprint, effTPOT)
-	p.lastPredTPOT = td
-	p.lastPredTTFT = 0 // prefill is another pool's business
+	b, td := maxDecodeBatch(f.pm, f.capacity, meanFootprint, effTPOT)
+	res := flavorThr{predTPOT: td, predTTFT: 0} // prefill is another pool's business
 	if td > effTPOT {
-		return 0 // even B=1 misses the TPOT target
+		return res // even B=1 misses the TPOT target
 	}
-	return float64(b) / (out * td)
+	res.thr = float64(b) / (out * td)
+	return res
 }
 
 // replicaThroughput interpolates, from the perf model, the maximum request

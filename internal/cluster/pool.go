@@ -7,6 +7,7 @@ import (
 	"github.com/lightllm-go/lightllm/internal/core"
 	"github.com/lightllm-go/lightllm/internal/dist"
 	"github.com/lightllm-go/lightllm/internal/engine"
+	"github.com/lightllm-go/lightllm/internal/perf"
 	"github.com/lightllm-go/lightllm/internal/request"
 )
 
@@ -79,7 +80,9 @@ type Config struct {
 	// must be built with the same engine.Role. RoleMixed (zero value) is
 	// monolithic serving.
 	Role engine.Role
-	// Replicas are homogeneous serving engines. Required, ≥ 1.
+	// Replicas are the serving engines. Required, ≥ 1. Mixed hardware is
+	// supported: the pool groups replicas into flavors (shared perf model +
+	// capacity) and speed-normalizes probes, plans, and costs across them.
 	Replicas []*engine.Engine
 	// Policy selects the routing policy.
 	Policy Policy
@@ -99,15 +102,62 @@ type Config struct {
 	// identical either way; this switch exists as the benchmark baseline
 	// and for cross-check tests.
 	NaiveProbe bool
+	// HomogeneousPlan sizes the SLA planner with the pre-flavor scalar rule
+	// — every replica assumed identical to replica 0 — instead of the
+	// flavor-aware vector sizing. The two are decision-identical on
+	// single-flavor pools; this switch is the cross-check baseline for the
+	// refactor-seam equivalence tests (the planner's NaiveProbe). Rejected
+	// on pools with more than one flavor.
+	HomogeneousPlan bool
+	// Admission enables cluster-front admission control when this Config
+	// builds the monolithic Fleet (cluster.New) or the router adapter — the
+	// same pipeline ClusterConfig.Admission gives an explicit cluster.
+	// Inside an explicit ClusterConfig the pipeline is cluster-wide, so
+	// pool-level Admission must be nil there (NewCluster rejects it).
+	Admission *AdmissionConfig
 	// OnRoute, when non-nil, observes every routing decision into this pool
 	// (pool-local replica index).
 	OnRoute func(r *request.Request, replica int)
+}
+
+// flavor groups a pool's replicas that share one hardware deployment: the
+// same perf model (GPU platform, TP degree, kernel efficiencies) and the
+// same KV capacity. A homogeneous pool has exactly one flavor; a
+// heterogeneous pool carries one per GPU type, and every structure that
+// used to borrow replica 0's model — planner sizing, admission floors, KV
+// transfer sizing, probe normalization — reads the owning replica's flavor
+// instead. Replicas are grouped by perf-model identity (pointer) plus
+// engine capacity: engines sharing one *perf.Model are one flavor.
+type flavor struct {
+	name     string
+	pm       *perf.Model
+	capacity int     // KV token capacity per replica (engine pool, override included)
+	cost     float64 // normalized provisioning cost per replica-second (1.0 = A100-80G)
+	relSpeed float64 // role-relevant throughput relative to the pool's fastest flavor
+	reps     []*replica
+	// xfer estimates the expected KV-transfer delay for a mean input length
+	// when this flavor prefills into a disaggregated decode pool; nil = free.
+	xfer func(isl float64) float64
+}
+
+// FlavorInfo describes one replica flavor for reports and observers.
+type FlavorInfo struct {
+	// Name is the hardware display name (hw.Cluster.Name, e.g. "A100-80G").
+	Name string
+	// Replicas is how many of the pool's replicas run this flavor.
+	Replicas int
+	// CostWeight is the normalized cost per replica-second (1.0 = A100-80G).
+	CostWeight float64
+	// RelSpeed is the flavor's role-relevant throughput relative to the
+	// pool's fastest flavor (1.0 = fastest), the probe-normalization factor.
+	RelSpeed float64
 }
 
 // replica is the pool's bookkeeping around one engine.
 type replica struct {
 	eng *engine.Engine
 	idx int
+	flv *flavor
 
 	active   bool    // provisioned (may still be activating)
 	awake    bool    // activation delay elapsed; eligible for traffic
@@ -136,13 +186,15 @@ type Pool struct {
 	clu *Cluster
 	id  int // pool index in the cluster
 
-	reps []*replica
+	reps    []*replica
+	flavors []*flavor // replica flavor groups, in first-appearance order
 
 	rr        int
 	accepting []*replica // active, awake, not draining; index order
 
 	plan          *planner
 	planScheduled bool
+	flavActive    []int // scratch: active replica count per flavor at tick time
 
 	scaleUps int
 	scaleIns int
@@ -197,9 +249,12 @@ func newPool(c *Cluster, id int, cfg Config) (*Pool, error) {
 		p.reps[i].active = true
 		p.reps[i].awake = true
 	}
+	p.buildFlavors(c)
+	if cfg.HomogeneousPlan && len(p.flavors) > 1 {
+		return nil, fmt.Errorf("cluster: pool %d: HomogeneousPlan is the single-flavor reference, pool has %d flavors", id, len(p.flavors))
+	}
 	if p.cfg.Planner != nil {
-		e0 := p.reps[0].eng
-		p.plan = newPlanner(*p.cfg.Planner, e0.Perf(), e0.Pool().CapacityTokens(), cfg.Role, c.transferEstimate(e0))
+		p.plan = newPlanner(*p.cfg.Planner, p.flavors, cfg.Role, cfg.HomogeneousPlan)
 		for _, rep := range p.reps {
 			rep.eng.AddFinishHook(func(_ float64, r *request.Request) {
 				// A decode pool corrects on observed MTPOT — the metric it
@@ -215,6 +270,94 @@ func newPool(c *Cluster, id int, cfg Config) (*Pool, error) {
 	}
 	p.rebuildAccepting()
 	return p, nil
+}
+
+// buildFlavors groups the pool's replicas by hardware deployment and
+// derives each flavor's cost weight and relative speed. Called once at
+// construction, after the replica list exists.
+func (p *Pool) buildFlavors(c *Cluster) {
+	type key struct {
+		pm       *perf.Model
+		capacity int
+	}
+	seen := map[key]*flavor{}
+	for _, rep := range p.reps {
+		k := key{rep.eng.Perf(), rep.eng.Pool().CapacityTokens()}
+		f := seen[k]
+		if f == nil {
+			f = &flavor{
+				name:     k.pm.Cluster().Name(),
+				pm:       k.pm,
+				capacity: k.capacity,
+				cost:     k.pm.CostWeight(),
+				xfer:     c.transferEstimate(k.pm.Spec().KVBytesPerToken()),
+			}
+			seen[k] = f
+			p.flavors = append(p.flavors, f)
+		}
+		f.reps = append(f.reps, rep)
+		rep.flv = f
+	}
+	maxSpeed := 0.0
+	for _, f := range p.flavors {
+		f.relSpeed = p.flavorSpeed(f)
+		if f.relSpeed > maxSpeed {
+			maxSpeed = f.relSpeed
+		}
+	}
+	// Normalize against the fastest flavor. A single-flavor pool divides a
+	// value by itself, so relSpeed is exactly 1.0 and every speed-normalized
+	// probe score is bit-identical to the raw memory fraction.
+	for _, f := range p.flavors {
+		f.relSpeed /= maxSpeed
+	}
+	p.flavActive = make([]int, len(p.flavors))
+}
+
+// speedRefPrompt / speedRefBatch fix the reference operating point the
+// cross-flavor speed ratio is evaluated at. Any fixed point works — the
+// ratio of two perf curves is what matters — and these sit in the middle of
+// the ShareGPT shape the experiments serve.
+const (
+	speedRefPrompt = 512
+	speedRefBatch  = 32
+)
+
+// flavorSpeed is the role-relevant service rate used to normalize
+// FutureHeadroom probes across flavors: a 50%-full fast replica clears its
+// predicted peak sooner than a 50%-full slow one, so raw memory fractions
+// are not comparable across GPU types. Prefill pools rate by prompt
+// latency; decode and mixed pools by decode-step throughput.
+func (p *Pool) flavorSpeed(f *flavor) float64 {
+	if p.cfg.Role == engine.RolePrefillOnly {
+		return 1 / f.pm.PrefillTime(speedRefPrompt)
+	}
+	return float64(speedRefBatch) / f.pm.DecodeTime(speedRefBatch, speedRefBatch*speedRefPrompt)
+}
+
+// Flavors describes the pool's replica flavor groups.
+func (p *Pool) Flavors() []FlavorInfo {
+	out := make([]FlavorInfo, len(p.flavors))
+	for i, f := range p.flavors {
+		out[i] = FlavorInfo{Name: f.name, Replicas: len(f.reps), CostWeight: f.cost, RelSpeed: f.relSpeed}
+	}
+	return out
+}
+
+// activeByFlavor refreshes and returns the per-flavor active (non-draining)
+// replica counts in flavor order — the planner tick's view of the fleet.
+// The returned slice is pool-owned scratch, valid until the next call.
+func (p *Pool) activeByFlavor() []int {
+	for i, f := range p.flavors {
+		n := 0
+		for _, rep := range f.reps {
+			if rep.active && !rep.draining {
+				n++
+			}
+		}
+		p.flavActive[i] = n
+	}
+	return p.flavActive
 }
 
 // Role returns the pool's serving role.
@@ -250,6 +393,19 @@ func (p *Pool) ReplicaSeconds() float64 {
 	sum := 0.0
 	for _, rep := range p.reps {
 		sum += rep.activeSecs
+	}
+	return sum
+}
+
+// CostSeconds returns the normalized provisioning cost across the pool:
+// each replica's active-time integral scaled by its flavor's cost weight
+// (1.0 = one A100-80G replica-second). For a single-A100 pool this equals
+// ReplicaSeconds; for a mixed fleet it is the axis the cost-aware planner
+// minimizes. Complete after Serve returns.
+func (p *Pool) CostSeconds() float64 {
+	sum := 0.0
+	for _, rep := range p.reps {
+		sum += rep.activeSecs * rep.flv.cost
 	}
 	return sum
 }
@@ -351,11 +507,19 @@ func (p *Pool) pick(req *request.Request) *replica {
 		}
 		return best
 	case FutureHeadroom:
-		best, bestLoad := cands[0], math.Inf(1)
+		// Rank (fits, speed-normalized score) lexicographically, like the
+		// decode cost vector: speed never makes a predicted overflow fit,
+		// so a fitting slow replica always beats an overflowing fast one.
+		// Fits is a threshold on the raw fraction, so in a single-flavor
+		// pool (score == fraction) this is exactly the raw-fraction argmin.
+		var best *replica
+		bestFits, bestScore := false, math.Inf(1)
 		for _, rep := range cands {
-			load := p.probe(rep, req)
-			if load < bestLoad {
-				best, bestLoad = rep, load
+			frac := p.probe(rep, req)
+			fits := frac <= 1
+			score := frac / rep.flv.relSpeed
+			if best == nil || betterFit(fits, score, bestFits, bestScore) {
+				best, bestFits, bestScore = rep, fits, score
 			}
 		}
 		return best
@@ -400,21 +564,53 @@ func (p *Pool) probe(rep *replica, req *request.Request) float64 {
 	return float64(rep.est.PeakWith(cand)) / float64(rep.eng.Pool().CapacityTokens())
 }
 
-// bestProbe returns the smallest FutureHeadroom probe across the accepting
-// replicas and the replica achieving it — the cluster-front admission
-// gate's view of the pool ((nil, +Inf) when no replica accepts, e.g.
-// everything is still activating). The iteration order and strict `<`
-// match pick()'s FutureHeadroom argmin, so a placement reusing the
-// returned replica is decision-identical to routing again.
-func (p *Pool) bestProbe(req *request.Request) (*replica, float64) {
+// betterFit is the shared (fits, speed-normalized score) lexicographic
+// ranking behind every flavor-aware replica choice: pick()'s
+// FutureHeadroom arm, bestProbe's placement argmin (which MUST stay
+// decision-identical to pick, so admission placements reuse the gate's
+// choice), and the final tie-break of the decode cost vector. One
+// comparator, so the copies cannot drift apart.
+func betterFit(fits bool, score float64, bestFits bool, bestScore float64) bool {
+	if fits != bestFits {
+		return fits
+	}
+	return score < bestScore
+}
+
+// bestProbe returns the (fits, speed-normalized score) argmin among
+// accepting replicas whose *raw* probe fraction passes the admission gate,
+// together with the smallest raw fraction across all accepting replicas —
+// the gate's signal: some replica can take the request iff that minimum is
+// at or under the gate. gate = +Inf degrades to the plain FutureHeadroom
+// argmin ((nil, +Inf) when no replica accepts, e.g. everything is still
+// activating). With gate = +Inf the ranking, iteration order, and strict
+// `<` match pick()'s FutureHeadroom argmin exactly, so a placement reusing
+// the returned replica is decision-identical to routing again; a finite
+// gate restricts the argmin to gate-passing replicas, which can diverge
+// from pick() in a heterogeneous pool (a fast replica over the gate but
+// under 1.0 is pickable yet not placeable — the gate is admission's
+// stricter contract). In a single-flavor pool score == fraction and fits
+// is a threshold on that same fraction, so the qualifying argmin coincides
+// with the pre-flavor raw-fraction behavior whenever the gate passes at
+// all.
+func (p *Pool) bestProbe(req *request.Request, gate float64) (*replica, float64) {
 	var bestRep *replica
-	best := math.Inf(1)
+	bestFits, bestScore, minFrac := false, math.Inf(1), math.Inf(1)
 	for _, rep := range p.accepting {
-		if f := p.probe(rep, req); f < best {
-			bestRep, best = rep, f
+		f := p.probe(rep, req)
+		if f < minFrac {
+			minFrac = f
+		}
+		if f > gate {
+			continue
+		}
+		fits := f <= 1
+		score := f / rep.flv.relSpeed
+		if bestRep == nil || betterFit(fits, score, bestFits, bestScore) {
+			bestRep, bestFits, bestScore = rep, fits, score
 		}
 	}
-	return bestRep, best
+	return bestRep, minFrac
 }
 
 // load returns the predicted peak of a replica's batch plus queue (no
@@ -482,14 +678,29 @@ func (p *Pool) reactiveScale(now float64) {
 	}
 }
 
-// applyTarget moves the pool toward the planner's replica target: cancel
+// applyTargets moves the pool toward the planner's per-flavor replica
+// targets (flavor order), applying the scalar rule within each flavor's
+// replica subset. A single-flavor pool reduces to the pre-flavor pool-wide
+// applyTarget: the one subset is the whole replica list in index order.
+func (p *Pool) applyTargets(now float64, targets []int) {
+	for i, f := range p.flavors {
+		p.applyTarget(now, targets[i], f.reps)
+	}
+}
+
+// applyTarget moves one replica subset toward its target count: cancel
 // draining first (warm capacity), then activate cold replicas; scale in by
 // retiring idle replicas immediately and draining busy ones.
-func (p *Pool) applyTarget(now float64, target int) {
-	active := p.ActiveReplicas()
+func (p *Pool) applyTarget(now float64, target int, reps []*replica) {
+	active := 0
+	for _, rep := range reps {
+		if rep.active && !rep.draining {
+			active++
+		}
+	}
 	for active < target {
 		undrained := false
-		for _, rep := range p.reps {
+		for _, rep := range reps {
 			if rep.active && rep.draining {
 				rep.draining = false
 				p.scaleUps++
@@ -503,7 +714,7 @@ func (p *Pool) applyTarget(now float64, target int) {
 			continue
 		}
 		var cold *replica
-		for _, rep := range p.reps {
+		for _, rep := range reps {
 			if !rep.active {
 				cold = rep
 				break
@@ -516,7 +727,7 @@ func (p *Pool) applyTarget(now float64, target int) {
 		active++
 	}
 	for active > target {
-		rep := p.scaleInVictim()
+		rep := p.scaleInVictim(reps)
 		if rep == nil {
 			return
 		}
@@ -539,17 +750,17 @@ func (p *Pool) drained(rep *replica) bool {
 	return rep.pendingIn == 0 && rep.eng.Idle()
 }
 
-// scaleInVictim picks the next replica to scale in: idle ones first, then
-// the highest-index busy one (which will drain).
-func (p *Pool) scaleInVictim() *replica {
-	for i := len(p.reps) - 1; i >= 0; i-- {
-		rep := p.reps[i]
+// scaleInVictim picks the next replica to scale in from one subset: idle
+// ones first, then the highest-index busy one (which will drain).
+func (p *Pool) scaleInVictim(reps []*replica) *replica {
+	for i := len(reps) - 1; i >= 0; i-- {
+		rep := reps[i]
 		if rep.active && !rep.draining && p.drained(rep) {
 			return rep
 		}
 	}
-	for i := len(p.reps) - 1; i >= 0; i-- {
-		rep := p.reps[i]
+	for i := len(reps) - 1; i >= 0; i-- {
+		rep := reps[i]
 		if rep.active && !rep.draining {
 			return rep
 		}

@@ -106,15 +106,25 @@ func TestCorrectionFactorClamps(t *testing.T) {
 
 func TestPlannerTargetScalesWithRate(t *testing.T) {
 	pm := testPerf()
-	p := newPlanner(PlannerConfig{
-		SLA: metrics.SLASmall, Min: 1, Max: 8, Interval: 10, Predictor: ConstantPredictor,
-	}.withDefaults(), pm, pm.CapacityTokens(), engine.RoleMixed, nil)
-	low := p.targetReplicas(0.5, 500, 300)
-	high := p.targetReplicas(50, 500, 300)
-	if low < 1 || high > 8 {
-		t.Fatalf("targets outside bounds: %d, %d", low, high)
-	}
-	if high <= low {
-		t.Fatalf("100× the load did not raise the target: %d -> %d", low, high)
+	f := &flavor{name: "test", pm: pm, capacity: pm.CapacityTokens(), cost: 1, relSpeed: 1, reps: make([]*replica, 8)}
+	for _, homogeneous := range []bool{false, true} {
+		p := newPlanner(PlannerConfig{
+			SLA: metrics.SLASmall, Min: 1, Max: 8, Interval: 10, Predictor: ConstantPredictor,
+		}.withDefaults(), []*flavor{f}, engine.RoleMixed, homogeneous)
+		total := func(rate float64) int {
+			n := 0
+			for _, tgt := range p.sizeTargets(rate, 500, 300) {
+				n += tgt
+			}
+			return n
+		}
+		low := total(0.5)
+		high := total(50)
+		if low < 1 || high > 8 {
+			t.Fatalf("homogeneous=%v: targets outside bounds: %d, %d", homogeneous, low, high)
+		}
+		if high <= low {
+			t.Fatalf("homogeneous=%v: 100× the load did not raise the target: %d -> %d", homogeneous, low, high)
+		}
 	}
 }

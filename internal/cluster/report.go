@@ -23,6 +23,11 @@ type Report struct {
 	// provisioned time integral (the autoscaler's cost).
 	Replicas       int
 	ReplicaSeconds float64
+	// CostSeconds is the normalized provisioning cost: replica-seconds
+	// scaled by each replica's flavor cost weight (1.0 = one A100-80G
+	// replica-second). Equal to ReplicaSeconds on an all-A100 fleet; the
+	// axis the cost-aware heterogeneous planner minimizes.
+	CostSeconds float64
 	// ScaleOuts / ScaleIns count autoscaler decisions across pools.
 	ScaleOuts, ScaleIns int
 	// RoutedCounts is requests per replica, pool-major; Imbalance their
@@ -54,8 +59,12 @@ type PoolReport struct {
 	Role                engine.Role
 	Replicas            int
 	ReplicaSeconds      float64
+	CostSeconds         float64
 	ScaleOuts, ScaleIns int
 	RoutedCounts        []int
+	// Flavors describes the pool's replica flavor groups (one entry for a
+	// homogeneous pool).
+	Flavors []FlavorInfo
 }
 
 // Report rolls up per-replica results against an SLA. Call after Serve with
@@ -77,9 +86,11 @@ func (c *Cluster) Report(results []*engine.Result, sla metrics.SLA) Report {
 	if c.adm != nil {
 		sum.AddShed(c.adm.shedList, c.startAt, end)
 	}
+	sum.CostSeconds = c.CostSeconds()
 	r := Report{
 		Summary:        sum,
 		ReplicaSeconds: c.ReplicaSeconds(),
+		CostSeconds:    sum.CostSeconds,
 		Imbalance:      c.pools[c.entry].Imbalance(),
 		Finished:       len(finished),
 		Failed:         failed,
@@ -102,9 +113,11 @@ func (c *Cluster) Report(results []*engine.Result, sla metrics.SLA) Report {
 			Role:           p.cfg.Role,
 			Replicas:       len(p.reps),
 			ReplicaSeconds: p.ReplicaSeconds(),
+			CostSeconds:    p.CostSeconds(),
 			ScaleOuts:      out,
 			ScaleIns:       in,
 			RoutedCounts:   p.RoutedCounts(),
+			Flavors:        p.Flavors(),
 		})
 	}
 	var delay float64

@@ -129,3 +129,13 @@ func TestIterationKindsReported(t *testing.T) {
 		t.Fatalf("iteration kinds: %v", kinds)
 	}
 }
+
+func TestHardwareAccessors(t *testing.T) {
+	e := newEngine(t, core.MustNewConservative(1.0), 300)
+	if got, want := e.KVBytesPerToken(), e.Perf().Spec().KVBytesPerToken(); got != want || got <= 0 {
+		t.Fatalf("KVBytesPerToken %d, want %d (> 0)", got, want)
+	}
+	if got, want := e.CostWeight(), e.Perf().CostWeight(); got != want || got <= 0 {
+		t.Fatalf("CostWeight %v, want %v (> 0)", got, want)
+	}
+}

@@ -367,6 +367,17 @@ func (e *Engine) Perf() *perf.Model { return e.cfg.Perf }
 // Role returns the engine's serving role (mixed, prefill-only, decode-only).
 func (e *Engine) Role() Role { return e.cfg.Role }
 
+// KVBytesPerToken returns the per-token KV-cache footprint of the served
+// model on this engine — the unit the cluster layer sizes KV transfers in.
+// Exposed per engine (not per fleet) so heterogeneous clusters size each
+// migration by the replica that owns the cache.
+func (e *Engine) KVBytesPerToken() int64 { return e.cfg.Perf.Spec().KVBytesPerToken() }
+
+// CostWeight returns the normalized provisioning cost per replica-second of
+// this engine's hardware (1.0 = one A100-80G), the flavor weight behind
+// heterogeneous-fleet cost accounting.
+func (e *Engine) CostWeight() float64 { return e.cfg.Perf.CostWeight() }
+
 // QueueLen returns the number of waiting requests.
 func (e *Engine) QueueLen() int { return e.queue.Len() }
 

@@ -27,6 +27,11 @@ type GPU struct {
 	// HostLinkBytesPerSec is the effective host↔device bandwidth (PCIe),
 	// used by swap-based eviction. 0 selects 25 GB/s (PCIe 4.0 x16).
 	HostLinkBytesPerSec float64
+	// CostPerHour is the on-demand rental price of one device in USD/hour
+	// (public cloud list-price ballpark), the input to cost-aware placement
+	// across heterogeneous fleets. 0 selects the A100-80G baseline price, so
+	// custom GPUs without a price behave cost-neutrally.
+	CostPerHour float64
 }
 
 // defaultHostLink is the PCIe bandwidth assumed when a GPU spec omits it.
@@ -40,13 +45,30 @@ func (g GPU) HostLink() float64 {
 	return defaultHostLink
 }
 
-// Predefined GPUs (public spec-sheet numbers).
+// Predefined GPUs (public spec-sheet numbers; prices are on-demand cloud
+// list-price ballpark figures, used only as *relative* cost weights).
 var (
-	A100_80G = GPU{Name: "A100-80G", MemBytes: 80e9, BandwidthBytesPerSec: 2.0e12, FLOPS: 312e12, NVLink: true}
-	H800     = GPU{Name: "H800", MemBytes: 80e9, BandwidthBytesPerSec: 3.35e12, FLOPS: 790e12, NVLink: true}
-	RTX4090  = GPU{Name: "RTX-4090", MemBytes: 24e9, BandwidthBytesPerSec: 1.01e12, FLOPS: 330e12, NVLink: false}
-	A30      = GPU{Name: "A30", MemBytes: 24e9, BandwidthBytesPerSec: 933e9, FLOPS: 165e12, NVLink: true}
+	A100_80G = GPU{Name: "A100-80G", MemBytes: 80e9, BandwidthBytesPerSec: 2.0e12, FLOPS: 312e12, NVLink: true, CostPerHour: 3.67}
+	H800     = GPU{Name: "H800", MemBytes: 80e9, BandwidthBytesPerSec: 3.35e12, FLOPS: 790e12, NVLink: true, CostPerHour: 9.98}
+	RTX4090  = GPU{Name: "RTX-4090", MemBytes: 24e9, BandwidthBytesPerSec: 1.01e12, FLOPS: 330e12, NVLink: false, CostPerHour: 0.74}
+	A30      = GPU{Name: "A30", MemBytes: 24e9, BandwidthBytesPerSec: 933e9, FLOPS: 165e12, NVLink: true, CostPerHour: 1.10}
 )
+
+// costBaselinePerHour is the A100-80G on-demand price every cost weight is
+// normalized against: a weight of 1.0 means "costs as much per second as
+// one A100-80G", so CostSeconds across a mixed fleet read as
+// A100-equivalent replica-seconds. Derived from the GPU table so updating
+// the A100-80G list price cannot desynchronize the baseline.
+var costBaselinePerHour = A100_80G.CostPerHour
+
+// HourlyCost returns the device's rental price, defaulting unpriced GPUs to
+// the A100-80G baseline (cost-neutral).
+func (g GPU) HourlyCost() float64 {
+	if g.CostPerHour > 0 {
+		return g.CostPerHour
+	}
+	return costBaselinePerHour
+}
 
 // AllGPUs lists the predefined GPUs.
 func AllGPUs() []GPU { return []GPU{A100_80G, H800, RTX4090, A30} }
@@ -101,6 +123,15 @@ func (c Cluster) tpEfficiency() float64 {
 
 // TotalMemBytes returns the aggregate device memory.
 func (c Cluster) TotalMemBytes() int64 { return c.GPU.MemBytes * int64(c.TP) }
+
+// CostWeight returns the cluster's normalized provisioning cost per
+// replica-second: the TP group's hourly rental price over the A100-80G
+// baseline. One A100-80G replica weighs 1.0; a 4×A30 replica weighs
+// 4×1.10/3.67 ≈ 1.2. Replica-seconds scaled by this weight are the
+// CostSeconds axis of heterogeneous-fleet reports.
+func (c Cluster) CostWeight() float64 {
+	return c.GPU.HourlyCost() * float64(c.TP) / costBaselinePerHour
+}
 
 // EffectiveBandwidth returns aggregate memory bandwidth after TP overhead.
 func (c Cluster) EffectiveBandwidth() float64 {

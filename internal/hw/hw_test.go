@@ -114,3 +114,31 @@ func TestKVCapacityRejectsInvalidSpec(t *testing.T) {
 		t.Fatal("invalid spec should error")
 	}
 }
+
+func TestCostWeights(t *testing.T) {
+	// The A100-80G is the baseline: weight exactly 1.0 at TP=1, scaling
+	// linearly with the TP degree.
+	if w := NewCluster(A100_80G, 1).CostWeight(); w != 1.0 {
+		t.Fatalf("A100-80G x1 cost weight %v, want 1.0", w)
+	}
+	if w := NewCluster(A100_80G, 4).CostWeight(); w != 4.0 {
+		t.Fatalf("A100-80G x4 cost weight %v, want 4.0", w)
+	}
+	// Relative prices: H800 above baseline, 4090 and A30 below.
+	if w := NewCluster(H800, 1).CostWeight(); w <= 1.0 {
+		t.Fatalf("H800 cost weight %v, want > 1", w)
+	}
+	for _, g := range []GPU{RTX4090, A30} {
+		if w := NewCluster(g, 1).CostWeight(); w <= 0 || w >= 1.0 {
+			t.Fatalf("%s cost weight %v, want in (0,1)", g.Name, w)
+		}
+	}
+	// An unpriced custom GPU is cost-neutral, not free.
+	custom := GPU{Name: "custom", MemBytes: 80e9, BandwidthBytesPerSec: 1e12, FLOPS: 100e12}
+	if w := NewCluster(custom, 1).CostWeight(); w != 1.0 {
+		t.Fatalf("unpriced GPU cost weight %v, want the neutral 1.0", w)
+	}
+	if got := custom.HourlyCost(); got != costBaselinePerHour {
+		t.Fatalf("unpriced hourly cost %v, want baseline %v", got, costBaselinePerHour)
+	}
+}

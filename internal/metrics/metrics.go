@@ -74,6 +74,13 @@ type Summary struct {
 	P99MTPOT  float64
 	// MeanEvictions is the average evictions per finished request.
 	MeanEvictions float64
+
+	// CostSeconds is the normalized provisioning cost of the run:
+	// replica-seconds scaled by each replica's hardware cost weight (1.0 =
+	// one A100-80G replica-second), so heterogeneous fleets compare on
+	// spend, not instance counts. Populated by the fleet report; 0 when the
+	// summary was built from raw engine results.
+	CostSeconds float64
 }
 
 // SLARate returns the fraction of requests meeting the SLA.
@@ -169,6 +176,18 @@ func (s Summary) GoodCompletionRate() float64 {
 		return 0
 	}
 	return float64(s.SLAOK) / s.Window
+}
+
+// CostPerGoodCompletion returns the normalized provisioning cost per
+// SLA-met completion (A100-equivalent replica-seconds each conforming
+// request cost to serve) — the efficiency axis of the heterogeneous-fleet
+// comparison: a cheaper fleet that sheds everyone is not cheaper per good
+// completion. 0 when no request met the SLA or no cost was recorded.
+func (s Summary) CostPerGoodCompletion() float64 {
+	if s.SLAOK == 0 {
+		return 0
+	}
+	return s.CostSeconds / float64(s.SLAOK)
 }
 
 // String renders a one-line summary for logs and tables.

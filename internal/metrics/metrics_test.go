@@ -205,3 +205,24 @@ func TestAddShedCountsAsTTFTViolation(t *testing.T) {
 		t.Fatalf("p99 TTFT %v polluted by shed requests", s.P99TTFT)
 	}
 }
+
+func TestCostPerGoodCompletion(t *testing.T) {
+	served := request.New(1, 10, 2, 10, 0)
+	served.EmitToken(1)
+	served.EmitToken(1.5)
+	served.Finish(1.5)
+	s := Summarize([]*request.Request{served}, SLASmall, 0, 10)
+	if s.CostPerGoodCompletion() != 0 {
+		t.Fatal("cost per good completion nonzero before any cost was recorded")
+	}
+	s.CostSeconds = 30
+	if got := s.CostPerGoodCompletion(); got != 30 {
+		t.Fatalf("cost per good completion %v, want 30 (one SLA-met request)", got)
+	}
+	// No SLA-met completions: the ratio degrades to 0, not +Inf.
+	var empty Summary
+	empty.CostSeconds = 10
+	if empty.CostPerGoodCompletion() != 0 {
+		t.Fatal("cost per good completion with zero SLAOK should be 0")
+	}
+}

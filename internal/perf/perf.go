@@ -120,6 +120,11 @@ func (m *Model) Cluster() hw.Cluster { return m.cluster }
 // CapacityTokens returns the KV-cache capacity in token slots.
 func (m *Model) CapacityTokens() int { return m.capacity }
 
+// CostWeight returns the deployment's normalized provisioning cost per
+// replica-second (hw.Cluster.CostWeight: 1.0 = one A100-80G), the flavor
+// weight behind the heterogeneous fleet's CostSeconds axis.
+func (m *Model) CostWeight() float64 { return m.cluster.CostWeight() }
+
 // Overhead returns the fixed per-iteration overhead in seconds.
 func (m *Model) Overhead() float64 { return m.overhead }
 

@@ -170,3 +170,14 @@ func BenchmarkDecodeTime(b *testing.B) {
 		_ = m.DecodeTime(32, 100_000)
 	}
 }
+
+func TestModelCostWeight(t *testing.T) {
+	a100 := MustNew(Config{Model: model.Llama2_7B, Cluster: hw.NewCluster(hw.A100_80G, 1)})
+	a30 := MustNew(Config{Model: model.Llama2_7B, Cluster: hw.NewCluster(hw.A30, 1)})
+	if a100.CostWeight() != 1.0 {
+		t.Fatalf("A100-80G model cost weight %v, want 1.0", a100.CostWeight())
+	}
+	if w := a30.CostWeight(); w <= 0 || w >= a100.CostWeight() {
+		t.Fatalf("A30 model cost weight %v, want cheaper than the A100 baseline", w)
+	}
+}

@@ -42,9 +42,15 @@ const (
 // AutoScale configures reactive scaling on the predicted-load signal.
 type AutoScale = cluster.AutoScale
 
+// AdmissionConfig configures cluster-front admission control (EDF hold +
+// deadline shedding) in front of the routed fleet.
+type AdmissionConfig = cluster.AdmissionConfig
+
 // Config configures a Router.
 type Config struct {
-	// Replicas are homogeneous serving engines. Required, ≥ 1.
+	// Replicas are the serving engines. Required, ≥ 1. Mixed hardware is
+	// supported: the cluster layer groups replicas into flavors and
+	// speed-normalizes its routing probes across them.
 	Replicas []*engine.Engine
 	// Policy selects the routing policy.
 	Policy Policy
@@ -52,6 +58,11 @@ type Config struct {
 	Quantile float64
 	// Scale enables reactive autoscaling; nil serves on all replicas.
 	Scale *AutoScale
+	// Admission enables cluster-front admission control: arrivals no
+	// replica can take now are held in a deadline-indexed queue and — with
+	// shedding — refused once their TTFT budget cannot cover the predicted
+	// service floor. nil routes every arrival immediately.
+	Admission *AdmissionConfig
 }
 
 // Router distributes a time-ordered request stream over replicas.
@@ -62,10 +73,11 @@ type Router struct {
 // New validates the configuration.
 func New(cfg Config) (*Router, error) {
 	f, err := cluster.New(cluster.Config{
-		Replicas: cfg.Replicas,
-		Policy:   cfg.Policy,
-		Quantile: cfg.Quantile,
-		Scale:    cfg.Scale,
+		Replicas:  cfg.Replicas,
+		Policy:    cfg.Policy,
+		Quantile:  cfg.Quantile,
+		Scale:     cfg.Scale,
+		Admission: cfg.Admission,
 	})
 	if err != nil {
 		return nil, err
@@ -93,3 +105,11 @@ func (r *Router) ActiveReplicas() int { return r.fleet.ActiveReplicas() }
 // Imbalance returns the coefficient of variation of per-replica routed
 // counts (0 = perfectly balanced). Only meaningful without autoscaling.
 func (r *Router) Imbalance() float64 { return r.fleet.Imbalance() }
+
+// ShedRequests returns every request refused by admission control, in shed
+// order (nil without Config.Admission). Complete after Serve.
+func (r *Router) ShedRequests() []*request.Request { return r.fleet.ShedRequests() }
+
+// HeldRequests returns the number of arrivals currently held at the fleet
+// front (0 after Serve: the run flush-sheds leftovers).
+func (r *Router) HeldRequests() int { return r.fleet.HeldRequests() }

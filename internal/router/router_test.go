@@ -246,3 +246,43 @@ func TestHeadroomBeatsRoundRobinOnSkewedLoad(t *testing.T) {
 		t.Fatalf("future-headroom mean TTFT %.2fs not below round-robin %.2fs", hr, rrob)
 	}
 }
+
+// TestRouterAdmissionSheds pins the adapter's admission threading: a Router
+// built with an AdmissionConfig runs the cluster-front pipeline — an
+// overloaded stream sheds terminally, every arrival ends exactly once in
+// {completed, shed}, and nothing stays held after Serve.
+func TestRouterAdmissionSheds(t *testing.T) {
+	reps := replicas(t, 2, 8_000)
+	r, err := New(Config{
+		Replicas:  reps,
+		Policy:    FutureHeadroom,
+		Admission: &AdmissionConfig{TTFTBudget: 4, Shed: true, Slack: 0.5, MaxProbe: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 300
+	rr := rng.New(5)
+	reqs := workload.Build(workload.ShareGPT, rr, n, 1, 512)
+	workload.AssignPoissonArrivals(reqs, rr, 60, 0)
+	results := r.Serve(reqs, 1e9)
+	finished := 0
+	for _, res := range results {
+		finished += len(res.Finished)
+	}
+	shed := len(r.ShedRequests())
+	if shed == 0 {
+		t.Fatal("overloaded router shed nothing; admission not threaded")
+	}
+	if finished+shed != n {
+		t.Fatalf("%d finished + %d shed != %d arrivals", finished, shed, n)
+	}
+	if r.HeldRequests() != 0 {
+		t.Fatalf("%d requests left held after Serve", r.HeldRequests())
+	}
+	for _, s := range r.ShedRequests() {
+		if s.Outcome != request.OutcomeShed {
+			t.Fatalf("shed request %d outcome %v", s.ID, s.Outcome)
+		}
+	}
+}

@@ -1,60 +1,94 @@
 #!/bin/sh
-# Runs the scheduling hot-path micro-benchmarks (BenchmarkAdmitHotPath,
-# BenchmarkFutureRequiredMemory, BenchmarkWindowSampler, the fleet-scale
-# BenchmarkFleetRoute series, the cluster-front admission deadline heap,
-# and the MaxPrefillTokens trim) and records ns/op and allocs/op in
-# BENCH_hotpath.json, then runs the cmd/fleetsim autoscaling comparison
-# (reactive vs predictive vs disaggregated prefill/decode) plus the 2×
-# overload-ramp admission comparison (shed on/off) into BENCH_fleet.json,
-# so successive PRs can track the perf trajectory. Invoked via `make bench`.
+# Runs the benchmark suites and records their results for the perf
+# trajectory (see ROADMAP.md "Hot path & complexity"):
+#
+#   scripts/bench.sh          # both suites (make bench)
+#   scripts/bench.sh micro    # hot-path micro-benchmarks -> BENCH_hotpath.json
+#   scripts/bench.sh fleet    # fleet-scale scenarios     -> BENCH_fleet.json
+#
+# The micro suite covers BenchmarkAdmitHotPath, BenchmarkFutureRequiredMemory,
+# BenchmarkWindowSampler, the fleet-scale BenchmarkFleetRoute series, the
+# cluster-front admission deadline heap, and the MaxPrefillTokens trim. The
+# fleet suite runs the cmd/fleetsim scenario family on one bursty ramp:
+# reactive vs predictive autoscaling, disaggregated prefill/decode, the 2×
+# overload-ramp admission comparison (shed on/off), and the heterogeneous
+# mixed-GPU fleet (cost-aware planner vs the premium flavor alone, compared
+# on CostSeconds).
 set -eu
 cd "$(dirname "$0")/.."
 
-out=BENCH_hotpath.json
-tmp=$(mktemp)
-trap 'rm -f "$tmp"' EXIT
+mode="${1:-all}"
 
-go test -run '^$' -bench 'BenchmarkAdmitHotPath|BenchmarkFutureRequiredMemory' \
-	-benchmem ./internal/core/ | tee "$tmp"
-go test -run '^$' -bench 'BenchmarkWindowSampler' \
-	-benchmem ./internal/dist/ | tee -a "$tmp"
-go test -run '^$' -bench 'BenchmarkFleetRoute|BenchmarkClusterAdmit' \
-	-benchmem ./internal/cluster/ | tee -a "$tmp"
-go test -run '^$' -bench 'BenchmarkPrefillTrim' \
-	-benchmem ./internal/engine/ | tee -a "$tmp"
+run_micro() {
+	out=BENCH_hotpath.json
+	tmp=$(mktemp)
+	trap 'rm -f "$tmp"' EXIT
 
-awk '
-BEGIN { print "["; first = 1 }
-/^Benchmark/ {
-	name = $1; ns = ""; allocs = "null"
-	for (i = 2; i <= NF; i++) {
-		if ($i == "ns/op") ns = $(i - 1)
-		if ($i == "allocs/op") allocs = $(i - 1)
+	go test -run '^$' -bench 'BenchmarkAdmitHotPath|BenchmarkFutureRequiredMemory' \
+		-benchmem ./internal/core/ | tee "$tmp"
+	go test -run '^$' -bench 'BenchmarkWindowSampler' \
+		-benchmem ./internal/dist/ | tee -a "$tmp"
+	go test -run '^$' -bench 'BenchmarkFleetRoute|BenchmarkClusterAdmit' \
+		-benchmem ./internal/cluster/ | tee -a "$tmp"
+	go test -run '^$' -bench 'BenchmarkPrefillTrim' \
+		-benchmem ./internal/engine/ | tee -a "$tmp"
+
+	awk '
+	BEGIN { print "["; first = 1 }
+	/^Benchmark/ {
+		name = $1; ns = ""; allocs = "null"
+		for (i = 2; i <= NF; i++) {
+			if ($i == "ns/op") ns = $(i - 1)
+			if ($i == "allocs/op") allocs = $(i - 1)
+		}
+		if (ns == "") next
+		if (!first) printf(",\n")
+		first = 0
+		printf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs)
 	}
-	if (ns == "") next
-	if (!first) printf(",\n")
-	first = 0
-	printf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs)
-}
-END { print "\n]" }
-' "$tmp" > "$out"
+	END { print "\n]" }
+	' "$tmp" > "$out"
 
-echo "wrote $out"
-
-# Fleet-scale SLA demo on the bursty ramp workload: reactive vs predictive
-# (Holt) autoscaling, plus the disaggregated prefill/decode cluster with
-# its dual-pool planner; then the 2× overload ramp served three ways —
-# route-on-arrival, admission hold without shedding, and deadline-aware
-# shedding — recording goodput (SLA-met completions/s) and shed rates.
-go run ./cmd/fleetsim -disagg -compare -overload -json BENCH_fleet.json
-
-# Fail loudly if the comparison did not refresh the record: a stale
-# BENCH_fleet.json would silently misreport the fleet trajectory.
-grep -q '"mode": "disaggregated-holt"' BENCH_fleet.json || {
-	echo "BENCH_fleet.json is stale: no disaggregated mode recorded" >&2
-	exit 1
+	echo "wrote $out"
 }
-grep -q '"mode": "overload-shed"' BENCH_fleet.json || {
-	echo "BENCH_fleet.json is stale: no overload shedding mode recorded" >&2
-	exit 1
+
+run_fleet() {
+	# Fleet-scale SLA demos on the bursty ramp workload: reactive vs
+	# predictive (Holt) autoscaling, the disaggregated prefill/decode
+	# cluster with its dual-pool planner, the 2× overload ramp served three
+	# ways (route-on-arrival, admission hold, deadline-aware shedding), and
+	# the heterogeneous mixed-GPU fleet judged on normalized CostSeconds.
+	go run ./cmd/fleetsim -disagg -compare -overload -hetero -json BENCH_fleet.json
+
+	# Fail loudly if the comparison did not refresh the record: a stale
+	# BENCH_fleet.json would silently misreport the fleet trajectory.
+	grep -q '"mode": "disaggregated-holt"' BENCH_fleet.json || {
+		echo "BENCH_fleet.json is stale: no disaggregated mode recorded" >&2
+		exit 1
+	}
+	grep -q '"mode": "overload-shed"' BENCH_fleet.json || {
+		echo "BENCH_fleet.json is stale: no overload shedding mode recorded" >&2
+		exit 1
+	}
+	grep -q '"mode": "hetero-cost"' BENCH_fleet.json || {
+		echo "BENCH_fleet.json is stale: no heterogeneous cost-aware mode recorded" >&2
+		exit 1
+	}
 }
+
+case "$mode" in
+all)
+	run_micro
+	run_fleet
+	;;
+micro)
+	run_micro
+	;;
+fleet)
+	run_fleet
+	;;
+*)
+	echo "usage: $0 [all|micro|fleet]" >&2
+	exit 2
+	;;
+esac
