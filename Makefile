@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check bench bench-fleet cover ci
+.PHONY: build test vet fmt-check bench bench-fleet chaos cover ci
 
 build:
 	$(GO) build ./...
@@ -36,4 +36,14 @@ bench:
 bench-fleet:
 	./scripts/bench.sh fleet
 
-ci: build vet fmt-check test
+# chaos sweeps the fault-injection suite under the race detector: randomized
+# crash/retry conservation across CHAOS_SEEDS seeds (default 5), the KV-link
+# backoff/busy-monotonicity properties, and the 4-seed faults-disabled
+# bit-identical equivalence pin. Widen with e.g. `make chaos CHAOS_SEEDS=50`.
+CHAOS_SEEDS ?= 5
+chaos:
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 \
+		-run 'TestFaultConservation|TestNoRecoveryLosesTerminally|TestCrashRecoveryWithoutAdmission|TestFaultsDisabledEquivalence|TestBackoffProperties|TestLinkBusyNeverRegresses|TestCrashEvacuatesEverything' \
+		./internal/cluster/ ./internal/kv/ ./internal/engine/
+
+ci: build vet fmt-check test chaos

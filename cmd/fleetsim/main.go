@@ -11,6 +11,7 @@
 //	fleetsim -disagg -compare         # reactive vs predictive vs disaggregated
 //	fleetsim -overload                # 2× overload ramp: admission control on/off
 //	fleetsim -hetero                  # mixed-GPU fleet: cost-aware vs premium-only
+//	fleetsim -faults                  # crash storm: no faults vs no recovery vs recovery
 //
 // The comparison mode is the paper-§7 demo the bench records in
 // BENCH_fleet.json: on a bursty workload, predictive scaling (EWMA/Holt
@@ -29,6 +30,17 @@
 // *served* requests inside the SLA and deliver more SLA-met completions
 // per second than both no-shed modes, which collapse into blown-deadline
 // completions.
+//
+// -faults is the fault-tolerance demo: a crash storm lands mid-burst on the
+// disaggregated cluster — two decode replicas and the prefill replica go
+// down for tens of seconds, a batch of KV deliveries is destroyed on the
+// wire, and a surviving decode replica degrades to 1.6× service time — and
+// the same storm runs three ways: no faults (the ceiling), faults with no
+// recovery story (orphans terminally lost, no retries), and full recovery
+// (orphans re-admitted under their original deadlines, KV-transfer retries
+// with capped backoff, N+1 spare capacity, crash-suppressed scale-in). The
+// recovery mode must beat no-recovery on both SLA-met completions per
+// second and served p99 TTFT.
 //
 // -hetero is the heterogeneous-fleet demo: the same ramp served by a mixed
 // fleet (premium A100-80G replicas plus cheaper economy replicas, RTX-4090
@@ -49,6 +61,7 @@ import (
 	"github.com/lightllm-go/lightllm/internal/cluster"
 	"github.com/lightllm-go/lightllm/internal/core"
 	"github.com/lightllm-go/lightllm/internal/engine"
+	"github.com/lightllm-go/lightllm/internal/faults"
 	"github.com/lightllm-go/lightllm/internal/hw"
 	"github.com/lightllm-go/lightllm/internal/kv"
 	"github.com/lightllm-go/lightllm/internal/metrics"
@@ -93,6 +106,12 @@ type options struct {
 	econGPU  hw.GPU
 	econR    int
 	heteroHR float64
+
+	// Fault mode: the trio's fleet size (the storm needs headroom above the
+	// burst-sized fleet for spare capacity to exist) and the decode-pool
+	// spare replicas in the recovery configuration.
+	faultR int
+	spare  int
 }
 
 func main() {
@@ -119,6 +138,8 @@ func main() {
 		overload  = flag.Bool("overload", false, "run the overload trio (no admission / admission hold / admission+shed) on a ramp peaking at overload-factor × burst")
 		overloadX = flag.Float64("overload-factor", 2, "overload: burst-rate multiplier for the overload ramp")
 		slack     = flag.Float64("slack", 1.5, "overload: admission feasibility slack, seconds (reserve for engine-side waits the floor cannot see)")
+		faultsRun = flag.Bool("faults", false, "run the fault-injection trio (no faults / crash storm without recovery / crash storm with recovery) on the disaggregated cluster")
+		faultR    = flag.Int("fault-replicas", 0, "faults: fleet size for the fault trio (0 = 2×replicas; the storm needs scale-out headroom beyond the burst-sized fleet for N+1 spares to provision)")
 		hetero    = flag.Bool("hetero", false, "run the heterogeneous-fleet duo on the same ramp: a mixed premium+economy fleet under the cost-aware planner vs the ramp forced onto the premium flavor alone")
 		econGPU   = flag.String("econ-gpu", "RTX-4090", "hetero: economy GPU flavor (A100-80G, H800, RTX-4090, A30)")
 		econR     = flag.Int("econ", 0, "hetero: economy replicas in the mixed fleet (0 = 2×replicas)")
@@ -154,9 +175,13 @@ func main() {
 		prefill: *prefillR, decodeHR: *decodeHR, linkGBps: *linkGBps, linkLat: *linkLat,
 		overloadX: *overloadX, slack: *slack,
 		econGPU: econ, econR: *econR, heteroHR: *heteroHR,
+		faultR: *faultR,
 	}
 	if opts.econR == 0 {
 		opts.econR = 2 * opts.replicas
+	}
+	if opts.faultR == 0 {
+		opts.faultR = 2 * opts.replicas
 	}
 	if opts.prefill == 0 {
 		opts.prefill = opts.replicas / 4
@@ -164,8 +189,11 @@ func main() {
 	if opts.prefill < 1 {
 		opts.prefill = 1
 	}
-	if *disagg && opts.prefill >= opts.replicas {
+	if (*disagg || *faultsRun) && opts.prefill >= opts.replicas {
 		fatal(fmt.Errorf("prefill pool (%d) must leave at least one decode replica of %d", opts.prefill, opts.replicas))
+	}
+	if *faultsRun && opts.faultR-opts.faultR/4 < 3 {
+		fatal(fmt.Errorf("fault storm needs at least 3 decode replicas, got %d", opts.faultR-opts.faultR/4))
 	}
 
 	var modes []string
@@ -180,6 +208,8 @@ func main() {
 		// -overload alone runs just the trio.
 	case *hetero:
 		// -hetero alone runs just the duo.
+	case *faultsRun:
+		// -faults alone runs just the fault trio.
 	default:
 		modes = []string{opts.scaler}
 	}
@@ -188,6 +218,9 @@ func main() {
 	}
 	if *hetero {
 		modes = append(modes, "hetero-cost", "hetero-premium")
+	}
+	if *faultsRun {
+		modes = append(modes, "faults-none", "faults-norecover", "faults-recover")
 	}
 	var rows []row
 	for _, mode := range modes {
@@ -241,16 +274,65 @@ type row struct {
 	// Heterogeneous-only field: the fleet's flavor mix, e.g.
 	// "6×A100-80G + 12×RTX-4090".
 	Flavors string `json:"flavors,omitempty"`
+
+	// Fault-injection fields (the -faults trio).
+	Crashes         int     `json:"crashes,omitempty"`
+	Orphaned        int     `json:"orphaned,omitempty"`
+	Recovered       int     `json:"recovered,omitempty"`
+	ReShed          int     `json:"re_shed,omitempty"`
+	Lost            int     `json:"lost,omitempty"`
+	TransferRetries int     `json:"transfer_retries,omitempty"`
+	RePrefills      int     `json:"re_prefills,omitempty"`
+	MTTR            float64 `json:"mean_time_to_recover_s,omitempty"`
 }
 
 // overloadMode returns the admission configuration an overload-trio mode
-// runs under, or nil for a non-overload mode.
+// runs under, or nil for a non-overload mode. The fault trio runs the full
+// shedding pipeline: recovery re-admits orphans through it, and all three
+// fault modes must share the admission story so the only delta is the
+// fault/recovery configuration itself.
 func overloadAdmission(opts options, mode string) *cluster.AdmissionConfig {
 	switch mode {
 	case "overload-admit":
 		return &cluster.AdmissionConfig{TTFTBudget: opts.sla.TTFT, Slack: opts.slack}
-	case "overload-shed":
+	case "overload-shed", "faults-none", "faults-norecover", "faults-recover":
 		return &cluster.AdmissionConfig{TTFTBudget: opts.sla.TTFT, Shed: true, Slack: opts.slack, DecodeMaxProbe: 0.9}
+	default:
+		return nil
+	}
+}
+
+// faultStorm scripts the -faults crash storm, anchored at the burst phase
+// (t0 = 2×phase): two of the decode replicas crash back-to-back for tens of
+// seconds, the prefill replica follows, six KV deliveries die on the wire,
+// and a surviving decode replica runs 1.6× slow for 20s.
+func faultStorm(opts options) faults.Script {
+	t0 := 2 * opts.phaseSec
+	return faults.Script{
+		{At: t0 + 5, Kind: faults.Crash, Pool: 1, Replica: 0, Duration: 25},
+		{At: t0 + 10, Kind: faults.Crash, Pool: 1, Replica: 1, Duration: 25},
+		{At: t0 + 15, Kind: faults.Crash, Pool: 0, Replica: 0, Duration: 10},
+		{At: t0 + 20, Kind: faults.LinkFailure, Count: 6},
+		{At: t0 + 30, Kind: faults.Slowdown, Pool: 1, Replica: 2, Duration: 20, Factor: 1.6},
+	}
+}
+
+// faultsFor returns the fault configuration a faults-trio mode runs under:
+// nil for every non-fault mode and for faults-none (the no-fault ceiling on
+// the identical cluster), the storm without a recovery story for
+// faults-norecover, and the storm plus retries/re-admission for
+// faults-recover (whose planner additionally provisions one spare decode
+// replica — set in runOne via opts.spare).
+func faultsFor(opts options, mode string) *cluster.FaultConfig {
+	switch mode {
+	case "faults-norecover":
+		return &cluster.FaultConfig{Schedule: faultStorm(opts), LinkFailRate: 0.02, Seed: opts.seed}
+	case "faults-recover":
+		return &cluster.FaultConfig{
+			Schedule: faultStorm(opts), Recover: true,
+			MaxTransferRetries: 3, RetryBackoff: 0.05, RetryBackoffCap: 0.4,
+			LinkFailRate: 0.02, Seed: opts.seed,
+		}
 	default:
 		return nil
 	}
@@ -259,6 +341,21 @@ func overloadAdmission(opts options, mode string) *cluster.AdmissionConfig {
 func runOne(opts options, csvPath string) row {
 	overloaded := strings.HasPrefix(opts.scaler, "overload-")
 	heteroMode := strings.HasPrefix(opts.scaler, "hetero-")
+	faultMode := strings.HasPrefix(opts.scaler, "faults-")
+	if faultMode {
+		// The whole trio runs on the fault-mode fleet: identical replica
+		// budgets, so the only delta between the rows is the fault/recovery
+		// configuration.
+		opts.replicas = opts.faultR
+		opts.max = opts.faultR
+		opts.prefill = opts.replicas / 4
+		if opts.prefill < 1 {
+			opts.prefill = 1
+		}
+	}
+	if opts.scaler == "faults-recover" {
+		opts.spare = 2 // N+1 redundancy is part of the recovery story
+	}
 	wopts := opts
 	if overloaded {
 		wopts.burst *= opts.overloadX // ramp past what the capped fleet serves
@@ -268,8 +365,8 @@ func runOne(opts options, csvPath string) row {
 	var history []cluster.PlanSample
 	var flavorMix string
 	switch {
-	case opts.scaler == "disaggregated" || overloaded:
-		c := buildDisagg(opts, overloadAdmission(opts, opts.scaler))
+	case opts.scaler == "disaggregated" || overloaded || faultMode:
+		c := buildDisagg(opts, overloadAdmission(opts, opts.scaler), faultsFor(opts, opts.scaler))
 		rep = c.Report(c.Serve(reqs, 1e9), opts.sla)
 		history = c.Pool(1).PlanHistory() // the decode pool dominates cost
 	case heteroMode:
@@ -309,7 +406,7 @@ func runOne(opts options, csvPath string) row {
 		Duration:       rep.Duration,
 		Flavors:        flavorMix,
 	}
-	if opts.scaler == "disaggregated" || overloaded {
+	if opts.scaler == "disaggregated" || overloaded || faultMode {
 		r.PrefillReplicas = rep.Pools[0].Replicas
 		r.DecodeReplicas = rep.Pools[1].Replicas
 		r.PrefillReplicaSeconds = rep.Pools[0].ReplicaSeconds
@@ -317,7 +414,7 @@ func runOne(opts options, csvPath string) row {
 		r.Handoffs = rep.Handoffs
 		r.MeanTransferDelay = rep.MeanTransferDelay
 	}
-	if overloaded {
+	if overloaded || faultMode {
 		r.Arrivals = len(reqs)
 		r.Shed = rep.Shed
 		r.ShedFront = rep.ShedFront
@@ -325,6 +422,16 @@ func runOne(opts options, csvPath string) row {
 		if len(reqs) > 0 {
 			r.ShedRate = float64(rep.Shed) / float64(len(reqs))
 		}
+	}
+	if faultMode {
+		r.Crashes = rep.Summary.Crashes
+		r.Orphaned = rep.Summary.Orphaned
+		r.Recovered = rep.Summary.Recovered
+		r.ReShed = rep.Summary.ReShed
+		r.Lost = rep.Summary.Lost
+		r.TransferRetries = rep.Summary.TransferRetries
+		r.RePrefills = rep.Summary.RePrefills
+		r.MTTR = rep.Summary.MeanTimeToRecover
 	}
 	// Only the cost-aware hetero mode writes its trace: the premium
 	// baseline runs after it against the same path and would overwrite the
@@ -342,8 +449,10 @@ func runOne(opts options, csvPath string) row {
 // a finite-bandwidth KV-transfer link. A non-nil admission config puts the
 // cluster-front pipeline (EDF hold + deadline shedding) in front of both
 // pools and gives every decode replica its own ingress lane, so the
-// contention-aware router can price per-destination wire queueing.
-func buildDisagg(opts options, adm *cluster.AdmissionConfig) *cluster.Cluster {
+// contention-aware router can price per-destination wire queueing. A
+// non-nil fault config arms the crash storm (opts.spare then adds N+1
+// decode redundancy on the recovery configuration).
+func buildDisagg(opts options, adm *cluster.AdmissionConfig, flt *cluster.FaultConfig) *cluster.Cluster {
 	pm := perf.MustNew(perf.Config{Model: model.Llama2_7B, Cluster: hw.NewCluster(hw.A100_80G, 1)})
 	prefill := make([]*engine.Engine, opts.prefill)
 	for i := range prefill {
@@ -373,19 +482,22 @@ func buildDisagg(opts options, adm *cluster.AdmissionConfig) *cluster.Cluster {
 		}
 	}
 	link := kv.MustNewLink(opts.linkGBps*1e9, opts.linkLat)
-	// The overload trio compares admission policies on an identical link
+	// The overload and fault trios compare policies on an identical link
 	// model: per-destination ingress lanes everywhere, so the only delta
-	// between the modes is the admission pipeline itself.
-	if strings.HasPrefix(opts.scaler, "overload-") {
+	// between the modes is the admission/recovery pipeline itself.
+	if strings.HasPrefix(opts.scaler, "overload-") || strings.HasPrefix(opts.scaler, "faults-") {
 		link.PerDestination = true
 	}
+	decodePlan := planner(len(decode), opts.decodeHR)
+	decodePlan.Spare = opts.spare
 	c, err := cluster.NewCluster(cluster.ClusterConfig{
 		Pools: []cluster.Config{
 			{Role: engine.RolePrefillOnly, Replicas: prefill, Policy: opts.policy, Planner: planner(len(prefill), opts.headroom)},
-			{Role: engine.RoleDecodeOnly, Replicas: decode, Policy: opts.policy, Planner: planner(len(decode), opts.decodeHR)},
+			{Role: engine.RoleDecodeOnly, Replicas: decode, Policy: opts.policy, Planner: decodePlan},
 		},
 		Link:      link,
 		Admission: adm,
+		Faults:    flt,
 	})
 	if err != nil {
 		fatal(err)
@@ -520,6 +632,12 @@ func printRows(opts options, rows []row) {
 		}
 	}
 	for _, r := range rows {
+		if r.Crashes > 0 {
+			fmt.Printf("%s: %d crashes (MTTR %.1fs), %d orphaned, %d recovered + %d re-shed + %d lost, %d transfer retries, %d re-prefills\n",
+				r.Mode, r.Crashes, r.MTTR, r.Orphaned, r.Recovered, r.ReShed, r.Lost, r.TransferRetries, r.RePrefills)
+		}
+	}
+	for _, r := range rows {
 		if r.Handoffs > 0 {
 			fmt.Printf("%s: %d prefill + %d decode replicas (%.0f + %.0f replica-sec), %d handoffs, mean transfer %.1f ms",
 				r.Mode, r.PrefillReplicas, r.DecodeReplicas,
@@ -567,15 +685,15 @@ func writePlanCSV(path string, samples []cluster.PlanSample) {
 	// targets is the per-flavor breakdown of target, "|"-joined in flavor
 	// order — one value for a homogeneous pool, the cost-aware placement
 	// decision itself for a mixed fleet.
-	fmt.Fprintln(fl, "at_s,rate,isl,osl,pred_rate,target,active,corr_ttft,corr_tpot,targets")
+	fmt.Fprintln(fl, "at_s,rate,isl,osl,pred_rate,target,active,corr_ttft,corr_tpot,shed,crashes,targets")
 	for _, s := range samples {
 		parts := make([]string, len(s.Targets))
 		for i, t := range s.Targets {
 			parts[i] = fmt.Sprintf("%d", t)
 		}
-		fmt.Fprintf(fl, "%.1f,%.3f,%.1f,%.1f,%.3f,%d,%d,%.3f,%.3f,%s\n",
+		fmt.Fprintf(fl, "%.1f,%.3f,%.1f,%.1f,%.3f,%d,%d,%.3f,%.3f,%d,%d,%s\n",
 			s.At, s.Rate, s.ISL, s.OSL, s.PredRate, s.Target, s.Active, s.CorrTTFT, s.CorrTPOT,
-			strings.Join(parts, "|"))
+			s.Shed, s.Crashes, strings.Join(parts, "|"))
 	}
 	fmt.Println("wrote", path)
 }

@@ -64,6 +64,12 @@ type Handoff struct {
 	// DeliveredAt is when the transfer landed on the decode side. The
 	// difference is the simulated transfer delay (queueing included).
 	PrefillDoneAt, DeliveredAt float64
+	// Retries counts failed deliveries of this handoff that were re-booked
+	// on the link (fault injection); 0 on a healthy wire.
+	Retries int
+
+	// bytes is the booked transfer size, kept for fault-injected re-bookings.
+	bytes int64
 }
 
 // ClusterConfig configures a Cluster.
@@ -86,6 +92,10 @@ type ClusterConfig struct {
 	// OnHandoff, when non-nil, observes every completed KV migration at its
 	// delivery time.
 	OnHandoff func(h Handoff)
+	// Faults enables deterministic fault injection and recovery (faults.go).
+	// nil — or an empty schedule — leaves the cluster bit-identical to the
+	// pre-fault path.
+	Faults *FaultConfig
 }
 
 // Cluster composes role-aware pools behind one event min-heap — the single
@@ -109,6 +119,7 @@ type Cluster struct {
 	handoffs           []Handoff
 
 	adm *admission
+	flt *faultState
 
 	started bool
 	startAt float64
@@ -163,6 +174,17 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			return nil, err
 		}
 		c.adm = adm
+	}
+	if cfg.Faults != nil {
+		sizes := make([]int, len(c.pools))
+		for i, p := range c.pools {
+			sizes[i] = len(p.reps)
+		}
+		flt, err := newFaultState(*cfg.Faults, sizes)
+		if err != nil {
+			return nil, err
+		}
+		c.flt = flt
 	}
 	return c, nil
 }
@@ -322,6 +344,7 @@ func (c *Cluster) start(t float64) {
 			c.ensureStepEvent(p, rep)
 		}
 	}
+	c.armFaultEvents()
 }
 
 // finish closes replica-seconds accounting at the cluster's end time and
@@ -344,7 +367,9 @@ func (c *Cluster) finish(deadline float64) {
 	}
 	for _, p := range c.pools {
 		for _, rep := range p.reps {
-			if rep.active {
+			// A replica still under repair at the end accrues nothing: its
+			// span was closed at the crash.
+			if rep.active && !rep.down {
 				span := c.endAt - rep.activeAt
 				if span > 0 {
 					rep.activeSecs += span
@@ -373,6 +398,9 @@ func (c *Cluster) handle(ev event) {
 	case evStep:
 		rep := p.reps[ev.rep]
 		rep.inHeap = false
+		if rep.down {
+			return // stale step on a crashed replica; recovery re-arms
+		}
 		rep.eng.Step()
 		// Invalidate unconditionally: a Step returning false can still have
 		// mutated state (queue-timeout drops run before the drained check).
@@ -392,9 +420,9 @@ func (c *Cluster) handle(ev event) {
 		}
 	case evActivate:
 		rep := p.reps[ev.rep]
-		// Stale activations (the replica was scaled back in, or re-armed
-		// with a different wake time) are ignored.
-		if rep.active && !rep.awake && rep.wakeAt == ev.at {
+		// Stale activations (the replica was scaled back in, re-armed with a
+		// different wake time, or crashed while activating) are ignored.
+		if rep.active && !rep.awake && !rep.down && rep.wakeAt == ev.at {
 			rep.awake = true
 			p.rebuildAccepting()
 			if c.adm != nil {
@@ -423,6 +451,16 @@ func (c *Cluster) handle(ev event) {
 		if c.anyBusy() {
 			p.scheduleTick(ev.at + p.tickInterval())
 		}
+	case evCrash:
+		c.crashReplica(ev)
+	case evRecover:
+		c.recoverReplica(ev)
+	case evSlow:
+		c.slowReplica(ev)
+	case evSlowEnd:
+		c.slowEnd(ev)
+	case evXferRetry:
+		c.retryHandoff(ev)
 	}
 }
 
@@ -451,6 +489,25 @@ func (c *Cluster) issueHandoff(ev event) {
 	// in a homogeneous one.
 	bytes := int64(r.Footprint()) * c.pools[c.entry].reps[ev.rep].eng.KVBytesPerToken()
 	rep, deliverAt := c.pickDecode(ev.at, r, bytes, dp)
+	if c.flt != nil && rep.down {
+		// Every decode replica is down (the pick fell through to the crashed
+		// fallback). The wire never carries a transfer to a crashed
+		// destination: without recovery the request is lost here; with it,
+		// the booking defers to the destination's repair, where the retry
+		// re-picks and prices normally.
+		if !c.flt.cfg.Recover {
+			r.MarkFailed()
+			c.flt.lost = append(c.flt.lost, r)
+			return
+		}
+		c.handoffs = append(c.handoffs, Handoff{
+			Req: r, FromReplica: ev.rep, ToReplica: -1,
+			PrefillDoneAt: ev.at, DeliveredAt: -1,
+			bytes: bytes,
+		})
+		c.pushEvent(event{at: rep.repairAt, kind: evXferRetry, pool: c.decode, rep: len(c.handoffs) - 1, req: r})
+		return
+	}
 	if c.adm != nil && c.adm.cfg.Shed && r.TTFTDeadline > 0 && deliverAt > r.TTFTDeadline {
 		c.adm.shed(ev.at, r, shedBoundary)
 		return
@@ -463,6 +520,7 @@ func (c *Cluster) issueHandoff(ev event) {
 	c.handoffs = append(c.handoffs, Handoff{
 		Req: r, FromReplica: ev.rep, ToReplica: rep.idx,
 		PrefillDoneAt: ev.at, DeliveredAt: deliverAt,
+		bytes: bytes,
 	})
 	c.pushEvent(event{at: deliverAt, kind: evDeliver, pool: c.decode, rep: len(c.handoffs) - 1, req: r})
 }
@@ -540,6 +598,18 @@ func (c *Cluster) expectedDelivery(now float64, bytes int64, dst int) float64 {
 // is re-routed on landing.
 func (c *Cluster) deliver(ev event) {
 	r := ev.req
+	if c.flt != nil {
+		if c.flt.failsDelivery(ev.at) {
+			c.failDelivery(ev) // the transfer died on the wire
+			return
+		}
+		if c.pools[c.decode].reps[c.handoffs[ev.rep].ToReplica].down {
+			// The destination crashed while the transfer was in flight: the
+			// KV landed nowhere. A failed delivery, not a free re-route.
+			c.failDelivery(ev)
+			return
+		}
+	}
 	r.RecordMigration(ev.at)
 	dp := c.pools[c.decode]
 	if dp.plan != nil {
@@ -581,9 +651,10 @@ func (c *Cluster) deliver(ev event) {
 	}
 }
 
-// ensureStepEvent inserts a step event for a busy replica that has none.
+// ensureStepEvent inserts a step event for a busy replica that has none. A
+// crashed replica steps nothing until repaired — recovery re-arms it.
 func (c *Cluster) ensureStepEvent(p *Pool, rep *replica) {
-	if rep.inHeap || rep.eng.Idle() {
+	if rep.down || rep.inHeap || rep.eng.Idle() {
 		return
 	}
 	rep.inHeap = true

@@ -55,9 +55,31 @@ const (
 	evDeliver
 	evPlan
 	evStep
-	// evRetry sorts last so a same-instant activation, delivery, or step
-	// has already exposed its capacity when the held queue re-examines.
+	// evRetry sorts after the kinds above so a same-instant activation,
+	// delivery, or step has already exposed its capacity when the held queue
+	// re-examines.
 	evRetry
+	// Fault-injection kinds (faults.go). Appended after the pre-fault kinds
+	// so every same-instant ordering above is untouched — a run with no
+	// faults scheduled is event-for-event identical to the pre-fault heap.
+	// A crash at the same instant as a step lands after the step: the
+	// iteration that was already executing when the machine died still
+	// completes (its effects were in flight), the next one does not.
+	//
+	//   - evCrash / evRecover: a replica fails at its scheduled instant and
+	//     rejoins when its repair span elapses. ev.rep indexes the fault
+	//     schedule (which names pool + replica), not a replica.
+	//   - evSlow / evSlowEnd: a transient service-time degradation starts /
+	//     clears. ev.rep indexes the fault schedule.
+	//   - evXferRetry: a failed KV delivery re-books on the link after its
+	//     backoff. Deferred to an event — like evXfer — so the link sees
+	//     bookings in nondecreasing issue-time order. ev.rep is the handoff
+	//     index, as for evDeliver.
+	evCrash
+	evRecover
+	evSlow
+	evSlowEnd
+	evXferRetry
 )
 
 type event struct {

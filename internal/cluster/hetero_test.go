@@ -324,7 +324,7 @@ type decisionTrace struct {
 	report   string
 }
 
-func runSeamScenario(seed uint64, homogeneous bool) decisionTrace {
+func runSeamScenario(seed uint64, homogeneous bool, flt *FaultConfig) decisionTrace {
 	var tr decisionTrace
 	onRoute := func(pool int) func(r *request.Request, rep int) {
 		return func(r *request.Request, rep int) {
@@ -351,6 +351,7 @@ func runSeamScenario(seed uint64, homogeneous bool) decisionTrace {
 		},
 		Link:      kv.MustNewLink(50e9, 0.002),
 		Admission: &AdmissionConfig{TTFTBudget: sla.TTFT, Shed: true, Slack: 0.5},
+		Faults:    flt,
 	})
 	results := c.Serve(poissonReqs(350, 60, seed), 1e9)
 	for _, s := range c.ShedRequests() {
@@ -377,8 +378,8 @@ func TestSingleFlavorMatchesHomogeneous(t *testing.T) {
 	for seed := uint64(1); seed <= 4; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			flavored := runSeamScenario(seed, false)
-			reference := runSeamScenario(seed, true)
+			flavored := runSeamScenario(seed, false, nil)
+			reference := runSeamScenario(seed, true, nil)
 			compare := func(kind string, got, want []string) {
 				if len(got) != len(want) {
 					t.Fatalf("%s counts differ: flavored %d, reference %d", kind, len(got), len(want))

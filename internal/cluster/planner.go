@@ -45,6 +45,12 @@ type PlannerConfig struct {
 	// always immediate: under-provisioning breaks the SLA, a spare replica
 	// only costs replica-seconds). 0 selects 2.
 	ScaleInPatience int
+	// Spare provisions N extra replicas beyond the forecast-sized fleet
+	// (N+1 redundancy against replica crashes): a crash then removes spare
+	// capacity instead of tearing a hole in the SLA-sized fleet while the
+	// repair and re-activation delay elapse. Filled cheapest-flavor first,
+	// capped at Max. 0 (the default) disables it.
+	Spare int
 }
 
 func (c PlannerConfig) withDefaults() PlannerConfig {
@@ -73,6 +79,9 @@ func (c PlannerConfig) validate(replicas int) error {
 	if c.Headroom < 0 || c.Headroom > 1 {
 		return fmt.Errorf("cluster: planner headroom %v outside (0,1]", c.Headroom)
 	}
+	if c.Spare < 0 {
+		return fmt.Errorf("cluster: negative planner spare count %d", c.Spare)
+	}
 	return nil
 }
 
@@ -91,6 +100,12 @@ type PlanSample struct {
 	// shedding interval suppresses scale-in (the fleet is refusing work;
 	// shrinking it would be self-fulfilling).
 	Shed int
+	// Crashes counts replica crashes in this pool during the closed
+	// interval. A crashing interval suppresses scale-in like a shedding one:
+	// the observed rate dipped because capacity died mid-interval, not
+	// because demand did, and the repaired replica is about to need its
+	// slot back.
+	Crashes int
 	// Targets breaks Target down per flavor (flavor order; length 1 for a
 	// homogeneous pool) — the cost-aware placement decision itself.
 	Targets []int
@@ -119,6 +134,7 @@ type planner struct {
 	sumTTFT  float64
 	sumTPOT  float64
 	sheds    int
+	crashes  int
 
 	// Correction factors: smoothed observed/interpolated latency ratios
 	// from past intervals, used to divide the SLA targets — if the fleet
@@ -188,6 +204,11 @@ func (p *planner) observeFinish(generated int, ttft, tpot float64) {
 // serve inside the SLA.
 func (p *planner) observeShed() { p.sheds++ }
 
+// observeCrash accounts one replica crash in this pool — the
+// failure-awareness signal: the interval's observed throughput understates
+// demand, and scale-in decisions based on it would be wrong twice over.
+func (p *planner) observeCrash() { p.crashes++ }
+
 // correctionSmoothing blends the latest observed/predicted ratio into the
 // running correction factor; corrections are clamped to [0.25, 4] so one
 // anomalous interval cannot swing the fleet to a bound.
@@ -246,6 +267,25 @@ func (p *planner) tick(now float64, activeByFlavor []int) []int {
 	for _, t := range targets {
 		total += t
 	}
+	// N+1 redundancy: top the forecast-sized fleet up with Spare extra
+	// replicas, cheapest flavor first (p.order is cost-ranked by
+	// sizeTargets; zero — flavor 0 — on the homogeneous path, where there
+	// is nothing to rank). The spares are part of the standing target, so
+	// the patience logic below treats losing one as shrinking.
+	for s := 0; s < p.cfg.Spare && total < p.cfg.Max; s++ {
+		added := false
+		for _, fi := range p.order {
+			if targets[fi] < len(p.flavors[fi].reps) {
+				targets[fi]++
+				total++
+				added = true
+				break
+			}
+		}
+		if !added {
+			break
+		}
+	}
 	// Scale-out is immediate; scale-in waits for ScaleInPatience
 	// consecutive shrinking evaluations so a one-interval lull (or a noisy
 	// forecast at a phase boundary) cannot flap the fleet down right
@@ -261,6 +301,8 @@ func (p *planner) tick(now float64, activeByFlavor []int) []int {
 	// pool is not over-provisioned, whatever the rate forecast says.
 	sheds := p.sheds
 	p.sheds = 0
+	crashes := p.crashes
+	p.crashes = 0
 	shrinking := false
 	for i, t := range targets {
 		if t < activeByFlavor[i] {
@@ -270,7 +312,7 @@ func (p *planner) tick(now float64, activeByFlavor []int) []int {
 	}
 	if shrinking {
 		hold := false
-		if sheds > 0 {
+		if sheds > 0 || crashes > 0 {
 			p.belowFor = 0
 			hold = true
 		} else {
@@ -311,6 +353,7 @@ func (p *planner) tick(now float64, activeByFlavor []int) []int {
 		At: now, Rate: rate, ISL: isl, OSL: osl, PredRate: predRate,
 		Target: total, Active: active, CorrTTFT: p.corrTTFT, CorrTPOT: p.corrTPOT,
 		Shed:    sheds,
+		Crashes: crashes,
 		Targets: append([]int(nil), targets...),
 	})
 	return targets

@@ -163,6 +163,9 @@ type replica struct {
 	awake    bool    // activation delay elapsed; eligible for traffic
 	draining bool    // scaling in: no new traffic, retires when drained
 	wakeAt   float64 // activation time of the pending/last activation
+	down     bool    // crashed, under repair (fault injection); unroutable
+	downAt   float64 // when the current down span began
+	repairAt float64 // when the current repair completes (valid while down)
 
 	routed    int
 	inHeap    bool // a step event for this replica is in the event heap
@@ -351,7 +354,7 @@ func (p *Pool) activeByFlavor() []int {
 	for i, f := range p.flavors {
 		n := 0
 		for _, rep := range f.reps {
-			if rep.active && !rep.draining {
+			if rep.active && !rep.draining && !rep.down {
 				n++
 			}
 		}
@@ -376,10 +379,12 @@ func (p *Pool) RoutedCounts() []int {
 func (p *Pool) ScaleEvents() (out, in int) { return p.scaleUps, p.scaleIns }
 
 // ActiveReplicas returns the number of provisioned, non-draining replicas.
+// A crashed replica under repair does not count: it serves nothing, and the
+// planner's view of the fleet must see the capacity hole the crash tore.
 func (p *Pool) ActiveReplicas() int {
 	n := 0
 	for _, rep := range p.reps {
-		if rep.active && !rep.draining {
+		if rep.active && !rep.draining && !rep.down {
 			n++
 		}
 	}
@@ -472,7 +477,7 @@ func (p *Pool) scheduleTick(at float64) {
 func (p *Pool) rebuildAccepting() {
 	p.accepting = p.accepting[:0]
 	for _, rep := range p.reps {
-		if rep.active && rep.awake && !rep.draining {
+		if rep.active && rep.awake && !rep.draining && !rep.down {
 			p.accepting = append(p.accepting, rep)
 		}
 	}
@@ -480,8 +485,16 @@ func (p *Pool) rebuildAccepting() {
 
 // fallbackReplica is the no-accepting-replica escape hatch: every
 // provisioned replica is still activating (or draining), so fall back to
-// the first active one — traffic is never dropped by the pool itself.
+// the first active one — traffic is never dropped by the pool itself. A
+// crashed replica is the last resort of the last resort: only when every
+// replica is down does the pool hand one back (work routed to it waits out
+// the repair; recovery re-arms its step events).
 func (p *Pool) fallbackReplica() *replica {
+	for _, rep := range p.reps {
+		if rep.active && !rep.down {
+			return rep
+		}
+	}
 	for _, rep := range p.reps {
 		if rep.active {
 			return rep
@@ -643,7 +656,11 @@ func (p *Pool) ensureEst(rep *replica) {
 }
 
 // reactiveScale applies the high/low-water policy on the mean predicted
-// load of the accepting replicas (the original router's autoscaler).
+// load of the accepting replicas (the original router's autoscaler). On a
+// heterogeneous pool the choice of *which* replica is cost-aware: scale-out
+// buys the cheapest cold flavor, scale-in sheds the worst cost-per-goodput
+// drained replica. Homogeneous pools reduce to the original index-order
+// policy (all costs tie, and ties keep the pre-flavor pick).
 func (p *Pool) reactiveScale(now float64) {
 	sc := p.cfg.Scale
 	if len(p.accepting) == 0 {
@@ -655,27 +672,57 @@ func (p *Pool) reactiveScale(now float64) {
 	}
 	mean := loadSum / float64(len(p.accepting))
 	if mean > sc.HighWater && p.ActiveReplicas() < sc.Max {
-		for _, rep := range p.reps {
-			if !rep.active {
-				p.activate(rep, now, sc.ActivationDelay)
-				break
-			}
+		if rep := p.cheapestCold(); rep != nil {
+			p.activate(rep, now, sc.ActivationDelay)
 		}
 		return
 	}
 	if mean < sc.LowWater && p.ActiveReplicas() > sc.Min {
-		// Deactivate the last active, fully drained replica. Idle() (not
-		// just empty queue+batch) so a replica with a routed arrival still
-		// in its arrival heap keeps its replica-seconds clock running.
-		for i := len(p.reps) - 1; i >= 0; i-- {
-			rep := p.reps[i]
-			if rep.active && p.drained(rep) {
-				p.scaleIns++
-				p.retire(rep, now)
-				break
-			}
+		// Deactivate a fully drained replica. Idle() (not just empty
+		// queue+batch) so a replica with a routed arrival still in its
+		// arrival heap keeps its replica-seconds clock running.
+		if rep := p.costliestDrained(); rep != nil {
+			p.scaleIns++
+			p.retire(rep, now)
 		}
 	}
+}
+
+// cheapestCold returns the cold replica with the lowest flavor cost weight
+// (ties: lowest index, the pre-flavor order), or nil when every replica is
+// provisioned or down.
+func (p *Pool) cheapestCold() *replica {
+	var best *replica
+	for _, rep := range p.reps {
+		if rep.active || rep.down {
+			continue
+		}
+		if best == nil || rep.flv.cost < best.flv.cost {
+			best = rep
+		}
+	}
+	return best
+}
+
+// costliestDrained returns the active, fully drained replica with the
+// highest cost per unit of role-relevant throughput — flavor cost weight
+// over relative speed — so reactive scale-in sheds the least
+// cost-effective capacity first. Ties keep the highest index, the
+// pre-flavor pick. nil when nothing is drained.
+func (p *Pool) costliestDrained() *replica {
+	var best *replica
+	var bestRatio float64
+	for i := len(p.reps) - 1; i >= 0; i-- {
+		rep := p.reps[i]
+		if !rep.active || rep.down || !p.drained(rep) {
+			continue
+		}
+		ratio := rep.flv.cost / rep.flv.relSpeed
+		if best == nil || ratio > bestRatio {
+			best, bestRatio = rep, ratio
+		}
+	}
+	return best
 }
 
 // applyTargets moves the pool toward the planner's per-flavor replica
@@ -694,7 +741,7 @@ func (p *Pool) applyTargets(now float64, targets []int) {
 func (p *Pool) applyTarget(now float64, target int, reps []*replica) {
 	active := 0
 	for _, rep := range reps {
-		if rep.active && !rep.draining {
+		if rep.active && !rep.draining && !rep.down {
 			active++
 		}
 	}
@@ -715,7 +762,7 @@ func (p *Pool) applyTarget(now float64, target int, reps []*replica) {
 		}
 		var cold *replica
 		for _, rep := range reps {
-			if !rep.active {
+			if !rep.active && !rep.down {
 				cold = rep
 				break
 			}
@@ -755,13 +802,13 @@ func (p *Pool) drained(rep *replica) bool {
 func (p *Pool) scaleInVictim(reps []*replica) *replica {
 	for i := len(reps) - 1; i >= 0; i-- {
 		rep := reps[i]
-		if rep.active && !rep.draining && p.drained(rep) {
+		if rep.active && !rep.draining && !rep.down && p.drained(rep) {
 			return rep
 		}
 	}
 	for i := len(reps) - 1; i >= 0; i-- {
 		rep := reps[i]
-		if rep.active && !rep.draining {
+		if rep.active && !rep.draining && !rep.down {
 			return rep
 		}
 	}
@@ -787,7 +834,8 @@ func (p *Pool) activate(rep *replica, now, delay float64) {
 }
 
 // retire closes a replica's active span (scale-in decision already
-// counted).
+// counted). A crashed replica's span was already closed at the crash, and
+// its repair time is never billed.
 func (p *Pool) retire(rep *replica, now float64) {
 	if !rep.active {
 		return
@@ -795,8 +843,23 @@ func (p *Pool) retire(rep *replica, now float64) {
 	rep.active = false
 	rep.awake = false
 	rep.draining = false
-	if span := now - rep.activeAt; span > 0 {
-		rep.activeSecs += span
+	if !rep.down {
+		if span := now - rep.activeAt; span > 0 {
+			rep.activeSecs += span
+		}
 	}
 	p.rebuildAccepting()
+}
+
+// activationDelay is the pool's configured activation delay (from the SLA
+// planner or the reactive policy; 0 without an autoscaler). It is also the
+// re-activation price a repaired replica pays before accepting traffic.
+func (p *Pool) activationDelay() float64 {
+	if p.cfg.Planner != nil {
+		return p.cfg.Planner.ActivationDelay
+	}
+	if p.cfg.Scale != nil {
+		return p.cfg.Scale.ActivationDelay
+	}
+	return 0
 }

@@ -87,6 +87,31 @@ func (c *Cluster) Report(results []*engine.Result, sla metrics.SLA) Report {
 		sum.AddShed(c.adm.shedList, c.startAt, end)
 	}
 	sum.CostSeconds = c.CostSeconds()
+	if c.flt != nil {
+		sum.AddLost(c.flt.lost)
+		sum.Crashes = c.flt.crashes
+		sum.Orphaned = c.flt.orphaned
+		sum.TransferRetries = c.flt.transferRetries
+		sum.RePrefills = c.flt.rePrefills
+		if c.flt.recovered > 0 {
+			sum.MeanTimeToRecover = c.flt.downSum / float64(c.flt.recovered)
+		}
+		// Recovered/ReShed are per-request outcomes: a retried request
+		// (Retries > 0) either finished somewhere or was shed the second
+		// time around.
+		for _, r := range finished {
+			if r.Retries > 0 {
+				sum.Recovered++
+			}
+		}
+		if c.adm != nil {
+			for _, r := range c.adm.shedList {
+				if r.Retries > 0 {
+					sum.ReShed++
+				}
+			}
+		}
+	}
 	r := Report{
 		Summary:        sum,
 		ReplicaSeconds: c.ReplicaSeconds(),
@@ -121,11 +146,16 @@ func (c *Cluster) Report(results []*engine.Result, sla metrics.SLA) Report {
 		})
 	}
 	var delay float64
+	delivered := 0
 	for _, h := range c.handoffs {
+		if h.DeliveredAt < 0 {
+			continue // deferred by a fault and never booked
+		}
 		delay += h.DeliveredAt - h.PrefillDoneAt
+		delivered++
 	}
-	if len(c.handoffs) > 0 {
-		r.MeanTransferDelay = delay / float64(len(c.handoffs))
+	if delivered > 0 {
+		r.MeanTransferDelay = delay / float64(delivered)
 	}
 	return r
 }

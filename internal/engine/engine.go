@@ -260,6 +260,13 @@ type Engine struct {
 	admitRetries    int
 	released        bool // a request left the engine during the last Step
 
+	// slow is the transient service-time multiplier for fault-injected
+	// degradation (thermal throttling, noisy neighbors): every iteration
+	// duration is scaled by it. 1 = healthy; the cluster's fault layer sets
+	// and clears it. Kept exactly 1 when no fault is active so healthy runs
+	// are bit-identical to the pre-fault engine.
+	slow float64
+
 	staticBatch []*request.Request // StaticBatch mode: the batch in flight
 }
 
@@ -309,6 +316,7 @@ func New(cfg Config) (*Engine, error) {
 		pool:    kv.NewPool(capacity, cfg.BlockSize),
 		history: dist.NewWindow(cfg.HistoryWindow),
 		sched:   cfg.Scheduler,
+		slow:    1,
 	}
 	if cfg.ClassHistory {
 		e.classHist = map[string]*dist.Window{}
@@ -579,6 +587,80 @@ func (e *Engine) SubmitAll(rs []*request.Request) {
 		e.arrivals = append(e.arrivals, arrivalItem{r: r, at: r.ArrivalTime, seq: e.seq})
 	}
 	e.arrivals.init()
+}
+
+// SetSlowFactor sets the transient service-time multiplier. 1 restores
+// healthy timing; values above 1 model a degraded replica whose observed
+// iteration latency drifts away from the perf model's prediction (the
+// cluster planner's correction factors are how the fleet notices).
+func (e *Engine) SetSlowFactor(f float64) {
+	if f <= 0 {
+		panic(fmt.Sprintf("engine: non-positive slow factor %v", f))
+	}
+	e.slow = f
+}
+
+// SlowFactor returns the current service-time multiplier.
+func (e *Engine) SlowFactor() float64 { return e.slow }
+
+// scaled applies the degradation multiplier to one iteration duration.
+func (e *Engine) scaled(dur float64) float64 {
+	if e.slow != 1 {
+		return dur * e.slow
+	}
+	return dur
+}
+
+// Crash evacuates the engine after a replica failure: the KV pool's contents
+// are lost, so every request it holds — queued, running, mid-prefill, in the
+// static batch, or still in the arrival heap — is pulled out and returned to
+// the caller as orphans, with its KV allocation freed. The engine ends empty
+// (Idle) and its clock untouched; the cluster layer decides each orphan's
+// fate (re-admission with ResetForRetry, or a terminal loss without
+// recovery). No engine counters or hooks fire: the work evaporated, it did
+// not complete, time out, or fail in the engine-semantics sense.
+func (e *Engine) Crash() []*request.Request {
+	orphans := make([]*request.Request, 0,
+		e.queue.Len()+len(e.running)+len(e.prefilling)+len(e.staticBatch)+e.arrivals.Len())
+	e.queue.Filter(
+		func(*request.Request) bool { return false },
+		func(r *request.Request) { orphans = append(orphans, r) },
+	)
+	for _, r := range e.running {
+		e.pool.Free(r.ID)
+		orphans = append(orphans, r)
+	}
+	e.running = e.running[:0]
+	for _, p := range e.prefilling {
+		if e.pool.Allocated(p.req.ID) {
+			e.pool.Free(p.req.ID)
+		}
+		orphans = append(orphans, p.req)
+	}
+	e.prefilling = e.prefilling[:0]
+	for _, r := range e.staticBatch {
+		if e.pool.Allocated(r.ID) {
+			e.pool.Free(r.ID)
+		}
+		orphans = append(orphans, r)
+	}
+	e.staticBatch = e.staticBatch[:0]
+	for e.arrivals.Len() > 0 {
+		orphans = append(orphans, e.arrivals.pop().r)
+	}
+	e.pendingSwapIn = 0
+	e.admitRetries = 0
+	return orphans
+}
+
+// SyncClock advances the engine clock to at least t without executing any
+// work. A repaired replica resumes simulated time at its recovery instant:
+// its pre-crash clock would otherwise let requests routed to it during the
+// outage execute in the past.
+func (e *Engine) SyncClock(t float64) {
+	if t > e.clock {
+		e.clock = t
+	}
 }
 
 // Idle reports whether the engine has nothing to do now or in the future.

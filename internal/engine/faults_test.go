@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/lightllm-go/lightllm/internal/core"
+	"github.com/lightllm-go/lightllm/internal/request"
+)
+
+// TestCrashEvacuatesEverything: a crash mid-run returns every request the
+// engine holds — running, queued, and future arrivals — leaves the KV pool
+// empty, and the engine idle. No finish/drop hooks fire: the cluster layer
+// decides the orphans' fate.
+func TestCrashEvacuatesEverything(t *testing.T) {
+	e := newEngine(t, core.NewOracle(), 4000)
+	var hooks int
+	e.AddFinishHook(func(float64, *request.Request) { hooks++ })
+	e.AddDropHook(func(float64, *request.Request) { hooks++ })
+	e.AddFailHook(func(float64, *request.Request) { hooks++ })
+
+	// Enough work that some is running, some queued, and one arrival is
+	// still in the future when the crash lands.
+	reqs := mkReqs(12, 400, 50, 100)
+	e.SubmitAll(reqs)
+	late := request.New(99, 100, 10, 50, 1e6) // arrival far beyond the crash
+	e.Submit(late)
+	for i := 0; i < 5 && e.Step(); i++ {
+	}
+	if e.Idle() {
+		t.Fatal("engine drained before the crash; scenario exercises nothing")
+	}
+
+	orphans := e.Crash()
+	if len(orphans) != 13 {
+		t.Fatalf("crash returned %d orphans, want 13", len(orphans))
+	}
+	seen := map[int64]bool{}
+	for _, r := range orphans {
+		if seen[r.ID] {
+			t.Fatalf("request %d evacuated twice", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Outcome != request.OutcomePending {
+			t.Fatalf("orphan %d outcome %v, want pending", r.ID, r.Outcome)
+		}
+	}
+	if !seen[late.ID] {
+		t.Fatal("future arrival not evacuated")
+	}
+	if !e.Idle() {
+		t.Fatal("engine not idle after crash")
+	}
+	if used := e.Pool().UsedTokens(); used != 0 {
+		t.Fatalf("crashed engine leaked %d KV tokens", used)
+	}
+	if err := e.Pool().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if hooks != 0 {
+		t.Fatalf("%d hooks fired during crash, want 0", hooks)
+	}
+
+	// The evacuated requests re-run cleanly after ResetForRetry — the
+	// recovery path's contract.
+	e2 := newEngine(t, core.NewOracle(), 8000)
+	for _, r := range orphans {
+		r.ResetForRetry()
+		e2.SubmitAt(r, e.Clock())
+	}
+	res := e2.Run()
+	if len(res.Finished) != len(orphans) {
+		t.Fatalf("re-run finished %d of %d orphans", len(res.Finished), len(orphans))
+	}
+	for _, r := range res.Finished {
+		if r.Retries != 1 {
+			t.Fatalf("request %d retries %d, want 1", r.ID, r.Retries)
+		}
+	}
+}
+
+// TestSlowFactorScalesServiceTime: a degraded engine takes exactly factor×
+// the simulated time of a healthy one over the same workload, and clearing
+// the factor restores the healthy timing. Factor 1 is the bit-exact
+// zero-cost default.
+func TestSlowFactorScalesServiceTime(t *testing.T) {
+	run := func(factor float64) float64 {
+		e := newEngine(t, core.NewOracle(), 4000)
+		if factor != 1 {
+			e.SetSlowFactor(factor)
+		}
+		e.SubmitAll(mkReqs(6, 300, 40, 100))
+		e.Run()
+		return e.Clock()
+	}
+	healthy := run(1)
+	slowed := run(1.5)
+	if want := healthy * 1.5; !almostEq(slowed, want) {
+		t.Fatalf("slowed run took %v, want exactly 1.5× healthy %v = %v", slowed, healthy, want)
+	}
+
+	e := newEngine(t, core.NewOracle(), 4000)
+	if e.SlowFactor() != 1 {
+		t.Fatalf("default slow factor %v, want exactly 1", e.SlowFactor())
+	}
+	e.SetSlowFactor(2)
+	e.SetSlowFactor(1)
+	e.SubmitAll(mkReqs(6, 300, 40, 100))
+	e.Run()
+	if !almostEq(e.Clock(), healthy) {
+		t.Fatalf("cleared slowdown run took %v, want healthy %v", e.Clock(), healthy)
+	}
+}
+
+func TestSetSlowFactorRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive slow factor accepted")
+		}
+	}()
+	newEngine(t, core.NewOracle(), 1000).SetSlowFactor(0)
+}
+
+// TestSyncClockOnlyAdvances: recovery must never rewind a repaired engine.
+func TestSyncClockOnlyAdvances(t *testing.T) {
+	e := newEngine(t, core.NewOracle(), 1000)
+	e.SyncClock(5)
+	if e.Clock() != 5 {
+		t.Fatalf("clock %v after sync to 5", e.Clock())
+	}
+	e.SyncClock(3)
+	if e.Clock() != 5 {
+		t.Fatalf("clock %v, SyncClock rewound it", e.Clock())
+	}
+}
+
+func almostEq(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

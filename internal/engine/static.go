@@ -69,7 +69,7 @@ func (e *Engine) formStaticBatch() bool {
 	}
 	// Padded prefill: compute cost covers maxIn tokens per request. First
 	// tokens are emitted by the following decode steps.
-	dur := e.cfg.Perf.PrefillTime(maxIn * len(e.staticBatch))
+	dur := e.scaled(e.cfg.Perf.PrefillTime(maxIn * len(e.staticBatch)))
 	e.clock += dur
 	e.prefillIters++
 	e.observe(e.clock)
@@ -82,7 +82,7 @@ func (e *Engine) formStaticBatch() bool {
 func (e *Engine) stepStaticDecode() bool {
 	n := len(e.staticBatch)
 	kvTokens := e.pool.UsedTokens() + n
-	dur := e.cfg.Perf.DecodeTime(n, kvTokens)
+	dur := e.scaled(e.cfg.Perf.DecodeTime(n, kvTokens))
 	e.clock += dur
 	e.decodeSteps++
 	allDone := true

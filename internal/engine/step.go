@@ -279,7 +279,7 @@ func (e *Engine) runPrefill(admitted []*request.Request) {
 		}
 		promptTokens += r.Footprint() // recompute re-encodes generated tokens
 	}
-	dur := e.cfg.Perf.PrefillTime(promptTokens) + e.cfg.Perf.SwapTime(swapTokens)
+	dur := e.scaled(e.cfg.Perf.PrefillTime(promptTokens) + e.cfg.Perf.SwapTime(swapTokens))
 	e.clock += dur
 	e.prefillIters++
 	if e.cfg.Role == RolePrefillOnly {
@@ -332,7 +332,7 @@ func (e *Engine) runDecode() {
 	}
 	n := len(e.running)
 	kvTokens := e.pool.UsedTokens() + n
-	dur := e.cfg.Perf.DecodeTime(n, kvTokens)
+	dur := e.scaled(e.cfg.Perf.DecodeTime(n, kvTokens))
 	e.clock += dur
 	e.decodeSteps++
 	for _, r := range e.running {
@@ -395,7 +395,7 @@ func (e *Engine) runMixed() {
 
 	computeTokens := decodeTokens + chunkUsed
 	kvTokens := e.pool.UsedTokens() + len(e.running)
-	dur := e.cfg.Perf.MixedTime(computeTokens, kvTokens) + e.pendingSwapIn
+	dur := e.scaled(e.cfg.Perf.MixedTime(computeTokens, kvTokens) + e.pendingSwapIn)
 	e.pendingSwapIn = 0
 	e.clock += dur
 	e.mixedIters++

@@ -130,6 +130,30 @@ func (l *Link) ScheduleTo(now float64, bytes int64, dst int) float64 {
 	return done
 }
 
+// Backoff returns the capped exponential retry delay for a failed transfer:
+// base·2^attempt, clamped to cap. attempt counts completed failures (the
+// first retry passes 0). base must be positive; cap below base clamps every
+// delay to cap, which keeps the function total for degenerate configs.
+func Backoff(base, cap float64, attempt int) float64 {
+	if base <= 0 {
+		panic(fmt.Sprintf("kv: non-positive backoff base %v", base))
+	}
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := base
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if cap > 0 && d >= cap {
+			break
+		}
+	}
+	if cap > 0 && d > cap {
+		d = cap
+	}
+	return d
+}
+
 // BusyUntil returns when the shared wire frees (0 if never used);
 // observational, for reports and tests.
 func (l *Link) BusyUntil() float64 { return l.busyUntil }

@@ -3,6 +3,8 @@ package kv
 import (
 	"math"
 	"testing"
+
+	"github.com/lightllm-go/lightllm/internal/rng"
 )
 
 func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
@@ -81,6 +83,106 @@ func TestLinkExpectedDeliveryIsNonMutating(t *testing.T) {
 	if got := l.Schedule(10.5, 50); !almost(got, 11.5) {
 		t.Fatalf("queued schedule %v, want 11.5", got)
 	}
+}
+
+// TestBackoffProperties pins the retry-backoff contract: attempt 0 returns
+// the base, the delay doubles per attempt until the cap, never exceeds the
+// cap, and never decreases as attempts grow — including degenerate configs
+// (cap below base, huge attempt counts that would overflow naive 2^n).
+func TestBackoffProperties(t *testing.T) {
+	if got := Backoff(0.05, 0.4, 0); !almost(got, 0.05) {
+		t.Fatalf("attempt 0 backoff %v, want base 0.05", got)
+	}
+	if got := Backoff(0.05, 0.4, 2); !almost(got, 0.2) {
+		t.Fatalf("attempt 2 backoff %v, want 0.2", got)
+	}
+	if got := Backoff(0.05, 0.4, 1000); !almost(got, 0.4) {
+		t.Fatalf("huge attempt backoff %v, want cap 0.4", got)
+	}
+	if got := Backoff(0.5, 0.1, 3); !almost(got, 0.1) {
+		t.Fatalf("cap-below-base backoff %v, want cap 0.1", got)
+	}
+	if got := Backoff(0.05, 0, 4); !almost(got, 0.8) {
+		t.Fatalf("uncapped backoff %v, want 0.8", got)
+	}
+	if got := Backoff(0.05, 0.4, -3); !almost(got, 0.05) {
+		t.Fatalf("negative attempt backoff %v, want base", got)
+	}
+	prev := 0.0
+	for a := 0; a < 64; a++ {
+		d := Backoff(0.05, 0.4, a)
+		if d < prev {
+			t.Fatalf("backoff regressed at attempt %d: %v < %v", a, d, prev)
+		}
+		if d > 0.4+1e-12 {
+			t.Fatalf("backoff %v exceeds cap at attempt %d", d, a)
+		}
+		prev = d
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive base accepted")
+		}
+	}()
+	Backoff(0, 1, 0)
+}
+
+// TestLinkBusyNeverRegresses drives randomized ScheduleTo sequences — mixed
+// destinations, retry-style nondecreasing issue times, interleaved
+// non-mutating previews — and pins the wire invariants: the shared and
+// per-lane busy-until times never move backward, every booking lands no
+// earlier than issue + transfer time, and previews never book.
+func TestLinkBusyNeverRegresses(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		r := rng.New(seed)
+		l := MustNewLink(1e3, 0.01)
+		l.PerDestination = true
+		now := 0.0
+		busy := map[int]float64{-1: 0} // -1 tracks the shared wire
+		for op := 0; op < 2000; op++ {
+			now += r.Float64() * 0.05 // nondecreasing issue times (the cluster contract)
+			dst := r.Intn(4) - 1
+			bytes := int64(r.Intn(200))
+			if r.Float64() < 0.3 { // a preview must not book
+				before := fingerprint(l)
+				l.ExpectedDeliveryTo(now, bytes, dst)
+				if fingerprint(l) != before {
+					t.Fatalf("seed %d op %d: preview mutated the link", seed, op)
+				}
+				continue
+			}
+			done := l.ScheduleTo(now, bytes, dst)
+			if min := now + l.TransferTime(bytes); done < min-1e-12 {
+				t.Fatalf("seed %d op %d: delivery %v before issue+wire %v", seed, op, done, min)
+			}
+			key := dst
+			if dst < 0 {
+				key = -1
+			}
+			if done < busy[key] {
+				t.Fatalf("seed %d op %d: lane %d busy regressed %v -> %v", seed, op, dst, busy[key], done)
+			}
+			busy[key] = done
+			if l.BusyUntil() < busy[-1] || l.BusyUntil() != busy[-1] {
+				t.Fatalf("seed %d op %d: shared busy %v, want %v", seed, op, l.BusyUntil(), busy[-1])
+			}
+			for d := 0; d < 3; d++ {
+				if got := l.LaneBusyUntil(d); got != busy[d] && busy[d] != 0 {
+					t.Fatalf("seed %d op %d: lane %d busy %v, want %v", seed, op, d, got, busy[d])
+				}
+			}
+		}
+	}
+}
+
+// fingerprint snapshots every observable busy-until on the link.
+func fingerprint(l *Link) [9]float64 {
+	var s [9]float64
+	s[0] = l.BusyUntil()
+	for d := 0; d < 8; d++ {
+		s[d+1] = l.LaneBusyUntil(d)
+	}
+	return s
 }
 
 func TestLinkPerDestinationLanes(t *testing.T) {

@@ -57,6 +57,27 @@ type Summary struct {
 	ViolatedTTFT  int
 	ViolatedMTPOT int
 
+	// Failure axis (fault injection; all zero on a healthy run).
+	//
+	// Crashes counts replica crashes; Orphaned the in-flight or queued
+	// requests those crashes evacuated. Recovered counts requests that
+	// finished after at least one fault retry; ReShed those re-admitted
+	// after a crash but shed the second time around. Lost counts requests a
+	// crash killed outright with recovery disabled (each is one request
+	// violating the TTFT SLA with zero good tokens — a fleet that loses
+	// work cannot launder attainment by not counting it). TransferRetries
+	// counts KV-link delivery retries, RePrefills transfers abandoned back
+	// to a fresh prefill. MeanTimeToRecover is the mean repair span of the
+	// crashes that completed recovery, simulated seconds.
+	Crashes           int
+	Orphaned          int
+	Recovered         int
+	ReShed            int
+	Lost              int
+	TransferRetries   int
+	RePrefills        int
+	MeanTimeToRecover float64
+
 	// OutputTokens / GoodTokens are output-token totals (all / SLA-meeting).
 	OutputTokens int64
 	GoodTokens   int64
@@ -163,6 +184,19 @@ func (s *Summary) AddShed(shed []*request.Request, from, to float64) {
 		}
 		s.Total++
 		s.Shed++
+		s.ViolatedTTFT++
+	}
+}
+
+// AddLost folds crash-killed requests into the summary: each counts as one
+// request violating the TTFT SLA with zero good tokens, exactly like a shed
+// — service was promised and never rendered. No window filter: a lost
+// request has no completion time to filter on, and excluding it would make
+// losing work look like serving it.
+func (s *Summary) AddLost(lost []*request.Request) {
+	for range lost {
+		s.Total++
+		s.Lost++
 		s.ViolatedTTFT++
 	}
 }

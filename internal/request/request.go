@@ -139,6 +139,12 @@ type Request struct {
 	// PredictedLen is scheduler scratch space: the current predicted total
 	// output length (Past-Future resamples it every step).
 	PredictedLen int
+
+	// Retries counts fault recoveries: each ResetForRetry (after a replica
+	// crash orphaned the request, or after KV-transfer retries exhausted and
+	// it fell back to re-prefill) increments it. A completed request with
+	// Retries > 0 was recovered; a shed one with Retries > 0 was re-shed.
+	Retries int
 }
 
 // New constructs a request. trueOutputLen is clamped to [1, maxNewTokens]:
@@ -264,6 +270,31 @@ func (r *Request) RecordMigration(deliveredAt float64) {
 	r.LastEmitAt = deliveredAt
 	r.DeliveredAt = deliveredAt
 	r.Migrated = true
+}
+
+// ResetForRetry rewinds the runtime state so the request can re-enter the
+// cluster after a fault destroyed its progress (replica crash, exhausted
+// KV-transfer retries). Identity and SLA terms are preserved — ArrivalTime
+// and TTFTDeadline keep charging the crash-induced wait against the original
+// budget — while every token and transfer mark is cleared: the KV cache died
+// with the fault, so prefill must rerun and the first token is no longer
+// visible. MaxGap resets with FirstTokenAt; the recovery wait lands in TTFT,
+// not in a phantom inter-token gap. Only a Pending request may retry — a
+// terminal outcome is final under the conservation invariant.
+func (r *Request) ResetForRetry() {
+	if r.Outcome != OutcomePending {
+		panic(fmt.Sprintf("request %d: retry after terminal outcome %v", r.ID, r.Outcome))
+	}
+	r.State = Waiting
+	r.Generated = 0
+	r.FirstTokenAt = -1
+	r.LastEmitAt = -1
+	r.MaxGap = 0
+	r.Swapped = false
+	r.Migrated = false
+	r.PrefillDoneAt = -1
+	r.DeliveredAt = -1
+	r.Retries++
 }
 
 // TTFT returns the time to first token, or -1 if none was emitted.

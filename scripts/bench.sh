@@ -11,9 +11,10 @@
 # cluster-front admission deadline heap, and the MaxPrefillTokens trim. The
 # fleet suite runs the cmd/fleetsim scenario family on one bursty ramp:
 # reactive vs predictive autoscaling, disaggregated prefill/decode, the 2×
-# overload-ramp admission comparison (shed on/off), and the heterogeneous
+# overload-ramp admission comparison (shed on/off), the heterogeneous
 # mixed-GPU fleet (cost-aware planner vs the premium flavor alone, compared
-# on CostSeconds).
+# on CostSeconds), and the crash-storm fault trio (no faults / no recovery /
+# full recovery, compared on SLA-met completions and served p99 TTFT).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -56,9 +57,11 @@ run_fleet() {
 	# Fleet-scale SLA demos on the bursty ramp workload: reactive vs
 	# predictive (Holt) autoscaling, the disaggregated prefill/decode
 	# cluster with its dual-pool planner, the 2× overload ramp served three
-	# ways (route-on-arrival, admission hold, deadline-aware shedding), and
-	# the heterogeneous mixed-GPU fleet judged on normalized CostSeconds.
-	go run ./cmd/fleetsim -disagg -compare -overload -hetero -json BENCH_fleet.json
+	# ways (route-on-arrival, admission hold, deadline-aware shedding), the
+	# heterogeneous mixed-GPU fleet judged on normalized CostSeconds, and
+	# the mid-burst crash-storm trio (no faults / no recovery / recovery
+	# with retries, re-admission, and N+1 spares).
+	go run ./cmd/fleetsim -disagg -compare -overload -hetero -faults -json BENCH_fleet.json
 
 	# Fail loudly if the comparison did not refresh the record: a stale
 	# BENCH_fleet.json would silently misreport the fleet trajectory.
@@ -72,6 +75,10 @@ run_fleet() {
 	}
 	grep -q '"mode": "hetero-cost"' BENCH_fleet.json || {
 		echo "BENCH_fleet.json is stale: no heterogeneous cost-aware mode recorded" >&2
+		exit 1
+	}
+	grep -q '"mode": "faults-recover"' BENCH_fleet.json || {
+		echo "BENCH_fleet.json is stale: no fault-recovery mode recorded" >&2
 		exit 1
 	}
 }
