@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check bench bench-fleet chaos cover ci
+.PHONY: build test vet fmt-check staticcheck bench bench-fleet chaos cover ci
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,16 @@ cover:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs honnef.co/go/tools when the binary is on PATH and
+# degrades to a skip otherwise (offline sandboxes can't install it); CI
+# installs and enforces it.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI enforces it)"; \
+	fi
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -46,4 +56,4 @@ chaos:
 		-run 'TestFaultConservation|TestNoRecoveryLosesTerminally|TestCrashRecoveryWithoutAdmission|TestFaultsDisabledEquivalence|TestBackoffProperties|TestLinkBusyNeverRegresses|TestCrashEvacuatesEverything' \
 		./internal/cluster/ ./internal/kv/ ./internal/engine/
 
-ci: build vet fmt-check test chaos
+ci: build vet fmt-check staticcheck test chaos

@@ -10,8 +10,10 @@
 //	fleetsim -disagg                  # disaggregated prefill/decode pools
 //	fleetsim -disagg -compare         # reactive vs predictive vs disaggregated
 //	fleetsim -overload                # 2× overload ramp: admission control on/off
+//	fleetsim -overload -dynamic-slack # A/B: static vs observed-wait admission reserve
 //	fleetsim -hetero                  # mixed-GPU fleet: cost-aware vs premium-only
 //	fleetsim -faults                  # crash storm: no faults vs no recovery vs recovery
+//	fleetsim -faults -trace t.json -spans s.csv -timeseries ts.csv
 //
 // The comparison mode is the paper-§7 demo the bench records in
 // BENCH_fleet.json: on a bursty workload, predictive scaling (EWMA/Holt
@@ -42,6 +44,18 @@
 // recovery mode must beat no-recovery on both SLA-met completions per
 // second and served p99 TTFT.
 //
+// -trace/-timeseries/-spans/-requests attach an observability collector
+// (internal/obs) to the run and export it: a Chrome/Perfetto trace-event
+// JSON for ui.perfetto.dev, an interval rollup time-series CSV, the
+// per-request lifecycle span CSV with its exact TTFT decomposition
+// (hold + queue + prefill + wire + outage), and the per-request trace
+// records with placement filled in from the spans. When several modes run
+// (a -compare list or one of the trios), the exports record the *last*
+// mode — the full-recovery / full-shedding configuration, which is the
+// one worth looking at. The recorder is a strict observer: a traced run
+// makes bit-identical decisions to an untraced one (scripts/bench.sh
+// checks exactly that), so attaching the exports never changes a report.
+//
 // -hetero is the heterogeneous-fleet demo: the same ramp served by a mixed
 // fleet (premium A100-80G replicas plus cheaper economy replicas, RTX-4090
 // by default) under the cost-aware planner — which fills demand with the
@@ -66,9 +80,11 @@ import (
 	"github.com/lightllm-go/lightllm/internal/kv"
 	"github.com/lightllm-go/lightllm/internal/metrics"
 	"github.com/lightllm-go/lightllm/internal/model"
+	"github.com/lightllm-go/lightllm/internal/obs"
 	"github.com/lightllm-go/lightllm/internal/perf"
 	"github.com/lightllm-go/lightllm/internal/request"
 	"github.com/lightllm-go/lightllm/internal/rng"
+	"github.com/lightllm-go/lightllm/internal/trace"
 	"github.com/lightllm-go/lightllm/internal/workload"
 )
 
@@ -112,6 +128,10 @@ type options struct {
 	// spare replicas in the recovery configuration.
 	faultR int
 	spare  int
+
+	// rec is the observability recorder the run attaches (nil for an
+	// untraced run — the zero-cost default).
+	rec obs.Recorder
 }
 
 func main() {
@@ -150,6 +170,12 @@ func main() {
 		linkLat   = flag.Float64("link-latency", 0.002, "disagg: KV-transfer link latency, seconds")
 		jsonPath  = flag.String("json", "", "write the report(s) as JSON to this file")
 		csvPath   = flag.String("csv", "", "write the planner evaluation trace as CSV to this file")
+		dynSlack  = flag.Bool("dynamic-slack", false, "overload: append an overload-dynshed mode that adapts the admission reserve from observed engine-side waits (A/B against overload-shed's static -slack)")
+		obsTrace  = flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON of the observed run to this file (open at ui.perfetto.dev)")
+		obsTS     = flag.String("timeseries", "", "write the interval rollup time series of the observed run as CSV to this file")
+		obsSpans  = flag.String("spans", "", "write the per-request lifecycle spans (exact TTFT decomposition) of the observed run as CSV to this file")
+		obsReqs   = flag.String("requests", "", "write the observed run's per-request trace records as CSV to this file, placement filled from the spans")
+		obsEvery  = flag.Float64("obs-interval", 10, "observability rollup interval, seconds")
 	)
 	flag.Parse()
 
@@ -213,8 +239,14 @@ func main() {
 	default:
 		modes = []string{opts.scaler}
 	}
+	if *dynSlack && !*overload {
+		fatal(fmt.Errorf("-dynamic-slack is the overload A/B knob; combine it with -overload"))
+	}
 	if *overload {
 		modes = append(modes, "overload-noshed", "overload-admit", "overload-shed")
+		if *dynSlack {
+			modes = append(modes, "overload-dynshed")
+		}
 	}
 	if *hetero {
 		modes = append(modes, "hetero-cost", "hetero-premium")
@@ -222,9 +254,23 @@ func main() {
 	if *faultsRun {
 		modes = append(modes, "faults-none", "faults-norecover", "faults-recover")
 	}
+
+	// Any observability export attaches one collector to the last mode of
+	// the run list (the full-recovery / full-shedding configuration in the
+	// trios). Its chatter goes to stderr so a traced run's stdout stays
+	// byte-identical to an untraced one — the parity the bench asserts.
+	var col *obs.Collector
+	if *obsTrace != "" || *obsTS != "" || *obsSpans != "" || *obsReqs != "" {
+		col = obs.NewCollector(*obsEvery)
+		fmt.Fprintf(os.Stderr, "observability: recording mode %s\n", modes[len(modes)-1])
+	}
 	var rows []row
-	for _, mode := range modes {
+	for i, mode := range modes {
 		opts.scaler = mode
+		opts.rec = nil
+		if col != nil && i == len(modes)-1 {
+			opts.rec = col
+		}
 		rows = append(rows, runOne(opts, *csvPath))
 	}
 
@@ -232,6 +278,50 @@ func main() {
 	if *jsonPath != "" {
 		writeJSON(*jsonPath, opts, rows)
 	}
+	if col != nil {
+		writeObs(col, *obsTrace, *obsTS, *obsSpans, *obsReqs)
+	}
+}
+
+// writeObs exports the collector's views of the observed run to whichever
+// paths were requested.
+func writeObs(col *obs.Collector, tracePath, tsPath, spansPath, reqsPath string) {
+	write := func(path string, fn func(string) error) {
+		if path == "" {
+			return
+		}
+		if err := fn(path); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", path)
+	}
+	write(tracePath, col.WritePerfettoFile)
+	write(tsPath, col.WriteTimeSeriesCSVFile)
+	write(spansPath, col.WriteSpanCSVFile)
+	write(reqsPath, func(path string) error { return writeRequestCSV(path, col) })
+}
+
+// writeRequestCSV exports one trace.Record per observed request, with the
+// placement fields (pool/replica/flavor/migrations) the request alone does
+// not carry filled in from the assembled spans.
+func writeRequestCSV(path string, col *obs.Collector) error {
+	spans := col.Spans()
+	recs := make([]trace.Record, 0, len(spans))
+	for _, s := range spans {
+		rec := trace.FromRequest(s.R)
+		rec.Pool, rec.Replica, rec.Flavor = s.Pool, s.Rep, s.Flavor
+		rec.Migrations = s.Deliveries
+		recs = append(recs, rec)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteCSV(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // row is one fleet run's reported outcome. P99TTFT covers *served* requests
@@ -297,6 +387,11 @@ func overloadAdmission(opts options, mode string) *cluster.AdmissionConfig {
 		return &cluster.AdmissionConfig{TTFTBudget: opts.sla.TTFT, Slack: opts.slack}
 	case "overload-shed", "faults-none", "faults-norecover", "faults-recover":
 		return &cluster.AdmissionConfig{TTFTBudget: opts.sla.TTFT, Shed: true, Slack: opts.slack, DecodeMaxProbe: 0.9}
+	case "overload-dynshed":
+		// The -dynamic-slack A/B arm: identical to overload-shed except the
+		// shed reserve tracks the observed engine-side admission wait
+		// instead of trusting the static -slack guess.
+		return &cluster.AdmissionConfig{TTFTBudget: opts.sla.TTFT, Shed: true, Slack: opts.slack, DecodeMaxProbe: 0.9, DynamicSlack: true}
 	default:
 		return nil
 	}
@@ -498,6 +593,7 @@ func buildDisagg(opts options, adm *cluster.AdmissionConfig, flt *cluster.FaultC
 		Link:      link,
 		Admission: adm,
 		Faults:    flt,
+		Recorder:  opts.rec,
 	})
 	if err != nil {
 		fatal(err)
@@ -540,6 +636,7 @@ func buildHetero(opts options) *cluster.Fleet {
 			Interval: opts.interval, Predictor: opts.predictor,
 			ActivationDelay: opts.delay, Headroom: opts.heteroHR,
 		},
+		Recorder: opts.rec,
 	})
 	if err != nil {
 		fatal(err)
@@ -566,7 +663,7 @@ func mkEngines(pm *perf.Model, n int, opts options, seedOff uint64) []*engine.En
 func buildFleet(opts options) *cluster.Fleet {
 	pm := perf.MustNew(perf.Config{Model: model.Llama2_7B, Cluster: hw.NewCluster(hw.A100_80G, 1)})
 	engines := mkEngines(pm, opts.replicas, opts, 0)
-	cfg := cluster.Config{Replicas: engines, Policy: opts.policy}
+	cfg := cluster.Config{Replicas: engines, Policy: opts.policy, Recorder: opts.rec}
 	switch opts.scaler {
 	case "none":
 	case "reactive":

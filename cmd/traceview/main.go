@@ -1,20 +1,34 @@
-// Command traceview analyses output-length distribution similarity between
-// time windows of a trace (the paper's Figures 3 and 4 machinery), either
-// on the built-in synthetic traces or on a CSV trace produced by the
-// serving tools (column "output_tokens").
+// Command traceview analyses serving traces. Two modes:
+//
+// Distribution similarity (the paper's Figures 3 and 4 machinery):
+// output-length similarity between time windows of a trace, either on the
+// built-in synthetic traces or on a CSV trace produced by the serving
+// tools (column "output_tokens").
+//
+// Span report: a TTFT waterfall and shed audit over a per-request
+// lifecycle span CSV produced by `fleetsim -spans` (internal/obs): where
+// the TTFT of served requests actually went (hold / queue / prefill /
+// wire / outage — the stages partition each TTFT exactly), the worst
+// offenders with per-request waterfalls, and who was refused where.
 //
 // Usage:
 //
 //	traceview -trace BurstGPT-API -n 40000 -window 1000
 //	traceview -csv run.csv -window 500 -matrix
+//	traceview -spans run.spans.csv -top 10
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
+	"strings"
 
+	"github.com/lightllm-go/lightllm/internal/obs"
 	"github.com/lightllm-go/lightllm/internal/rng"
+	"github.com/lightllm-go/lightllm/internal/stats"
 	"github.com/lightllm-go/lightllm/internal/trace"
 	"github.com/lightllm-go/lightllm/internal/workload"
 )
@@ -23,6 +37,8 @@ func main() {
 	var (
 		traceName = flag.String("trace", "BurstGPT-Conv", "built-in trace name (see -list)")
 		csvPath   = flag.String("csv", "", "analyse output_tokens from this CSV instead")
+		spansPath = flag.String("spans", "", "print a TTFT waterfall + shed audit over this span CSV (from fleetsim -spans)")
+		top       = flag.Int("top", 10, "spans: number of worst-TTFT requests to show")
 		n         = flag.Int("n", 40000, "number of synthetic requests")
 		window    = flag.Int("window", 1000, "window size in requests")
 		seed      = flag.Uint64("seed", 1, "random seed")
@@ -31,6 +47,12 @@ func main() {
 	)
 	flag.Parse()
 
+	if *spansPath != "" {
+		if err := spanReport(os.Stdout, *spansPath, *top); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *list {
 		for _, tr := range workload.Figure3Traces() {
 			fmt.Println(tr.Label)
@@ -84,6 +106,158 @@ func main() {
 			fmt.Println()
 		}
 	}
+}
+
+// stageNames orders the TTFT decomposition stages and the one-letter keys
+// the per-request waterfalls use.
+var stageNames = []struct {
+	name string
+	key  byte
+	get  func(obs.SpanRow) float64
+}{
+	{"hold", 'H', func(s obs.SpanRow) float64 { return s.Hold }},
+	{"queue", 'Q', func(s obs.SpanRow) float64 { return s.Queue }},
+	{"prefill", 'P', func(s obs.SpanRow) float64 { return s.Prefill }},
+	{"wire", 'W', func(s obs.SpanRow) float64 { return s.Wire }},
+	{"outage", 'O', func(s obs.SpanRow) float64 { return s.Outage }},
+}
+
+// spanReport renders the TTFT waterfall and shed audit of one span CSV:
+// per-stage mean/p50/p99 over every request whose first token became
+// visible, the top worst-TTFT requests with their own waterfalls, and the
+// refusals broken down by shed point and workload class.
+func spanReport(w io.Writer, path string, top int) error {
+	rows, err := obs.ReadSpanCSVFile(path)
+	if err != nil {
+		return err
+	}
+	outcomes := map[string]int{}
+	var served []obs.SpanRow
+	for _, s := range rows {
+		outcomes[s.Outcome]++
+		if s.TTFT >= 0 {
+			served = append(served, s)
+		}
+	}
+	var parts []string
+	for _, k := range sortedKeys(outcomes) {
+		parts = append(parts, fmt.Sprintf("%d %s", outcomes[k], k))
+	}
+	fmt.Fprintf(w, "spans: %s — %d requests (%s)\n", path, len(rows), strings.Join(parts, ", "))
+	if len(served) == 0 {
+		fmt.Fprintln(w, "no request saw a first token; nothing to decompose")
+		return shedAudit(w, rows)
+	}
+
+	// The aggregate waterfall: where the mean TTFT went. The stage means
+	// sum exactly to the mean TTFT (each span decomposes exactly), so the
+	// share column is an honest partition, not an approximation.
+	ttfts := make([]float64, len(served))
+	for i, s := range served {
+		ttfts[i] = s.TTFT
+	}
+	meanTTFT := stats.Mean(ttfts)
+	fmt.Fprintf(w, "\nTTFT waterfall over %d served requests (mean %.3fs, p50 %.3fs, p99 %.3fs):\n",
+		len(served), meanTTFT, stats.Percentile(ttfts, 0.5), stats.Percentile(ttfts, 0.99))
+	fmt.Fprintf(w, "  %-8s %9s %9s %9s %7s\n", "stage", "mean", "p50", "p99", "share")
+	for _, st := range stageNames {
+		vals := make([]float64, len(served))
+		for i, s := range served {
+			vals[i] = st.get(s)
+		}
+		mean := stats.Mean(vals)
+		share := 0.0
+		if meanTTFT > 0 {
+			share = mean / meanTTFT
+		}
+		fmt.Fprintf(w, "  %-8s %8.3fs %8.3fs %8.3fs %6.1f%% %s\n",
+			st.name, mean, stats.Percentile(vals, 0.5), stats.Percentile(vals, 0.99),
+			share*100, strings.Repeat("#", int(share*40+0.5)))
+	}
+
+	// The worst offenders, each with its own waterfall so the dominating
+	// stage is visible per request, not just in aggregate.
+	sort.Slice(served, func(i, j int) bool { return served[i].TTFT > served[j].TTFT })
+	if top > len(served) {
+		top = len(served)
+	}
+	if top > 0 {
+		fmt.Fprintf(w, "\nworst %d TTFTs:\n", top)
+	}
+	for _, s := range served[:top] {
+		fmt.Fprintf(w, "  #%-6d %-14s ttft %7.3fs  [%s]  pool %d/%d", s.ID, s.Class, s.TTFT, waterfall(s, 40), s.Pool, s.Replica)
+		if s.Retries > 0 {
+			fmt.Fprintf(w, "  retries %d", s.Retries)
+		}
+		if s.Held {
+			fmt.Fprint(w, "  held")
+		}
+		fmt.Fprintln(w)
+	}
+	return shedAudit(w, rows)
+}
+
+// waterfall renders one request's TTFT as a fixed-width bar whose segments
+// are proportional to the decomposition stages (H hold, Q queue, P prefill,
+// W wire, O outage).
+func waterfall(s obs.SpanRow, width int) string {
+	if s.TTFT <= 0 {
+		return strings.Repeat(".", width)
+	}
+	var b strings.Builder
+	for _, st := range stageNames {
+		n := int(st.get(s)/s.TTFT*float64(width) + 0.5)
+		for i := 0; i < n && b.Len() < width; i++ {
+			b.WriteByte(st.key)
+		}
+	}
+	for b.Len() < width {
+		b.WriteByte('.')
+	}
+	return b.String()
+}
+
+// shedAudit breaks refused requests down by shed point and workload class —
+// the "who did we turn away, and how early" counterpart of the waterfall.
+func shedAudit(w io.Writer, rows []obs.SpanRow) error {
+	where := map[string]int{}
+	class := map[string]int{}
+	heldFirst := 0
+	for _, s := range rows {
+		if s.ShedWhere == "" {
+			continue
+		}
+		where[s.ShedWhere]++
+		class[s.Class]++
+		if s.Held {
+			heldFirst++
+		}
+	}
+	if len(where) == 0 {
+		fmt.Fprintln(w, "\nno requests were shed")
+		return nil
+	}
+	total := 0
+	for _, n := range where {
+		total += n
+	}
+	fmt.Fprintf(w, "\nshed audit: %d refused (%d were held first)\n", total, heldFirst)
+	for _, k := range sortedKeys(where) {
+		fmt.Fprintf(w, "  at %-10s %6d\n", k, where[k])
+	}
+	for _, k := range sortedKeys(class) {
+		fmt.Fprintf(w, "  class %-14s %6d\n", k, class[k])
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func fatal(err error) {

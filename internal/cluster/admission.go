@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/lightllm-go/lightllm/internal/obs"
 	"github.com/lightllm-go/lightllm/internal/request"
 )
 
@@ -41,6 +42,16 @@ type AdmissionConfig struct {
 	// reserve for the admission wait the floor cannot see (the engine-side
 	// queueing between placement and the prefill iteration). 0 = none.
 	Slack float64
+	// DynamicSlack replaces the static Slack reserve with an observed one:
+	// the pipeline tracks the actual placement→prefill-admission wait of
+	// first-pass arrivals on the entry pool (a smoothed estimate, clamped to
+	// [Slack/4, 4·Slack] so one outlier cannot open or close the gate), and
+	// the feasibility check uses that estimate instead of the static
+	// reserve. Requires Slack > 0 — the static value seeds the estimate and
+	// anchors the clamp. Deliberately independent of any attached Recorder:
+	// the observation rides the engine's admission hook, so dynamic-slack
+	// runs make identical decisions with and without tracing.
+	DynamicSlack bool
 	// ClassRank orders held requests *within one deadline bucket* by
 	// service class: lower ranks release first when capacity frees, so at
 	// equal slack the higher-ranked (less critical) class is the one left
@@ -88,6 +99,9 @@ func (c AdmissionConfig) validate() error {
 	}
 	if c.Shed && c.TTFTBudget == 0 {
 		return fmt.Errorf("cluster: shedding requires a TTFT budget")
+	}
+	if c.DynamicSlack && c.Slack <= 0 {
+		return fmt.Errorf("cluster: dynamic slack requires a positive static slack seed")
 	}
 	return nil
 }
@@ -177,6 +191,7 @@ func (h *admitHeap) pop() admitItem {
 const (
 	shedFront    = iota // at the cluster front, before any engine saw it
 	shedBoundary        // at the prefill→transfer boundary, before booking
+	shedFlush           // at end of run: still held when the stream closed
 )
 
 // admission is the cluster-front pipeline state. The cluster owns the event
@@ -198,16 +213,70 @@ type admission struct {
 	shedList      []*request.Request
 	frontSheds    int
 	boundarySheds int
+
+	// Observed placement→admission wait (DynamicSlack): a smoothed estimate
+	// seeded by the static Slack, fed by the entry engines' admission hooks.
+	obsWait    float64
+	obsWaitSet bool
 }
 
 func newAdmission(c *Cluster, cfg AdmissionConfig) (*admission, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &admission{
+	a := &admission{
 		cfg: cfg.withDefaults(),
 		clu: c,
-	}, nil
+	}
+	if a.cfg.DynamicSlack {
+		for _, rep := range c.pools[c.entry].reps {
+			rep.eng.AddAdmitHook(func(now float64, admitted []*request.Request) {
+				for _, r := range admitted {
+					// First-pass arrivals only: migrations and fault retries
+					// measure recovery waits, not the admission gap the slack
+					// reserves for.
+					if r.Admissions == 1 && !r.Migrated && r.Retries == 0 {
+						a.observeWait(now - r.ArrivalTime)
+					}
+				}
+			})
+		}
+	}
+	return a, nil
+}
+
+// observeWait folds one observed arrival→prefill-admission wait into the
+// dynamic-slack estimate (same 0.5 smoothing as the planner's correction
+// factors). The observed wait includes any cluster-front hold, which the
+// floor also cannot see, so charging it against the slack reserve is
+// conservative in the right direction.
+func (a *admission) observeWait(w float64) {
+	if w < 0 {
+		w = 0
+	}
+	if !a.obsWaitSet {
+		a.obsWait = w
+		a.obsWaitSet = true
+		return
+	}
+	a.obsWait = 0.5*a.obsWait + 0.5*w
+}
+
+// effSlack returns the slack reserve the feasibility check uses: the static
+// configured value, or — under DynamicSlack, once an observation exists —
+// the smoothed observed wait clamped to [Slack/4, 4·Slack].
+func (a *admission) effSlack() float64 {
+	if !a.cfg.DynamicSlack || !a.obsWaitSet {
+		return a.cfg.Slack
+	}
+	s := a.obsWait
+	if min := a.cfg.Slack * 0.25; s < min {
+		s = min
+	}
+	if max := a.cfg.Slack * 4; s > max {
+		s = max
+	}
+	return s
 }
 
 // rank maps one request to its service-class rank (0 without a policy).
@@ -254,6 +323,9 @@ func (a *admission) arrive(now float64, r *request.Request) {
 	a.seq++
 	dl := deadlineKey(r)
 	a.heap.push(admitItem{r: r, deadline: dl, bucket: a.bucketKey(dl), rank: a.rank(r), seq: a.seq})
+	if a.clu.rec != nil {
+		a.clu.rec.Hold(now, r, a.heap.Len())
+	}
 }
 
 // retry releases held requests in EDF order while the earliest-deadline
@@ -266,11 +338,17 @@ func (a *admission) retry(now float64) {
 		head := a.heap.top().r
 		if a.tryPlace(now, head) {
 			a.heap.pop()
+			if a.clu.rec != nil {
+				a.clu.rec.Release(now, head, a.heap.Len())
+			}
 			a.shedExpired(now)
 			continue
 		}
 		if !a.clu.anyBusy() {
 			a.heap.pop()
+			if a.clu.rec != nil {
+				a.clu.rec.Release(now, head, a.heap.Len())
+			}
 			a.place(now, head) // liveness: idle cluster, force the engine to judge
 			continue
 		}
@@ -303,7 +381,7 @@ func (a *admission) infeasible(now float64, r *request.Request) bool {
 	if r.TTFTDeadline <= 0 {
 		return false
 	}
-	return now+a.floor(r)+a.cfg.Slack > r.TTFTDeadline
+	return now+a.floor(r)+a.effSlack() > r.TTFTDeadline
 }
 
 // floor is the best-case remaining service time before the request's first
@@ -364,6 +442,9 @@ func (a *admission) place(now float64, r *request.Request) {
 }
 
 func (a *admission) submit(now float64, r *request.Request, rep *replica) {
+	if c := a.clu; c.rec != nil {
+		c.rec.Place(now, r, c.entry, rep.idx, rep.flv.name)
+	}
 	rep.eng.SubmitAt(r, now)
 	rep.estValid = false
 	a.clu.ensureStepEvent(a.clu.pools[a.clu.entry], rep)
@@ -390,13 +471,23 @@ func (a *admission) shed(now float64, r *request.Request, where int) {
 	if a.cfg.OnShed != nil {
 		a.cfg.OnShed(now, r)
 	}
+	if c.rec != nil {
+		site := obs.ShedFront
+		switch where {
+		case shedBoundary:
+			site = obs.ShedBoundary
+		case shedFlush:
+			site = obs.ShedFlush
+		}
+		c.rec.Shed(now, r, site)
+	}
 }
 
 // flush terminates every request still held when the run ends: the stream
 // is over, nothing more will free, and an unserved hold is a refusal.
 func (a *admission) flush(now float64) {
 	for a.heap.Len() > 0 {
-		a.shed(now, a.heap.pop().r, shedFront)
+		a.shed(now, a.heap.pop().r, shedFlush)
 	}
 }
 

@@ -49,6 +49,7 @@ import (
 
 	"github.com/lightllm-go/lightllm/internal/engine"
 	"github.com/lightllm-go/lightllm/internal/kv"
+	"github.com/lightllm-go/lightllm/internal/obs"
 	"github.com/lightllm-go/lightllm/internal/request"
 )
 
@@ -96,6 +97,14 @@ type ClusterConfig struct {
 	// nil — or an empty schedule — leaves the cluster bit-identical to the
 	// pre-fault path.
 	Faults *FaultConfig
+	// Recorder, when non-nil, receives the full request-lifecycle event
+	// stream (internal/obs): arrivals, admission holds/releases/sheds,
+	// placements, engine iterations, KV-transfer bookings and deliveries,
+	// faults, planner decisions. A strict observer — it is sampled at
+	// execution points the simulator already visits and never pushes heap
+	// events — so recorded runs make bit-identical decisions to unrecorded
+	// ones. nil disables every emission site at zero cost.
+	Recorder obs.Recorder
 }
 
 // Cluster composes role-aware pools behind one event min-heap — the single
@@ -120,6 +129,16 @@ type Cluster struct {
 
 	adm *admission
 	flt *faultState
+
+	rec obs.Recorder
+	// lastBook captures the most recent link booking (wire start after lane
+	// queueing, completion) between ScheduleTo and the XferBook emission —
+	// the kv package reports timing through Link.OnSchedule without knowing
+	// about the recorder.
+	lastBook struct {
+		start, done float64
+		ok          bool
+	}
 
 	started bool
 	startAt float64
@@ -148,6 +167,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	for i, pc := range cfg.Pools {
 		if pc.Admission != nil {
 			return nil, fmt.Errorf("cluster: pool %d carries an AdmissionConfig; admission is cluster-wide, set ClusterConfig.Admission", i)
+		}
+		if pc.Recorder != nil {
+			return nil, fmt.Errorf("cluster: pool %d carries a Recorder; observability is cluster-wide, set ClusterConfig.Recorder", i)
 		}
 		p, err := newPool(c, i, pc)
 		if err != nil {
@@ -185,6 +207,19 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			return nil, err
 		}
 		c.flt = flt
+	}
+	if cfg.Recorder != nil {
+		c.rec = cfg.Recorder
+		for _, p := range c.pools {
+			for _, rep := range p.reps {
+				rep.eng.SetRecorder(c.rec, p.id, rep.idx)
+			}
+		}
+		if c.link != nil {
+			c.link.OnSchedule = func(now, start, done float64, bytes int64, dst int) {
+				c.lastBook.start, c.lastBook.done, c.lastBook.ok = start, done, true
+			}
+		}
 	}
 	return c, nil
 }
@@ -308,11 +343,20 @@ func (c *Cluster) Serve(reqs []*request.Request, deadline float64) []*engine.Res
 			entry.reactiveScale(t)
 		}
 		if c.adm != nil {
+			if c.rec != nil {
+				c.rec.Arrive(t, req)
+			}
 			c.adm.arrive(t, req)
 			continue
 		}
 		rep := entry.route(req)
 		rep.eng.Submit(req)
+		if c.rec != nil {
+			// After Submit: the engine clamps a stale ArrivalTime up to its
+			// own clock, and the span's clock must match the request's.
+			c.rec.Arrive(req.ArrivalTime, req)
+			c.rec.Place(req.ArrivalTime, req, entry.id, rep.idx, rep.flv.name)
+		}
 		rep.estValid = false
 		c.ensureStepEvent(entry, rep)
 	}
@@ -442,6 +486,13 @@ func (c *Cluster) handle(ev event) {
 			targets := p.plan.tick(ev.at, p.activeByFlavor())
 			p.applyTargets(ev.at, targets)
 			p.plan.History[len(p.plan.History)-1].Active = p.ActiveReplicas()
+			if c.rec != nil {
+				total := 0
+				for _, t := range targets {
+					total += t
+				}
+				c.rec.PlanPoint(ev.at, p.id, total, p.ActiveReplicas())
+			}
 		} else if p.cfg.Scale != nil {
 			p.reactiveScale(ev.at)
 		}
@@ -498,6 +549,9 @@ func (c *Cluster) issueHandoff(ev event) {
 		if !c.flt.cfg.Recover {
 			r.MarkFailed()
 			c.flt.lost = append(c.flt.lost, r)
+			if c.rec != nil {
+				c.rec.Fail(ev.at, r, c.decode, rep.idx)
+			}
 			return
 		}
 		c.handoffs = append(c.handoffs, Handoff{
@@ -505,6 +559,9 @@ func (c *Cluster) issueHandoff(ev event) {
 			PrefillDoneAt: ev.at, DeliveredAt: -1,
 			bytes: bytes,
 		})
+		if c.rec != nil {
+			c.rec.XferFail(ev.at, r, rep.repairAt)
+		}
 		c.pushEvent(event{at: rep.repairAt, kind: evXferRetry, pool: c.decode, rep: len(c.handoffs) - 1, req: r})
 		return
 	}
@@ -514,6 +571,14 @@ func (c *Cluster) issueHandoff(ev event) {
 	}
 	if c.link != nil {
 		deliverAt = c.link.ScheduleTo(ev.at, bytes, rep.idx)
+	}
+	if c.rec != nil {
+		start, done := ev.at, deliverAt
+		if c.lastBook.ok {
+			start, done = c.lastBook.start, c.lastBook.done
+			c.lastBook.ok = false
+		}
+		c.rec.XferBook(ev.at, r, c.entry, ev.rep, c.decode, rep.idx, bytes, start, done)
 	}
 	dp.routeTo(r, rep)
 	rep.pendingIn++
@@ -639,6 +704,9 @@ func (c *Cluster) deliver(ev event) {
 		if old.draining && dp.drained(old) {
 			dp.retire(old, ev.at)
 		}
+	}
+	if c.rec != nil {
+		c.rec.XferDeliver(ev.at, r, c.decode, rep.idx)
 	}
 	rep.eng.SubmitMigrated(r, ev.at)
 	rep.estValid = false

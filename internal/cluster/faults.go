@@ -193,10 +193,19 @@ func (c *Cluster) crashReplica(ev event) {
 
 	orphans := rep.eng.Crash()
 	c.flt.orphaned += len(orphans)
+	if c.rec != nil {
+		c.rec.Crash(ev.at, flt.Pool, flt.Replica, len(orphans))
+	}
 	for _, r := range orphans {
+		if c.rec != nil {
+			c.rec.Orphan(ev.at, r)
+		}
 		if !c.flt.cfg.Recover {
 			r.MarkFailed()
 			c.flt.lost = append(c.flt.lost, r)
+			if c.rec != nil {
+				c.rec.Fail(ev.at, r, flt.Pool, flt.Replica)
+			}
 			continue
 		}
 		// Re-enter at the cluster front with the original ArrivalTime and
@@ -216,12 +225,18 @@ func (c *Cluster) crashReplica(ev event) {
 // admission pipeline when configured, else directly through the entry pool's
 // routing policy.
 func (c *Cluster) reenter(now float64, r *request.Request) {
+	if c.rec != nil {
+		c.rec.Arrive(now, r) // re-entry: the span's TTFT clock reopens
+	}
 	if c.adm != nil {
 		c.adm.arrive(now, r)
 		return
 	}
 	entry := c.pools[c.entry]
 	rep := entry.route(r)
+	if c.rec != nil {
+		c.rec.Place(now, r, entry.id, rep.idx, rep.flv.name)
+	}
 	rep.eng.SubmitAt(r, now)
 	rep.estValid = false
 	c.ensureStepEvent(entry, rep)
@@ -241,6 +256,9 @@ func (c *Cluster) recoverReplica(ev event) {
 	rep.down = false
 	c.flt.recovered++
 	c.flt.downSum += ev.at - rep.downAt
+	if c.rec != nil {
+		c.rec.Recover(ev.at, flt.Pool, flt.Replica)
+	}
 	if !rep.active {
 		return
 	}
@@ -294,6 +312,10 @@ func (c *Cluster) failDelivery(ev event) {
 		old.routed--
 		r.MarkFailed()
 		flt.lost = append(flt.lost, r)
+		if c.rec != nil {
+			c.rec.XferFail(ev.at, r, -1)
+			c.rec.Fail(ev.at, r, c.decode, h.ToReplica)
+		}
 		return
 	}
 	h.Retries++
@@ -310,11 +332,17 @@ func (c *Cluster) failDelivery(ev event) {
 		// against the remaining budget and sheds if it cannot fit.
 		flt.rePrefills++
 		old.routed--
+		if c.rec != nil {
+			c.rec.XferFail(ev.at, r, -1)
+		}
 		r.ResetForRetry()
 		c.reenter(ev.at, r)
 		return
 	}
 	flt.transferRetries++
+	if c.rec != nil {
+		c.rec.XferFail(ev.at, r, retryAt)
+	}
 	c.pushEvent(event{at: retryAt, kind: evXferRetry, pool: c.decode, rep: ev.rep, req: r})
 }
 
@@ -338,6 +366,9 @@ func (c *Cluster) retryHandoff(ev event) {
 		// Still nowhere to land (every decode replica down again): defer to
 		// the next repair rather than book a transfer to a crashed
 		// destination. Not a wire failure, so Retries is not charged.
+		if c.rec != nil {
+			c.rec.XferFail(ev.at, r, rep.repairAt)
+		}
 		c.pushEvent(event{at: rep.repairAt, kind: evXferRetry, pool: c.decode, rep: ev.rep, req: r})
 		return
 	}
@@ -352,6 +383,14 @@ func (c *Cluster) retryHandoff(ev event) {
 	}
 	if c.link != nil {
 		deliverAt = c.link.ScheduleTo(ev.at, h.bytes, rep.idx)
+	}
+	if c.rec != nil {
+		start, done := ev.at, deliverAt
+		if c.lastBook.ok {
+			start, done = c.lastBook.start, c.lastBook.done
+			c.lastBook.ok = false
+		}
+		c.rec.XferBook(ev.at, r, c.entry, h.FromReplica, c.decode, rep.idx, h.bytes, start, done)
 	}
 	if rep != old {
 		if old != nil {

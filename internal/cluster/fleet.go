@@ -20,9 +20,9 @@ type Fleet struct {
 // deadline shedding) in front of the fleet — the monolithic API gets the
 // same overload protection as an explicit cluster, decision for decision.
 func New(cfg Config) (*Fleet, error) {
-	adm := cfg.Admission
-	cfg.Admission = nil // cluster-wide concern: lift it out of the pool config
-	clu, err := NewCluster(ClusterConfig{Pools: []Config{cfg}, Admission: adm})
+	adm, rec := cfg.Admission, cfg.Recorder
+	cfg.Admission, cfg.Recorder = nil, nil // cluster-wide concerns: lift them out of the pool config
+	clu, err := NewCluster(ClusterConfig{Pools: []Config{cfg}, Admission: adm, Recorder: rec})
 	if err != nil {
 		return nil, err
 	}

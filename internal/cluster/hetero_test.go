@@ -11,6 +11,7 @@ import (
 	"github.com/lightllm-go/lightllm/internal/kv"
 	"github.com/lightllm-go/lightllm/internal/metrics"
 	"github.com/lightllm-go/lightllm/internal/model"
+	"github.com/lightllm-go/lightllm/internal/obs"
 	"github.com/lightllm-go/lightllm/internal/perf"
 	"github.com/lightllm-go/lightllm/internal/request"
 	"github.com/lightllm-go/lightllm/internal/rng"
@@ -324,7 +325,11 @@ type decisionTrace struct {
 	report   string
 }
 
-func runSeamScenario(seed uint64, homogeneous bool, flt *FaultConfig) decisionTrace {
+func runSeamScenario(seed uint64, homogeneous bool, flt *FaultConfig, rec ...obs.Recorder) decisionTrace {
+	var recorder obs.Recorder
+	if len(rec) > 0 {
+		recorder = rec[0]
+	}
 	var tr decisionTrace
 	onRoute := func(pool int) func(r *request.Request, rep int) {
 		return func(r *request.Request, rep int) {
@@ -352,6 +357,7 @@ func runSeamScenario(seed uint64, homogeneous bool, flt *FaultConfig) decisionTr
 		Link:      kv.MustNewLink(50e9, 0.002),
 		Admission: &AdmissionConfig{TTFTBudget: sla.TTFT, Shed: true, Slack: 0.5},
 		Faults:    flt,
+		Recorder:  recorder,
 	})
 	results := c.Serve(poissonReqs(350, 60, seed), 1e9)
 	for _, s := range c.ShedRequests() {

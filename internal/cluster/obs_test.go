@@ -1,0 +1,288 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"github.com/lightllm-go/lightllm/internal/obs"
+	"github.com/lightllm-go/lightllm/internal/request"
+)
+
+// stormFaults is the fault-storm config the observability tests run under:
+// the scripted + stochastic storm of the conservation sweep, with recovery,
+// background wire flakiness, and everything else the recorder must survive.
+func stormFaults(seed uint64) *FaultConfig {
+	return &FaultConfig{
+		Schedule:     stormSchedule(seed),
+		Recover:      true,
+		LinkFailRate: 0.02,
+		Seed:         seed,
+	}
+}
+
+// TestRecorderDisabledEquivalence pins the observability layer's zero-cost
+// contract the same way the fault layer pinned its own: a cluster running
+// the full fault storm with a Collector attached makes bit-identical
+// decisions — routing, plans, sheds, handoff bookings, and the rolled-up
+// report — to the identical cluster with a nil recorder, across seeds. The
+// recorder only samples at execution points the simulator already visits
+// and never pushes heap events, so tracing a run cannot change it.
+func TestRecorderDisabledEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			off := runSeamScenario(seed, false, stormFaults(seed))
+			traced := runSeamScenario(seed, false, stormFaults(seed), obs.NewCollector(1))
+			compare := func(kind string, got, want []string) {
+				if len(got) != len(want) {
+					t.Fatalf("%s counts differ: traced %d, off %d", kind, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s %d differs:\ntraced: %s\noff:    %s", kind, i, got[i], want[i])
+					}
+				}
+			}
+			compare("route", traced.routes, off.routes)
+			compare("plan", traced.plans, off.plans)
+			compare("shed", traced.sheds, off.sheds)
+			compare("handoff", traced.handoffs, off.handoffs)
+			if traced.report != off.report {
+				t.Fatalf("reports differ:\ntraced: %s\noff:    %s", traced.report, off.report)
+			}
+		})
+	}
+}
+
+// TestFaultStormObservability is the integration pin for the whole layer: a
+// fault-storm run records a span for every arrival, the per-stage durations
+// of every span sum exactly to its TTFT (the decomposition invariant), the
+// span CSV round-trips, the interval rollup accounts for the storm, and the
+// Perfetto export is valid trace-event JSON carrying slices, instants, and
+// handoff flows.
+func TestFaultStormObservability(t *testing.T) {
+	col := obs.NewCollector(1)
+	runSeamScenario(3, false, stormFaults(3), col)
+
+	spans := col.Spans()
+	if len(spans) == 0 {
+		t.Fatal("storm run assembled no spans")
+	}
+	if err := col.CheckDecomposition(1e-6); err != nil {
+		t.Fatal(err)
+	}
+	sawRetry, sawShed := false, false
+	for _, s := range spans {
+		if s.R.Retries > 0 {
+			sawRetry = true
+		}
+		if s.ShedWhere != "" {
+			sawShed = true
+		}
+	}
+	if !sawRetry || !sawShed {
+		t.Fatalf("storm exercised too little: retries=%v sheds=%v", sawRetry, sawShed)
+	}
+
+	var spanCSV bytes.Buffer
+	if err := col.WriteSpanCSV(&spanCSV); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := obs.ReadSpanCSV(bytes.NewReader(spanCSV.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(spans) {
+		t.Fatalf("span CSV round-trip: %d rows, %d spans", len(rows), len(spans))
+	}
+	for _, r := range rows {
+		if r.TTFT < 0 {
+			continue
+		}
+		if r.Retries == 0 {
+			if d := r.StageSum() - r.TTFT; d > 1e-6 || d < -1e-6 {
+				t.Fatalf("request %d: CSV stage sum %.9f != ttft %.9f", r.ID, r.StageSum(), r.TTFT)
+			}
+		}
+	}
+
+	tsRows := col.Rows()
+	if len(tsRows) == 0 {
+		t.Fatal("storm run produced no rollup rows")
+	}
+	var crashes, recoveries, xferFails int
+	for _, r := range tsRows {
+		crashes += r.Crashes
+		recoveries += r.Recoveries
+		xferFails += r.XferFails
+	}
+	if crashes == 0 || recoveries == 0 || xferFails == 0 {
+		t.Fatalf("rollup missed the storm: crashes=%d recoveries=%d xfer_fails=%d",
+			crashes, recoveries, xferFails)
+	}
+
+	var trace bytes.Buffer
+	if err := col.WritePerfetto(&trace); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace.Bytes(), &parsed); err != nil {
+		t.Fatalf("Perfetto export is not valid JSON: %v", err)
+	}
+	phases := map[string]bool{}
+	for _, ev := range parsed.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		phases[ph] = true
+	}
+	for _, want := range []string{"M", "X", "i", "s", "f"} {
+		if !phases[want] {
+			t.Fatalf("Perfetto export lacks ph=%q events (have %v)", want, phases)
+		}
+	}
+}
+
+// TestRecorderNilRouteZeroAllocs pins the recorder-disabled routing hot
+// path: with no recorder attached, the admission arrive→place cycle of a
+// warm cluster allocates nothing per request beyond the pre-storm baseline
+// (the heap storage is retained, the probe path reuses estimators, and
+// every emission site is a nil check).
+func TestRecorderNilRouteZeroAllocs(t *testing.T) {
+	c := admissionCluster(2, 2, 50_000, 1, &AdmissionConfig{TTFTBudget: 100}, nil)
+	warm := poissonReqs(200, 40, 7)
+	c.Serve(warm, 1e9)
+
+	a := c.adm
+	r := request.New(int64(9_999), 400, 200, 256, c.endAt)
+	a.arrive(c.endAt, r)
+	allocs := testing.AllocsPerRun(200, func() {
+		// The same request object re-arrives: tryPlace probes every replica
+		// (the routing hot path) and places or holds; a held request is
+		// drained by retry. Engine submission appends to warm queue storage.
+		a.shedExpired(c.endAt)
+		if a.tryPlace(c.endAt, r) {
+			return
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("recorder-disabled admission/route path allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestDynamicSlackMechanism pins the observed-wait reserve's arithmetic:
+// the static Slack seeds the estimate, observations fold in with the same
+// 0.5 smoothing as the planner's correction factors, the clamp holds the
+// effective reserve inside [Slack/4, 4·Slack], and the feasibility check
+// actually consumes the adapted value.
+func TestDynamicSlackMechanism(t *testing.T) {
+	c := admissionCluster(1, 1, 50_000, 1, &AdmissionConfig{
+		TTFTBudget: 5, Shed: true, Slack: 0.1, DynamicSlack: true,
+	}, nil)
+	a := c.adm
+	if got := a.effSlack(); got != 0.1 {
+		t.Fatalf("unobserved effSlack %v, want the static seed 0.1", got)
+	}
+	a.observeWait(2.0) // first observation replaces the seed, then clamps
+	if got := a.effSlack(); got != 0.4 {
+		t.Fatalf("effSlack after a huge wait %v, want the 4×Slack clamp 0.4", got)
+	}
+	a.observeWait(0) // EWMA halves: 1.0, still above the clamp
+	a.observeWait(0) // 0.5
+	a.observeWait(0) // 0.25
+	a.observeWait(0) // 0.125, inside the band
+	if got := a.effSlack(); got != 0.125 {
+		t.Fatalf("effSlack after decay %v, want the raw estimate 0.125", got)
+	}
+	for i := 0; i < 20; i++ {
+		a.observeWait(0)
+	}
+	if got := a.effSlack(); got != 0.025 {
+		t.Fatalf("effSlack after vanishing waits %v, want the Slack/4 clamp 0.025", got)
+	}
+
+	// The check consumes the adapted reserve: a deadline that clears the
+	// floor by 0.05 is feasible under the decayed reserve (0.025) and
+	// infeasible once observed waits blow past it.
+	r := request.New(1, 400, 50, 64, 0)
+	r.TTFTDeadline = a.floor(r) + 0.05
+	if a.infeasible(0, r) {
+		t.Fatal("feasible request rejected under the decayed reserve")
+	}
+	a.observeWait(2.0)
+	a.observeWait(2.0)
+	if !a.infeasible(0, r) {
+		t.Fatal("request still feasible after observed waits blew past its margin")
+	}
+}
+
+// TestDynamicSlackObservesRealWaits pins the feed end-to-end: under an
+// overloaded stream the entry engines' admission hooks populate the
+// observed-wait estimate (first-pass arrivals only), the effective reserve
+// moves off its static seed, and conservation still holds — every arrival
+// ends exactly once in {completed, shed}.
+func TestDynamicSlackObservesRealWaits(t *testing.T) {
+	c := admissionCluster(1, 1, 6_000, 3, &AdmissionConfig{
+		TTFTBudget: 2.0, Shed: true, Slack: 0.05, DynamicSlack: true,
+	}, nil)
+	reqs := poissonReqs(300, 80, 3)
+	c.Serve(reqs, 1e9)
+	if !c.adm.obsWaitSet {
+		t.Fatal("dynamic slack never observed an admission wait")
+	}
+	var shed, completed int
+	for _, r := range reqs {
+		switch r.Outcome {
+		case request.OutcomeShed:
+			shed++
+		case request.OutcomeCompleted:
+			completed++
+		}
+	}
+	if shed+completed != len(reqs) {
+		t.Fatalf("conservation broken: %d shed + %d completed != %d arrivals", shed, completed, len(reqs))
+	}
+	if shed == 0 {
+		t.Fatal("overload scenario shed nothing; the feed was not exercised under pressure")
+	}
+}
+
+// TestDynamicSlackValidation: the observed reserve needs a static seed.
+func TestDynamicSlackValidation(t *testing.T) {
+	_, err := NewCluster(ClusterConfig{
+		Pools:     []Config{{Replicas: replicas(1, 10_000), Policy: FutureHeadroom}},
+		Admission: &AdmissionConfig{TTFTBudget: 5, Shed: true, DynamicSlack: true},
+	})
+	if err == nil {
+		t.Fatal("DynamicSlack without a Slack seed accepted")
+	}
+}
+
+// TestPoolLevelRecorderRejected mirrors the pool-level Admission rejection:
+// observability is cluster-wide.
+func TestPoolLevelRecorderRejected(t *testing.T) {
+	_, err := NewCluster(ClusterConfig{
+		Pools: []Config{{Replicas: replicas(1, 10_000), Policy: FutureHeadroom, Recorder: obs.NewCollector(1)}},
+	})
+	if err == nil {
+		t.Fatal("pool-level Recorder accepted")
+	}
+}
+
+// TestFleetRecorderLift: the monolithic Fleet lifts a pool-config Recorder
+// into the cluster the same way it lifts Admission, and the recorded spans
+// decompose exactly.
+func TestFleetRecorderLift(t *testing.T) {
+	col := obs.NewCollector(1)
+	f := MustNew(Config{Replicas: replicas(2, 20_000), Policy: FutureHeadroom, Recorder: col})
+	reqs := poissonReqs(50, 20, 5)
+	f.Serve(reqs, 1e9)
+	if len(col.Spans()) != len(reqs) {
+		t.Fatalf("recorded %d spans for %d requests", len(col.Spans()), len(reqs))
+	}
+	if err := col.CheckDecomposition(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"github.com/lightllm-go/lightllm/internal/core"
 	"github.com/lightllm-go/lightllm/internal/dist"
 	"github.com/lightllm-go/lightllm/internal/engine"
+	"github.com/lightllm-go/lightllm/internal/obs"
 	"github.com/lightllm-go/lightllm/internal/perf"
 	"github.com/lightllm-go/lightllm/internal/request"
 )
@@ -115,6 +116,12 @@ type Config struct {
 	// Inside an explicit ClusterConfig the pipeline is cluster-wide, so
 	// pool-level Admission must be nil there (NewCluster rejects it).
 	Admission *AdmissionConfig
+	// Recorder attaches the observability layer when this Config builds the
+	// monolithic Fleet (cluster.New) — the same stream
+	// ClusterConfig.Recorder gives an explicit cluster. Like Admission it is
+	// a cluster-wide concern: inside an explicit ClusterConfig a pool-level
+	// Recorder is rejected.
+	Recorder obs.Recorder
 	// OnRoute, when non-nil, observes every routing decision into this pool
 	// (pool-local replica index).
 	OnRoute func(r *request.Request, replica int)

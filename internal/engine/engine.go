@@ -27,6 +27,7 @@ import (
 	"github.com/lightllm-go/lightllm/internal/core"
 	"github.com/lightllm-go/lightllm/internal/dist"
 	"github.com/lightllm-go/lightllm/internal/kv"
+	"github.com/lightllm-go/lightllm/internal/obs"
 	"github.com/lightllm-go/lightllm/internal/perf"
 	"github.com/lightllm-go/lightllm/internal/request"
 	"github.com/lightllm-go/lightllm/internal/stats"
@@ -259,6 +260,13 @@ type Engine struct {
 	startClock      float64
 	admitRetries    int
 	released        bool // a request left the engine during the last Step
+
+	// rec is the optional lifecycle recorder; obsPool/obsRep identify this
+	// engine in the cluster when emitting. nil disables every emission site
+	// (the guards keep the hot path allocation-free and bit-identical).
+	rec     obs.Recorder
+	obsPool int
+	obsRep  int
 
 	// slow is the transient service-time multiplier for fault-injected
 	// degradation (thermal throttling, noisy neighbors): every iteration
@@ -500,6 +508,27 @@ func (e *Engine) AddFailHook(f func(now float64, r *request.Request)) {
 	}
 }
 
+// AddAdmitHook chains f after any existing OnAdmit hook. The cluster's
+// dynamic admission slack observes the engine-side wait from here.
+func (e *Engine) AddAdmitHook(f func(now float64, admitted []*request.Request)) {
+	prev := e.cfg.Hooks.OnAdmit
+	e.cfg.Hooks.OnAdmit = func(now float64, admitted []*request.Request) {
+		if prev != nil {
+			prev(now, admitted)
+		}
+		f(now, admitted)
+	}
+}
+
+// SetRecorder attaches a lifecycle recorder and this engine's cluster
+// identity (pool id, replica index). A nil recorder disables emission; the
+// cluster layer calls this once at construction, before any Step.
+func (e *Engine) SetRecorder(rec obs.Recorder, pool, rep int) {
+	e.rec = rec
+	e.obsPool = pool
+	e.obsRep = rep
+}
+
 // failRequest records a request as unservable and fires OnFail.
 func (e *Engine) failRequest(r *request.Request) {
 	r.MarkFailed()
@@ -507,6 +536,9 @@ func (e *Engine) failRequest(r *request.Request) {
 	e.released = true
 	if e.cfg.Hooks.OnFail != nil {
 		e.cfg.Hooks.OnFail(e.clock, r)
+	}
+	if e.rec != nil {
+		e.rec.Fail(e.clock, r, e.obsPool, e.obsRep)
 	}
 }
 

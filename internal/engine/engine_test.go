@@ -553,3 +553,29 @@ func BenchmarkEngineDecodeHeavy(b *testing.B) {
 		benchPool = e.Pool()
 	}
 }
+
+// TestStepZeroAllocsNilRecorder pins the observability layer's engine-side
+// zero-cost contract: with no recorder attached, a warm steady-state decode
+// step allocates nothing — every emission site is a nil check, so tracing
+// support costs disabled runs nothing on the hot path.
+func TestStepZeroAllocsNilRecorder(t *testing.T) {
+	e := newEngine(t, core.MustNewConservative(1.0), 200_000)
+	// A large decode-heavy batch: admissions settle, then every measured
+	// step is a pure decode iteration over warm storage.
+	for _, r := range mkReqs(32, 64, 4000, 4096) {
+		e.Submit(r)
+	}
+	for i := 0; i < 50; i++ {
+		if !e.Step() {
+			t.Fatal("engine drained during warmup; lengthen the requests")
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if !e.Step() {
+			t.Fatal("engine drained mid-measurement; lengthen the requests")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("recorder-disabled Step allocates %v per op, want 0", allocs)
+	}
+}

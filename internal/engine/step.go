@@ -115,6 +115,9 @@ func (e *Engine) dropExpired() {
 			if e.cfg.Hooks.OnDrop != nil {
 				e.cfg.Hooks.OnDrop(e.clock, r)
 			}
+			if e.rec != nil {
+				e.rec.Drop(e.clock, r, e.obsPool, e.obsRep)
+			}
 		},
 	)
 }
@@ -191,6 +194,11 @@ func (e *Engine) admit() []*request.Request {
 	if e.cfg.Hooks.OnAdmit != nil {
 		e.cfg.Hooks.OnAdmit(e.clock, admitted)
 	}
+	if e.rec != nil {
+		for _, r := range admitted {
+			e.rec.Admit(e.clock, r, e.obsPool, e.obsRep)
+		}
+	}
 	// Record the ground-truth future peak of the post-admission batch
 	// (Table 1's "Future Required Memory") via the reusable estimator.
 	e.truePeak.Reset()
@@ -249,6 +257,9 @@ func (e *Engine) evictLast() {
 	if e.cfg.Hooks.OnEvict != nil {
 		e.cfg.Hooks.OnEvict(e.clock, victim)
 	}
+	if e.rec != nil {
+		e.rec.Evict(e.clock, victim, e.obsPool, e.obsRep)
+	}
 }
 
 // runPrefill executes one fused prefill iteration over the admitted prompts
@@ -300,9 +311,13 @@ func (e *Engine) runPrefill(admitted []*request.Request) {
 // migration to a decode engine.
 func (e *Engine) completePrefills(admitted []*request.Request) {
 	for _, r := range admitted {
+		first := r.FirstTokenAt < 0
 		r.EmitToken(e.clock)
 		if e.cfg.Hooks.OnToken != nil {
 			e.cfg.Hooks.OnToken(e.clock, r)
+		}
+		if first && e.rec != nil {
+			e.rec.FirstToken(e.clock, r, e.obsPool, e.obsRep)
 		}
 		e.outputTokens++
 		e.pool.Free(r.ID)
@@ -313,6 +328,9 @@ func (e *Engine) completePrefills(admitted []*request.Request) {
 			e.finished = append(e.finished, r)
 			if e.cfg.Hooks.OnFinish != nil {
 				e.cfg.Hooks.OnFinish(e.clock, r)
+			}
+			if e.rec != nil {
+				e.rec.Finish(e.clock, r, e.obsPool, e.obsRep)
 			}
 			continue
 		}
@@ -341,9 +359,13 @@ func (e *Engine) runDecode() {
 			e.requeue(r)
 			continue
 		}
+		first := r.FirstTokenAt < 0
 		r.EmitToken(e.clock)
 		if e.cfg.Hooks.OnToken != nil {
 			e.cfg.Hooks.OnToken(e.clock, r)
+		}
+		if first && e.rec != nil {
+			e.rec.FirstToken(e.clock, r, e.obsPool, e.obsRep)
 		}
 		e.outputTokens++
 	}
@@ -406,9 +428,13 @@ func (e *Engine) runMixed() {
 			e.requeue(r) // defensive; ensureExtendable guarantees space
 			continue
 		}
+		first := r.FirstTokenAt < 0
 		r.EmitToken(e.clock)
 		if e.cfg.Hooks.OnToken != nil {
 			e.cfg.Hooks.OnToken(e.clock, r)
+		}
+		if first && e.rec != nil {
+			e.rec.FirstToken(e.clock, r, e.obsPool, e.obsRep)
 		}
 		e.outputTokens++
 	}
@@ -438,6 +464,9 @@ func (e *Engine) requeue(r *request.Request) {
 	if e.cfg.Hooks.OnEvict != nil {
 		e.cfg.Hooks.OnEvict(e.clock, r)
 	}
+	if e.rec != nil {
+		e.rec.Evict(e.clock, r, e.obsPool, e.obsRep)
+	}
 }
 
 // completeDone finishes every running request whose output is complete:
@@ -457,6 +486,9 @@ func (e *Engine) completeDone() {
 		if e.cfg.Hooks.OnFinish != nil {
 			e.cfg.Hooks.OnFinish(e.clock, r)
 		}
+		if e.rec != nil {
+			e.rec.Finish(e.clock, r, e.obsPool, e.obsRep)
+		}
 	}
 	e.running = kept
 }
@@ -474,5 +506,9 @@ func (e *Engine) iterationHook(kind string, dur float64, batch int) {
 		e.cfg.Hooks.OnIteration(e.clock, Iteration{
 			Kind: kind, Duration: dur, BatchSize: batch, KVTokens: e.pool.UsedTokens(),
 		})
+	}
+	if e.rec != nil {
+		kvBytes := int64(e.pool.UsedTokens()) * e.KVBytesPerToken()
+		e.rec.Iteration(e.clock, e.obsPool, e.obsRep, kind, dur, batch, kvBytes, e.queue.Len())
 	}
 }

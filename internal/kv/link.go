@@ -29,6 +29,14 @@ type Link struct {
 	// existing single-wire callers are unaffected.
 	PerDestination bool
 
+	// OnSchedule, when set, observes every booked transfer: the issue time,
+	// the wire start after any lane queueing, the completion time, the size,
+	// and the destination lane (−1 on the shared wire). Pure observation —
+	// the booking it sees is already committed — so the cluster's
+	// observability layer can record wire occupancy without this package
+	// knowing about it. Nil skips the call.
+	OnSchedule func(now, start, done float64, bytes int64, dst int)
+
 	busyUntil float64
 	lanes     []float64 // per-destination busy-until, grown on demand
 }
@@ -92,9 +100,16 @@ func (l *Link) ExpectedDelivery(now float64, bytes int64) float64 {
 // (booking in engine-step order instead used to queue an earlier-issued
 // transfer behind a later one).
 func (l *Link) Schedule(now float64, bytes int64) float64 {
-	done := l.ExpectedDelivery(now, bytes)
+	start := now
+	if l.Serialize && l.busyUntil > start {
+		start = l.busyUntil
+	}
+	done := start + l.TransferTime(bytes)
 	if l.Serialize {
 		l.busyUntil = done
+	}
+	if l.OnSchedule != nil {
+		l.OnSchedule(now, start, done, bytes, -1)
 	}
 	return done
 }
@@ -120,12 +135,19 @@ func (l *Link) ScheduleTo(now float64, bytes int64, dst int) float64 {
 	if !l.PerDestination || dst < 0 {
 		return l.Schedule(now, bytes)
 	}
-	done := l.ExpectedDeliveryTo(now, bytes, dst)
+	start := now
+	if l.Serialize && dst < len(l.lanes) && l.lanes[dst] > start {
+		start = l.lanes[dst]
+	}
+	done := start + l.TransferTime(bytes)
 	if l.Serialize {
 		for dst >= len(l.lanes) {
 			l.lanes = append(l.lanes, 0)
 		}
 		l.lanes[dst] = done
+	}
+	if l.OnSchedule != nil {
+		l.OnSchedule(now, start, done, bytes, dst)
 	}
 	return done
 }

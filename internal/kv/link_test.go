@@ -223,3 +223,42 @@ func TestLinkPerDestinationLanes(t *testing.T) {
 		t.Fatalf("single-wire completions (%v, %v), want (11, 12)", x, y)
 	}
 }
+
+// TestLinkOnScheduleObserves pins the observation hook: every booking
+// reports its issue time, post-queueing wire start, completion, size, and
+// lane — and the reported completion is exactly what the caller got, on both
+// the shared wire and per-destination lanes.
+func TestLinkOnScheduleObserves(t *testing.T) {
+	type book struct {
+		now, start, done float64
+		bytes            int64
+		dst              int
+	}
+	var seen []book
+	l := MustNewLink(100, 0.5)
+	l.OnSchedule = func(now, start, done float64, bytes int64, dst int) {
+		seen = append(seen, book{now, start, done, bytes, dst})
+	}
+	d1 := l.Schedule(0, 100)  // 0 → 1.5
+	d2 := l.Schedule(0.5, 50) // queues behind d1: starts 1.5, done 3.0
+	if len(seen) != 2 {
+		t.Fatalf("saw %d bookings, want 2", len(seen))
+	}
+	if !almost(seen[0].start, 0) || !almost(seen[0].done, d1) || seen[0].dst != -1 {
+		t.Fatalf("first booking %+v", seen[0])
+	}
+	if !almost(seen[1].now, 0.5) || !almost(seen[1].start, 1.5) || !almost(seen[1].done, d2) {
+		t.Fatalf("queued booking %+v, want start 1.5 done %v", seen[1], d2)
+	}
+
+	l2 := MustNewLink(100, 0)
+	l2.PerDestination = true
+	l2.OnSchedule = func(now, start, done float64, bytes int64, dst int) {
+		seen = append(seen, book{now, start, done, bytes, dst})
+	}
+	d3 := l2.ScheduleTo(10, 100, 3)
+	last := seen[len(seen)-1]
+	if last.dst != 3 || !almost(last.start, 10) || !almost(last.done, d3) || last.bytes != 100 {
+		t.Fatalf("lane booking %+v", last)
+	}
+}

@@ -226,6 +226,29 @@ func (s Summary) CostPerGoodCompletion() float64 {
 
 // String renders a one-line summary for logs and tables.
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d sla=%.1f%% goodput=%.0f tok/s throughput=%.0f tok/s p99ttft=%.2fs p99mtpot=%.2fs",
+	out := fmt.Sprintf("n=%d sla=%.1f%% goodput=%.0f tok/s throughput=%.0f tok/s p99ttft=%.2fs p99mtpot=%.2fs",
 		s.Total, s.SLARate()*100, s.Goodput, s.Throughput, s.P99TTFT, s.P99MTPOT)
+	// The overload, failure, and cost axes render only when non-zero, so a
+	// healthy single-engine run keeps its familiar one-liner while an
+	// overload or fault-storm log line actually says what went wrong.
+	if s.Shed > 0 || s.TimedOut > 0 {
+		out += fmt.Sprintf(" shed=%d timedout=%d", s.Shed, s.TimedOut)
+	}
+	if s.Crashes > 0 || s.Lost > 0 {
+		out += fmt.Sprintf(" crashes=%d orphaned=%d recovered=%d reshed=%d lost=%d",
+			s.Crashes, s.Orphaned, s.Recovered, s.ReShed, s.Lost)
+		if s.MeanTimeToRecover > 0 {
+			out += fmt.Sprintf(" mttr=%.2fs", s.MeanTimeToRecover)
+		}
+	}
+	if s.TransferRetries > 0 || s.RePrefills > 0 {
+		out += fmt.Sprintf(" xferretries=%d reprefills=%d", s.TransferRetries, s.RePrefills)
+	}
+	if s.CostSeconds > 0 {
+		out += fmt.Sprintf(" cost=%.0f", s.CostSeconds)
+		if cpg := s.CostPerGoodCompletion(); cpg > 0 {
+			out += fmt.Sprintf(" cost/good=%.3f", cpg)
+		}
+	}
+	return out
 }

@@ -181,6 +181,36 @@ func TestStringers(t *testing.T) {
 	}
 }
 
+// TestSummaryStringRendersOverloadAndFaultAxes: a healthy run keeps the
+// familiar one-liner; shed/failure/cost counters render when non-zero so
+// overload and fault-storm log lines are diagnosable.
+func TestSummaryStringRendersOverloadAndFaultAxes(t *testing.T) {
+	healthy := Summary{Total: 10, SLAOK: 10}
+	for _, frag := range []string{"shed=", "crashes=", "cost=", "xferretries="} {
+		if strings.Contains(healthy.String(), frag) {
+			t.Fatalf("healthy summary renders %q: %q", frag, healthy.String())
+		}
+	}
+	stormy := Summary{
+		Total: 10, SLAOK: 4, GoodTokens: 100,
+		Shed: 3, TimedOut: 1,
+		Crashes: 2, Orphaned: 5, Recovered: 4, ReShed: 1, Lost: 0, MeanTimeToRecover: 1.5,
+		TransferRetries: 7, RePrefills: 2,
+		CostSeconds: 120,
+	}
+	got := stormy.String()
+	for _, frag := range []string{
+		"shed=3", "timedout=1",
+		"crashes=2", "orphaned=5", "recovered=4", "reshed=1", "mttr=1.50s",
+		"xferretries=7", "reprefills=2",
+		"cost=120", "cost/good=",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("storm summary lacks %q: %q", frag, got)
+		}
+	}
+}
+
 func TestAddShedCountsAsTTFTViolation(t *testing.T) {
 	r1 := request.New(1, 10, 5, 10, 0)
 	r1.Shed(2)

@@ -12,33 +12,55 @@ import (
 	"github.com/lightllm-go/lightllm/internal/request"
 )
 
-// Record is the flat, serialisable view of one served request.
+// Record is the flat, serialisable view of one served request. Outcome,
+// Deadline, Migrations, and Retries carry the admission/disaggregation/fault
+// axes; Pool/Replica/Flavor identify the replica that served the request
+// when the producer knows it (−1/"" otherwise — the request alone does not
+// carry placement, so FromRequest leaves them unknown and cluster-aware
+// exporters fill them from the observability spans).
 type Record struct {
-	ID        int64   `json:"id"`
-	Class     string  `json:"class"`
-	Arrival   float64 `json:"arrival"`
-	Input     int     `json:"input_tokens"`
-	Output    int     `json:"output_tokens"`
-	TTFT      float64 `json:"ttft"`
-	TPOT      float64 `json:"tpot"`
-	MTPOT     float64 `json:"mtpot"`
-	Finish    float64 `json:"finish"`
-	Evictions int     `json:"evictions"`
+	ID         int64   `json:"id"`
+	Class      string  `json:"class"`
+	Arrival    float64 `json:"arrival"`
+	Input      int     `json:"input_tokens"`
+	Output     int     `json:"output_tokens"`
+	TTFT       float64 `json:"ttft"`
+	TPOT       float64 `json:"tpot"`
+	MTPOT      float64 `json:"mtpot"`
+	Finish     float64 `json:"finish"`
+	Evictions  int     `json:"evictions"`
+	Outcome    string  `json:"outcome"`
+	Deadline   float64 `json:"ttft_deadline"`
+	Pool       int     `json:"pool"`
+	Replica    int     `json:"replica"`
+	Flavor     string  `json:"flavor,omitempty"`
+	Migrations int     `json:"migrations"`
+	Retries    int     `json:"retries"`
 }
 
 // FromRequest converts a finished request into a Record.
 func FromRequest(r *request.Request) Record {
+	migrations := 0
+	if r.DeliveredAt >= 0 {
+		migrations = 1
+	}
 	return Record{
-		ID:        r.ID,
-		Class:     r.Class,
-		Arrival:   r.ArrivalTime,
-		Input:     r.InputLen,
-		Output:    r.Generated,
-		TTFT:      r.TTFT(),
-		TPOT:      r.TPOT(),
-		MTPOT:     r.MTPOT(),
-		Finish:    r.FinishedAt,
-		Evictions: r.Evictions,
+		ID:         r.ID,
+		Class:      r.Class,
+		Arrival:    r.ArrivalTime,
+		Input:      r.InputLen,
+		Output:     r.Generated,
+		TTFT:       r.TTFT(),
+		TPOT:       r.TPOT(),
+		MTPOT:      r.MTPOT(),
+		Finish:     r.FinishedAt,
+		Evictions:  r.Evictions,
+		Outcome:    r.Outcome.String(),
+		Deadline:   r.TTFTDeadline,
+		Pool:       -1,
+		Replica:    -1,
+		Migrations: migrations,
+		Retries:    r.Retries,
 	}
 }
 
@@ -51,7 +73,11 @@ func FromRequests(rs []*request.Request) []Record {
 	return out
 }
 
-var csvHeader = []string{"id", "class", "arrival", "input_tokens", "output_tokens", "ttft", "tpot", "mtpot", "finish", "evictions"}
+var csvHeader = []string{
+	"id", "class", "arrival", "input_tokens", "output_tokens",
+	"ttft", "tpot", "mtpot", "finish", "evictions",
+	"outcome", "ttft_deadline", "pool", "replica", "flavor", "migrations", "retries",
+}
 
 // WriteCSV writes records with a header row.
 func WriteCSV(w io.Writer, recs []Record) error {
@@ -71,6 +97,13 @@ func WriteCSV(w io.Writer, recs []Record) error {
 			formatFloat(r.MTPOT),
 			formatFloat(r.Finish),
 			strconv.Itoa(r.Evictions),
+			r.Outcome,
+			formatFloat(r.Deadline),
+			strconv.Itoa(r.Pool),
+			strconv.Itoa(r.Replica),
+			r.Flavor,
+			strconv.Itoa(r.Migrations),
+			strconv.Itoa(r.Retries),
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -136,6 +169,23 @@ func parseRow(row []string) (Record, error) {
 		return rec, err
 	}
 	if rec.Evictions, err = strconv.Atoi(row[9]); err != nil {
+		return rec, err
+	}
+	rec.Outcome = row[10]
+	if rec.Deadline, err = strconv.ParseFloat(row[11], 64); err != nil {
+		return rec, err
+	}
+	if rec.Pool, err = strconv.Atoi(row[12]); err != nil {
+		return rec, err
+	}
+	if rec.Replica, err = strconv.Atoi(row[13]); err != nil {
+		return rec, err
+	}
+	rec.Flavor = row[14]
+	if rec.Migrations, err = strconv.Atoi(row[15]); err != nil {
+		return rec, err
+	}
+	if rec.Retries, err = strconv.Atoi(row[16]); err != nil {
 		return rec, err
 	}
 	return rec, nil

@@ -10,8 +10,10 @@ import (
 
 func sample() []Record {
 	return []Record{
-		{ID: 1, Class: "ShareGPT", Arrival: 0.5, Input: 120, Output: 300, TTFT: 0.8, TPOT: 0.05, MTPOT: 0.2, Finish: 16.3, Evictions: 0},
-		{ID: 2, Class: "Distribution-1", Arrival: 1.25, Input: 2048, Output: 4096, TTFT: 2.5, TPOT: 0.06, MTPOT: 4.75, Finish: 250.1, Evictions: 3},
+		{ID: 1, Class: "ShareGPT", Arrival: 0.5, Input: 120, Output: 300, TTFT: 0.8, TPOT: 0.05, MTPOT: 0.2, Finish: 16.3, Evictions: 0,
+			Outcome: "completed", Deadline: 6.5, Pool: 1, Replica: 2, Flavor: "a100", Migrations: 1, Retries: 0},
+		{ID: 2, Class: "Distribution-1", Arrival: 1.25, Input: 2048, Output: 4096, TTFT: 2.5, TPOT: 0.06, MTPOT: 4.75, Finish: 250.1, Evictions: 3,
+			Outcome: "shed", Deadline: 7.25, Pool: -1, Replica: -1, Migrations: 0, Retries: 2},
 	}
 }
 
@@ -70,9 +72,14 @@ func TestReadCSVRejectsGarbage(t *testing.T) {
 	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n")); err == nil {
 		t.Fatal("wrong header accepted")
 	}
-	bad := "id,class,arrival,input_tokens,output_tokens,ttft,tpot,mtpot,finish,evictions\nnotanint,x,0,1,2,3,4,5,6,7\n"
+	header := "id,class,arrival,input_tokens,output_tokens,ttft,tpot,mtpot,finish,evictions,outcome,ttft_deadline,pool,replica,flavor,migrations,retries\n"
+	bad := header + "notanint,x,0,1,2,3,4,5,6,7,completed,8,0,0,,0,0\n"
 	if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
 		t.Fatal("bad id accepted")
+	}
+	short := header + "1,x,0,1,2,3,4,5,6,7\n"
+	if _, err := ReadCSV(strings.NewReader(short)); err == nil {
+		t.Fatal("pre-extension row width accepted")
 	}
 }
 
@@ -96,6 +103,23 @@ func TestFromRequest(t *testing.T) {
 	}
 	if rec.TTFT != 1.0 || rec.MTPOT != 1.0 || rec.Finish != 4.5 || rec.Evictions != 1 {
 		t.Fatalf("timings = %+v", rec)
+	}
+	if rec.Outcome != "completed" || rec.Pool != -1 || rec.Replica != -1 || rec.Migrations != 0 {
+		t.Fatalf("extension fields = %+v", rec)
+	}
+}
+
+func TestFromRequestCarriesFaultAxes(t *testing.T) {
+	r := request.New(9, 50, 2, 10, 1.0)
+	r.TTFTDeadline = 5.0
+	r.EmitToken(2.0)
+	r.RecordMigration(2.5)
+	r.EmitToken(3.0)
+	r.Retries = 1
+	r.Finish(3.0)
+	rec := FromRequest(r)
+	if rec.Outcome != "completed" || rec.Deadline != 5.0 || rec.Migrations != 1 || rec.Retries != 1 {
+		t.Fatalf("fault axes = %+v", rec)
 	}
 }
 

@@ -81,6 +81,26 @@ run_fleet() {
 		echo "BENCH_fleet.json is stale: no fault-recovery mode recorded" >&2
 		exit 1
 	}
+
+	# Trace parity: the observability layer must be a strict observer. Run
+	# the fault-storm trio once recorder-disabled and once with every
+	# export armed — the reports (and stdout) must be byte-identical, or a
+	# trace-enabled run is no longer measuring the system it claims to.
+	obsdir=$(mktemp -d)
+	go run ./cmd/fleetsim -faults -json "$obsdir/off.json" |
+		grep -v '^wrote ' > "$obsdir/off.out"
+	go run ./cmd/fleetsim -faults -json "$obsdir/on.json" \
+		-trace "$obsdir/trace.json" -spans "$obsdir/spans.csv" \
+		-timeseries "$obsdir/ts.csv" -requests "$obsdir/reqs.csv" |
+		grep -v '^wrote ' > "$obsdir/on.out"
+	if ! cmp -s "$obsdir/off.json" "$obsdir/on.json" ||
+		! cmp -s "$obsdir/off.out" "$obsdir/on.out"; then
+		echo "observability parity broken: trace-enabled run diverged from the recorder-disabled run" >&2
+		rm -rf "$obsdir"
+		exit 1
+	fi
+	echo "observability parity: traced fault-storm run bit-identical to untraced"
+	rm -rf "$obsdir"
 }
 
 case "$mode" in
