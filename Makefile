@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check staticcheck bench bench-fleet chaos cover ci
+.PHONY: build test vet fmt-check staticcheck bench bench-fleet bench-scale chaos cover ci
 
 build:
 	$(GO) build ./...
@@ -46,14 +46,24 @@ bench:
 bench-fleet:
 	./scripts/bench.sh fleet
 
+# bench-scale refreshes BENCH_scale.json: the streamed million-request day
+# trace replayed on the reference, 1-worker, and full-width simulation
+# cores, hard-failing unless all three reports are byte-identical. Scale up
+# with e.g. `make bench-scale SCALE_REQUESTS=10000000`.
+bench-scale:
+	SCALE_REQUESTS=$(SCALE_REQUESTS) SCALE_WORKERS=$(SCALE_WORKERS) \
+		SCALE_REPEAT=$(SCALE_REPEAT) ./scripts/bench.sh scale
+
 # chaos sweeps the fault-injection suite under the race detector: randomized
 # crash/retry conservation across CHAOS_SEEDS seeds (default 5), the KV-link
-# backoff/busy-monotonicity properties, and the 4-seed faults-disabled
-# bit-identical equivalence pin. Widen with e.g. `make chaos CHAOS_SEEDS=50`.
+# backoff/busy-monotonicity properties, the 4-seed faults-disabled
+# bit-identical equivalence pin, and the parallel-core fault-storm sweep
+# (batched core vs sequential reference, decision-for-decision, per seed).
+# Widen with e.g. `make chaos CHAOS_SEEDS=50`.
 CHAOS_SEEDS ?= 5
 chaos:
 	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 \
-		-run 'TestFaultConservation|TestNoRecoveryLosesTerminally|TestCrashRecoveryWithoutAdmission|TestFaultsDisabledEquivalence|TestBackoffProperties|TestLinkBusyNeverRegresses|TestCrashEvacuatesEverything' \
+		-run 'TestFaultConservation|TestNoRecoveryLosesTerminally|TestCrashRecoveryWithoutAdmission|TestFaultsDisabledEquivalence|TestBackoffProperties|TestLinkBusyNeverRegresses|TestCrashEvacuatesEverything|TestParallelFaultStormChaos' \
 		./internal/cluster/ ./internal/kv/ ./internal/engine/
 
 ci: build vet fmt-check staticcheck test chaos

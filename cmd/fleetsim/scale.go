@@ -1,0 +1,238 @@
+package main
+
+// The -scale mode: long-trace replay throughput. A compressed "day" of
+// traffic — diurnal rate curve, drifting workload mixture — streams through
+// a large monolithic Past-Future fleet three times on identical regenerated
+// arrival streams: the sequential reference core (workers=0), the batched
+// core with one worker (the coordination-overhead baseline), and the
+// batched core at the requested width. The run hard-fails unless all three
+// reports are byte-identical — the speedup numbers are only meaningful
+// because the answers are exactly the same — and reports wall-clock,
+// events/sec, and speedups, optionally as BENCH_scale.json via -json.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/lightllm-go/lightllm/internal/cluster"
+	"github.com/lightllm-go/lightllm/internal/core"
+	"github.com/lightllm-go/lightllm/internal/engine"
+	"github.com/lightllm-go/lightllm/internal/hw"
+	"github.com/lightllm-go/lightllm/internal/metrics"
+	"github.com/lightllm-go/lightllm/internal/model"
+	"github.com/lightllm-go/lightllm/internal/perf"
+	"github.com/lightllm-go/lightllm/internal/rng"
+	"github.com/lightllm-go/lightllm/internal/workload"
+)
+
+// scaleOptions parameterizes the -scale replay.
+type scaleOptions struct {
+	requests int     // day-trace length; the acceptance runs use ≥1M
+	replicas int     // fleet width
+	capacity int     // per-replica KV capacity override, tokens
+	peak     float64 // diurnal peak arrival rate, req/s
+	workers  int     // batched-core width for the widest run
+	repeat   int     // timing repeats per core; wall-clock is the min
+	seed     uint64
+	maxNew   int // output cap: keeps OSL ≈ 150, the day-trace calibration
+}
+
+// scaleRun is one core's measured replay.
+type scaleRun struct {
+	Workers      int     `json:"workers"`
+	WallSeconds  float64 `json:"wall_s"`
+	Events       int64   `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// MeanBatchWidth is steps per formed batch (0 on the reference core);
+	// it bounds how many workers the replay can actually use.
+	MeanBatchWidth float64 `json:"mean_batch_width,omitempty"`
+	// SpeedupVsRef is reference wall-clock over this run's wall-clock.
+	SpeedupVsRef float64 `json:"speedup_vs_ref"`
+}
+
+// scaleResult is the BENCH_scale.json payload.
+type scaleResult struct {
+	Requests int     `json:"requests"`
+	Replicas int     `json:"replicas"`
+	Capacity int     `json:"capacity_tokens"`
+	PeakRate float64 `json:"peak_rate_req_s"`
+	Seed     uint64  `json:"seed"`
+	Repeat   int     `json:"timing_repeats"`
+	// NumCPU bounds any honest speedup claim: on a single-core host the
+	// widest run can only tie the 1-worker baseline, whatever the code does.
+	NumCPU       int     `json:"num_cpu"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	SimSeconds   float64 `json:"sim_duration_s"`
+	Finished     int     `json:"finished"`
+	MeanTTFT     float64 `json:"mean_ttft_s"`
+	ReportsMatch bool    `json:"reports_match"`
+	// SpeedupVs1 is the headline: widest run vs the 1-worker batched core.
+	SpeedupVs1 float64 `json:"speedup_vs_1worker"`
+	// Par1OverheadVsRef is (wall_1 - wall_ref)/wall_ref: the price of the
+	// batching machinery itself, which must stay small.
+	Par1OverheadVsRef float64    `json:"par1_overhead_vs_ref"`
+	Runs              []scaleRun `json:"runs"`
+}
+
+// dayStream regenerates the -scale arrival stream: a diurnal rate curve
+// (night trough, morning ramp, midday peak, evening shoulder) whose phase
+// durations are solved so the curve emits exactly opts.requests requests,
+// and a workload mixture that drifts across the day — chat-dominated
+// mornings, multimodal midday, reasoning-heavy evenings — with outputs
+// capped at maxNew. Each call rebuilds an identical stream from the seeds.
+func dayStream(opts scaleOptions) *workload.Stream {
+	shape := []float64{0.30, 0.45, 0.70, 1.00, 0.95, 0.75, 0.50, 0.35}
+	sum := 0.0
+	for _, f := range shape {
+		sum += f
+	}
+	phaseDur := float64(opts.requests) / (opts.peak * sum)
+	phases := make([]workload.RatePhase, len(shape))
+	for i, f := range shape {
+		phases[i] = workload.RatePhase{Rate: f * opts.peak, Duration: phaseDur}
+	}
+	third := opts.requests / 3
+	gen := &workload.Concat{
+		Label: "day-trace",
+		Parts: []workload.Generator{
+			workload.Mixed{Label: "morning", Parts: []workload.Generator{workload.ShareGPT, workload.TextVQA(256)}, Weights: []float64{4, 1}},
+			workload.Mixed{Label: "midday", Parts: []workload.Generator{workload.ShareGPT, workload.TextVQA(256), workload.ShareGPTO1}, Weights: []float64{2, 2, 1}},
+			workload.Mixed{Label: "evening", Parts: []workload.Generator{workload.ShareGPT, workload.ShareGPTO1}, Weights: []float64{2, 3}},
+		},
+		PerPart: third,
+	}
+	return workload.NewStream(workload.StreamConfig{
+		Gen:      gen,
+		Lengths:  rng.New(opts.seed + 1000),
+		Arrivals: rng.New(opts.seed + 2000),
+		Phases:   phases,
+		N:        opts.requests,
+		FirstID:  1,
+		MaxNew:   opts.maxNew,
+	})
+}
+
+// buildScaleFleet assembles the replay fleet on the chosen core: mixed-role
+// Past-Future replicas, per-replica scheduler RNG streams, no autoscaler —
+// a fixed fleet keeps all three runs' work identical by construction.
+func buildScaleFleet(opts scaleOptions, workers int) *cluster.Fleet {
+	pm := perf.MustNew(perf.Config{Model: model.Llama2_7B, Cluster: hw.NewCluster(hw.A100_80G, 1)})
+	engines := make([]*engine.Engine, opts.replicas)
+	for i := range engines {
+		engines[i] = engine.MustNew(engine.Config{
+			Perf: pm,
+			Scheduler: core.MustNewPastFuture(core.PastFutureConfig{
+				Reserved: 0.05, Rng: rng.New(opts.seed + uint64(i)),
+			}),
+			CapacityOverride: opts.capacity,
+		})
+	}
+	f, err := cluster.New(cluster.Config{
+		Replicas: engines,
+		Policy:   cluster.FutureHeadroom,
+		Workers:  workers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	return f
+}
+
+// runScale executes the replay sweep and returns the measurements. Each
+// core's replay repeats opts.repeat times on freshly regenerated identical
+// streams; the reported wall-clock is the minimum — the least-noise
+// estimator on a shared host — while the report equality check covers
+// every repeat.
+func runScale(opts scaleOptions) scaleResult {
+	sla := metrics.SLA{TTFT: 8, MTPOT: 1.5}
+	sweep := []int{0, 1}
+	if opts.workers > 1 {
+		sweep = append(sweep, opts.workers)
+	}
+	if opts.repeat < 1 {
+		opts.repeat = 1
+	}
+
+	res := scaleResult{
+		Requests: opts.requests, Replicas: opts.replicas,
+		Capacity: opts.capacity, PeakRate: opts.peak, Seed: opts.seed,
+		Repeat: opts.repeat, NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
+		ReportsMatch: true,
+	}
+	var refReport string
+	var refWall float64
+	for _, w := range sweep {
+		var run scaleRun
+		for rep := 0; rep < opts.repeat; rep++ {
+			f := buildScaleFleet(opts, w)
+			stream := dayStream(opts)
+			start := time.Now()
+			results := f.ServeStream(stream.Next, 1e9)
+			wall := time.Since(start).Seconds()
+			report := f.Report(results, sla)
+			repStr := fmt.Sprintf("%+v", report)
+
+			if rep == 0 || wall < run.WallSeconds {
+				run = scaleRun{Workers: w, WallSeconds: wall, Events: f.EventsProcessed()}
+				_, run.MeanBatchWidth = f.BatchStats()
+			}
+			if w == 0 && rep == 0 {
+				refReport = repStr
+				res.SimSeconds = report.Duration
+				res.Finished = report.Finished
+				res.MeanTTFT = report.Summary.MeanTTFT
+			} else if repStr != refReport {
+				res.ReportsMatch = false
+			}
+		}
+		wall := run.WallSeconds
+		if wall > 0 {
+			run.EventsPerSec = float64(run.Events) / wall
+		}
+		if w == 0 {
+			refWall = wall
+		}
+		if refWall > 0 {
+			run.SpeedupVsRef = refWall / wall
+		}
+		res.Runs = append(res.Runs, run)
+		fmt.Printf("workers=%-2d  wall %8.2fs  %12d events  %11.0f ev/s  speedup vs ref %5.2fx  batch width %5.1f\n",
+			w, wall, run.Events, run.EventsPerSec, run.SpeedupVsRef, run.MeanBatchWidth)
+	}
+	widest := res.Runs[len(res.Runs)-1]
+	for _, r := range res.Runs {
+		if r.Workers == 1 && r.WallSeconds > 0 && widest.WallSeconds > 0 {
+			res.SpeedupVs1 = r.WallSeconds / widest.WallSeconds
+			if refWall > 0 {
+				res.Par1OverheadVsRef = (r.WallSeconds - refWall) / refWall
+			}
+		}
+	}
+	if !res.ReportsMatch {
+		fatal(fmt.Errorf("scale replay: parallel report diverges from the reference — the cores are NOT equivalent"))
+	}
+	fmt.Printf("day trace: %d requests over %.0fs simulated (%d finished, mean TTFT %.2fs), reports identical across cores\n",
+		res.Requests, res.SimSeconds, res.Finished, res.MeanTTFT)
+	fmt.Printf("speedup at %d workers vs 1 worker: %.2fx; 1-worker overhead vs reference: %+.1f%%\n",
+		opts.workers, res.SpeedupVs1, res.Par1OverheadVsRef*100)
+	if res.GoMaxProcs < opts.workers {
+		fmt.Printf("note: GOMAXPROCS=%d < %d workers — this host cannot run the batches in parallel, so the widest run can at best tie the 1-worker baseline; re-run on a host with ≥%d cores for a speedup measurement\n",
+			res.GoMaxProcs, opts.workers, opts.workers)
+	}
+	return res
+}
+
+// writeScaleJSON writes BENCH_scale.json.
+func writeScaleJSON(path string, res scaleResult) {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", path)
+}

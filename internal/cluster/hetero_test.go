@@ -326,6 +326,13 @@ type decisionTrace struct {
 }
 
 func runSeamScenario(seed uint64, homogeneous bool, flt *FaultConfig, rec ...obs.Recorder) decisionTrace {
+	return runSeamScenarioWorkers(seed, homogeneous, flt, 0, rec...)
+}
+
+// runSeamScenarioWorkers is runSeamScenario on a chosen simulation core
+// (workers 0 = the single-threaded reference) — the substrate of the
+// parallel-equivalence tests in parallel_test.go.
+func runSeamScenarioWorkers(seed uint64, homogeneous bool, flt *FaultConfig, workers int, rec ...obs.Recorder) decisionTrace {
 	var recorder obs.Recorder
 	if len(rec) > 0 {
 		recorder = rec[0]
@@ -358,6 +365,7 @@ func runSeamScenario(seed uint64, homogeneous bool, flt *FaultConfig, rec ...obs
 		Admission: &AdmissionConfig{TTFTBudget: sla.TTFT, Shed: true, Slack: 0.5},
 		Faults:    flt,
 		Recorder:  recorder,
+		Workers:   workers,
 	})
 	results := c.Serve(poissonReqs(350, 60, seed), 1e9)
 	for _, s := range c.ShedRequests() {

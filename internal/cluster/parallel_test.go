@@ -1,0 +1,262 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/lightllm-go/lightllm/internal/core"
+	"github.com/lightllm-go/lightllm/internal/engine"
+	"github.com/lightllm-go/lightllm/internal/faults"
+	"github.com/lightllm-go/lightllm/internal/hw"
+	"github.com/lightllm-go/lightllm/internal/metrics"
+	"github.com/lightllm-go/lightllm/internal/obs"
+	"github.com/lightllm-go/lightllm/internal/request"
+	"github.com/lightllm-go/lightllm/internal/rng"
+)
+
+// parallelWorkerCounts are the cores every equivalence test sweeps against
+// the workers=0 reference: the inline batched baseline and a concurrent
+// pool (more workers than the scenarios have busy replicas, so the sweep
+// also covers idle-worker schedules).
+var parallelWorkerCounts = []int{1, 4}
+
+// compareTraces fails the test on the first field where two decision
+// traces diverge.
+func compareTraces(t *testing.T, label string, got, want decisionTrace) {
+	t.Helper()
+	compare := func(kind string, g, w []string) {
+		t.Helper()
+		if len(g) != len(w) {
+			t.Fatalf("%s: %s counts differ: got %d, reference %d", label, kind, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("%s: %s %d differs:\ngot:       %s\nreference: %s", label, kind, i, g[i], w[i])
+			}
+		}
+	}
+	compare("route", got.routes, want.routes)
+	compare("plan", got.plans, want.plans)
+	compare("shed", got.sheds, want.sheds)
+	compare("handoff", got.handoffs, want.handoffs)
+	if got.report != want.report {
+		t.Fatalf("%s: reports differ:\ngot:       %s\nreference: %s", label, got.report, want.report)
+	}
+}
+
+// TestParallelMatchesReference is the tentpole's bit-identity claim on the
+// full disaggregated pipeline: admission holds and sheds, per-pool SLA
+// planners, KV handoffs over a real link. Every Workers value must route,
+// plan, shed, book, and report identically to the single-threaded
+// reference, across seeds. Run under -race this also proves the batched
+// core shares no unsynchronized state.
+func TestParallelMatchesReference(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ref := runSeamScenario(seed, false, nil)
+			if len(ref.sheds) == 0 {
+				t.Fatal("scenario shed nothing; no admission pressure exercised")
+			}
+			for _, w := range parallelWorkerCounts {
+				got := runSeamScenarioWorkers(seed, false, nil, w)
+				compareTraces(t, fmt.Sprintf("workers=%d", w), got, ref)
+			}
+		})
+	}
+}
+
+// TestParallelFaultStormMatchesReference: bit-identity under fire. The
+// conservation storm schedule (crashes mid-prefill/mid-decode/mid-hold,
+// wire failures, a slowdown, plus a seeded stochastic storm) interleaves
+// every fault event kind with batched steps.
+func TestParallelFaultStormMatchesReference(t *testing.T) {
+	storm := func(seed uint64) *FaultConfig {
+		return &FaultConfig{
+			Schedule: stormSchedule(seed), Recover: true,
+			MaxTransferRetries: 3, RetryBackoff: 0.05,
+			LinkFailRate: 0.05, Seed: seed,
+		}
+	}
+	for seed := uint64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ref := runSeamScenario(seed, false, storm(seed))
+			for _, w := range parallelWorkerCounts {
+				got := runSeamScenarioWorkers(seed, false, storm(seed), w)
+				compareTraces(t, fmt.Sprintf("workers=%d", w), got, ref)
+			}
+		})
+	}
+}
+
+// heteroOverloadTrace drives a monolithic heterogeneous fleet (A100 +
+// A30 flavors) through an overload burst with admission shedding and the
+// SLA planner, on a chosen core — covering the hetero and overload modes
+// the disaggregated seam scenario does not.
+func heteroOverloadTrace(seed uint64, workers int) decisionTrace {
+	var tr decisionTrace
+	f := MustNew(Config{
+		Replicas: mixedReplicas(perfFor(hw.A100_80G), 2, perfFor(hw.A30), 2, 6_000, seed),
+		Policy:   FutureHeadroom,
+		Planner: &PlannerConfig{
+			SLA: metrics.SLA{TTFT: 4, MTPOT: 1.0}, Min: 1, Max: 4,
+			Interval: 5, Predictor: HoltPredictor, ActivationDelay: 1,
+		},
+		Admission: &AdmissionConfig{TTFTBudget: 4, Shed: true, Slack: 0.5},
+		OnRoute: func(r *request.Request, rep int) {
+			tr.routes = append(tr.routes, fmt.Sprintf("r%d req%d", rep, r.ID))
+		},
+		Workers: workers,
+	})
+	results := f.Serve(poissonReqs(400, 120, seed), 1e9) // ~2x sustainable: overload
+	for _, s := range f.ShedRequests() {
+		tr.sheds = append(tr.sheds, fmt.Sprintf("req%d@%.9f", s.ID, s.ShedAt))
+	}
+	for _, s := range f.PlanHistory() {
+		tr.plans = append(tr.plans, fmt.Sprintf("@%.3f target=%d active=%d targets=%v", s.At, s.Target, s.Active, s.Targets))
+	}
+	tr.report = fmt.Sprintf("%+v", f.Report(results, metrics.SLA{TTFT: 4, MTPOT: 1.0}))
+	return tr
+}
+
+// TestParallelHeteroOverloadMatchesReference: bit-identity on a
+// heterogeneous monolithic fleet under overload — mixed flavors exercise
+// speed-normalized routing and flavor-aware planning; the 2x-sustainable
+// arrival rate keeps the admission queue and shed path hot.
+func TestParallelHeteroOverloadMatchesReference(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ref := heteroOverloadTrace(seed, 0)
+			if len(ref.sheds) == 0 {
+				t.Fatal("overload scenario shed nothing")
+			}
+			for _, w := range parallelWorkerCounts {
+				got := heteroOverloadTrace(seed, w)
+				compareTraces(t, fmt.Sprintf("workers=%d", w), got, ref)
+			}
+		})
+	}
+}
+
+// TestParallelRecorderParity: the full observability stream — spans,
+// stage decompositions, wire spans, time series, the Perfetto export —
+// must come out byte-identical from the batched core. The recorder is the
+// most order-sensitive observer (every emission site, in firing order),
+// so this is the sharpest single check of effect replay.
+func TestParallelRecorderParity(t *testing.T) {
+	dump := func(c *obs.Collector) string {
+		var spans, pft strings.Builder
+		if err := c.WriteSpanCSV(&spans); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.WritePerfetto(&pft); err != nil {
+			t.Fatal(err)
+		}
+		return spans.String() + "\n====\n" + pft.String()
+	}
+	for seed := uint64(1); seed <= 2; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			refC := obs.NewCollector(1)
+			runSeamScenario(seed, false, nil, refC)
+			ref := dump(refC)
+			for _, w := range parallelWorkerCounts {
+				gotC := obs.NewCollector(1)
+				runSeamScenarioWorkers(seed, false, nil, w, gotC)
+				if got := dump(gotC); got != ref {
+					t.Fatalf("workers=%d: recorder streams diverge", w)
+				}
+			}
+		})
+	}
+}
+
+// TestServeStreamMatchesServe: the pull-based arrival source — the
+// streaming entry point long-trace replay uses — produces the same results
+// as the materialized slice, on both cores.
+func TestServeStreamMatchesServe(t *testing.T) {
+	run := func(workers int, stream bool) string {
+		f := MustNew(Config{Replicas: replicas(2, 8_000), Policy: FutureHeadroom, Workers: workers})
+		reqs := poissonReqs(200, 60, 7)
+		var results []*engine.Result
+		if stream {
+			i := 0
+			results = f.ServeStream(func() *request.Request {
+				if i >= len(reqs) {
+					return nil
+				}
+				r := reqs[i]
+				i++
+				return r
+			}, 1e9)
+		} else {
+			results = f.Serve(reqs, 1e9)
+		}
+		if f.EventsProcessed() == 0 {
+			t.Fatal("no events counted")
+		}
+		return fmt.Sprintf("%+v", f.Report(results, metrics.SLA{TTFT: 6, MTPOT: 1.5}))
+	}
+	ref := run(0, false)
+	for _, w := range []int{0, 1, 4} {
+		if got := run(w, true); got != ref {
+			t.Fatalf("workers=%d stream report diverges:\ngot: %s\nref: %s", w, got, ref)
+		}
+	}
+}
+
+// TestParallelValidation pins the batched core's construction-time safety
+// checks: exclusive engine and scheduler ownership, cluster-wide worker
+// count, non-negative workers.
+func TestParallelValidation(t *testing.T) {
+	if _, err := New(Config{Replicas: replicas(2, 8_000), Workers: -1}); err == nil {
+		t.Fatal("negative Workers accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{
+		Pools: []Config{{Replicas: replicas(1, 8_000), Workers: 2}},
+	}); err == nil {
+		t.Fatal("pool-level Workers accepted inside ClusterConfig")
+	}
+
+	shared := replicas(1, 8_000)[0]
+	if _, err := New(Config{Replicas: []*engine.Engine{shared, shared}, Workers: 2}); err == nil {
+		t.Fatal("shared engine accepted with Workers > 0")
+	}
+
+	sched := core.MustNewPastFuture(core.PastFutureConfig{Reserved: 0.05, Rng: rng.New(1)})
+	pm := testPerf()
+	mk := func() *engine.Engine {
+		return engine.MustNew(engine.Config{Perf: pm, Scheduler: sched, CapacityOverride: 8_000})
+	}
+	if _, err := New(Config{Replicas: []*engine.Engine{mk(), mk()}, Workers: 2}); err == nil {
+		t.Fatal("shared scheduler accepted with Workers > 0")
+	}
+	if _, err := New(Config{Replicas: []*engine.Engine{mk(), mk()}}); err != nil {
+		t.Fatalf("shared scheduler rejected on the reference core: %v", err)
+	}
+}
+
+// TestParallelFaultStormChaos is the `make chaos` entry: the storm
+// equivalence across the widened CHAOS_SEEDS sweep.
+func TestParallelFaultStormChaos(t *testing.T) {
+	for _, seed := range chaosSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			flt := func() *FaultConfig {
+				return &FaultConfig{
+					Schedule: stormSchedule(seed), Recover: true,
+					MaxTransferRetries: 3, RetryBackoff: 0.05,
+					LinkFailRate: 0.08, Seed: seed ^ 0x9e37,
+				}
+			}
+			ref := runSeamScenario(seed, false, flt())
+			got := runSeamScenarioWorkers(seed, false, flt(), 4)
+			compareTraces(t, "workers=4", got, ref)
+		})
+	}
+}
+
+var _ = faults.Crash // keep the import pinned to the storm schedule's package

@@ -125,6 +125,12 @@ type Config struct {
 	// OnRoute, when non-nil, observes every routing decision into this pool
 	// (pool-local replica index).
 	OnRoute func(r *request.Request, replica int)
+	// Workers selects the simulation core when this Config builds the
+	// monolithic Fleet (cluster.New) — the same switch
+	// ClusterConfig.Workers gives an explicit cluster. Like Admission it is
+	// a cluster-wide concern: inside an explicit ClusterConfig a pool-level
+	// worker count is rejected.
+	Workers int
 }
 
 // flavor groups a pool's replicas that share one hardware deployment: the
@@ -178,6 +184,10 @@ type replica struct {
 	inHeap    bool // a step event for this replica is in the event heap
 	pendingIn int  // booked KV transfers in flight toward this replica
 
+	// buf defers the engine's step effects (hooks, recorder emissions) for
+	// in-order replay by the batched core; nil on the reference path.
+	buf *engine.EffectBuffer
+
 	// Warm probe state: est holds QuantileEntry for every running and
 	// queued request, rebuilt lazily after the replica's state changes.
 	est      core.PeakEstimator
@@ -205,6 +215,13 @@ type Pool struct {
 	plan          *planner
 	planScheduled bool
 	flavActive    []int // scratch: active replica count per flavor at tick time
+
+	// Probe fractions precomputed on the worker pool for one request
+	// (parallel core only; see Cluster.refreshProbes). pick consumes them
+	// when fracsFor matches the request it is routing, aligned with the
+	// accepting slice the fractions were computed over.
+	fracs    []float64
+	fracsFor *request.Request
 
 	scaleUps int
 	scaleIns int
@@ -532,10 +549,20 @@ func (p *Pool) pick(req *request.Request) *replica {
 		// so a fitting slow replica always beats an overflowing fast one.
 		// Fits is a threshold on the raw fraction, so in a single-flavor
 		// pool (score == fraction) this is exactly the raw-fraction argmin.
+		fracs := p.fracs
+		if p.fracsFor != req || len(fracs) != len(cands) {
+			fracs = nil // no precomputed probes for this request: probe inline
+		}
+		p.fracsFor = nil
 		var best *replica
 		bestFits, bestScore := false, math.Inf(1)
-		for _, rep := range cands {
-			frac := p.probe(rep, req)
+		for i, rep := range cands {
+			var frac float64
+			if fracs != nil {
+				frac = fracs[i]
+			} else {
+				frac = p.probe(rep, req)
+			}
 			fits := frac <= 1
 			score := frac / rep.flv.relSpeed
 			if best == nil || betterFit(fits, score, bestFits, bestScore) {

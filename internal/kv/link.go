@@ -152,6 +152,19 @@ func (l *Link) ScheduleTo(now float64, bytes int64, dst int) float64 {
 	return done
 }
 
+// PreallocateLanes sizes the per-destination lane table up front so a
+// long replay's ScheduleTo calls never grow it mid-run. Purely a
+// capacity hint: lane state and scheduling results are unchanged, and
+// destinations beyond n still grow on demand.
+func (l *Link) PreallocateLanes(n int) {
+	if n <= len(l.lanes) {
+		return
+	}
+	grown := make([]float64, n)
+	copy(grown, l.lanes)
+	l.lanes = grown
+}
+
 // Backoff returns the capped exponential retry delay for a failed transfer:
 // base·2^attempt, clamped to cap. attempt counts completed failures (the
 // first retry passes 0). base must be positive; cap below base clamps every

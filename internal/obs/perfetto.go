@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 )
 
 // Synthetic process ids for the non-replica tracks. Pool ids are small
@@ -66,7 +67,12 @@ func (c *Collector) WritePerfetto(w io.Writer) error {
 			Args: map[string]any{"name": name},
 		})
 	}
+	pids := make([]int, 0, len(pools))
 	for pid := range pools {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids) // deterministic output: identical runs produce identical bytes
+	for _, pid := range pids {
 		meta(pid, 0, "process_name", fmt.Sprintf("pool%d", pid))
 	}
 	meta(pidFront, 0, "process_name", "cluster-front")

@@ -2,9 +2,10 @@
 # Runs the benchmark suites and records their results for the perf
 # trajectory (see ROADMAP.md "Hot path & complexity"):
 #
-#   scripts/bench.sh          # both suites (make bench)
+#   scripts/bench.sh          # both standing suites (make bench)
 #   scripts/bench.sh micro    # hot-path micro-benchmarks -> BENCH_hotpath.json
 #   scripts/bench.sh fleet    # fleet-scale scenarios     -> BENCH_fleet.json
+#   scripts/bench.sh scale    # long-trace replay sweep   -> BENCH_scale.json
 #
 # The micro suite covers BenchmarkAdmitHotPath, BenchmarkFutureRequiredMemory,
 # BenchmarkWindowSampler, the fleet-scale BenchmarkFleetRoute series, the
@@ -103,6 +104,32 @@ run_fleet() {
 	rm -rf "$obsdir"
 }
 
+run_scale() {
+	# Long-trace replay throughput (make bench-scale): a streamed diurnal
+	# day trace through the sequential reference core, the 1-worker batched
+	# core, and the full-width batched core, on identical regenerated
+	# streams. The binary hard-fails unless all three reports are
+	# byte-identical, so a BENCH_scale.json that exists at all certifies
+	# core equivalence at this scale. Tune with e.g.
+	# `SCALE_REQUESTS=10000000 scripts/bench.sh scale` for the full 10M day.
+	go run ./cmd/fleetsim -scale \
+		-scale-requests "${SCALE_REQUESTS:-1000000}" \
+		-workers "${SCALE_WORKERS:-8}" \
+		-scale-repeat "${SCALE_REPEAT:-2}" \
+		-json BENCH_scale.json
+
+	# Fail loudly if the sweep did not refresh the record: a stale
+	# BENCH_scale.json would silently misreport the replay trajectory.
+	grep -q '"reports_match": true' BENCH_scale.json || {
+		echo "BENCH_scale.json is stale: no report-equality certificate recorded" >&2
+		exit 1
+	}
+	grep -q "\"workers\": ${SCALE_WORKERS:-8}" BENCH_scale.json || {
+		echo "BENCH_scale.json is stale: widest run missing" >&2
+		exit 1
+	}
+}
+
 case "$mode" in
 all)
 	run_micro
@@ -114,8 +141,11 @@ micro)
 fleet)
 	run_fleet
 	;;
+scale)
+	run_scale
+	;;
 *)
-	echo "usage: $0 [all|micro|fleet]" >&2
+	echo "usage: $0 [all|micro|fleet|scale]" >&2
 	exit 2
 	;;
 esac
