@@ -57,13 +57,16 @@ bench-scale:
 # chaos sweeps the fault-injection suite under the race detector: randomized
 # crash/retry conservation across CHAOS_SEEDS seeds (default 5), the KV-link
 # backoff/busy-monotonicity properties, the 4-seed faults-disabled
-# bit-identical equivalence pin, and the parallel-core fault-storm sweep
-# (batched core vs sequential reference, decision-for-decision, per seed).
+# bit-identical equivalence pin, the parallel-core fault-storm sweep
+# (batched core vs sequential reference, decision-for-decision, per seed),
+# the 4-seed prefix-caching-disabled equivalence pin, and exactly-once
+# conservation through the full KV reuse hierarchy (cache hits, eviction,
+# offload, crash-induced cache drops) under a crash storm.
 # Widen with e.g. `make chaos CHAOS_SEEDS=50`.
 CHAOS_SEEDS ?= 5
 chaos:
 	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 \
-		-run 'TestFaultConservation|TestNoRecoveryLosesTerminally|TestCrashRecoveryWithoutAdmission|TestFaultsDisabledEquivalence|TestBackoffProperties|TestLinkBusyNeverRegresses|TestCrashEvacuatesEverything|TestParallelFaultStormChaos' \
+		-run 'TestFaultConservation|TestNoRecoveryLosesTerminally|TestCrashRecoveryWithoutAdmission|TestFaultsDisabledEquivalence|TestBackoffProperties|TestLinkBusyNeverRegresses|TestCrashEvacuatesEverything|TestParallelFaultStormChaos|TestPrefixDisabledEquivalence|TestPrefixCacheConservation' \
 		./internal/cluster/ ./internal/kv/ ./internal/engine/
 
 ci: build vet fmt-check staticcheck test chaos

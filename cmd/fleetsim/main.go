@@ -14,6 +14,8 @@
 //	fleetsim -hetero                  # mixed-GPU fleet: cost-aware vs premium-only
 //	fleetsim -faults                  # crash storm: no faults vs no recovery vs recovery
 //	fleetsim -faults -trace t.json -spans s.csv -timeseries ts.csv
+//	fleetsim -multiturn               # prefix-share sweep under cache-affinity routing
+//	fleetsim -multiturn -compare      # same sweep, affinity vs cache-blind at each point
 //
 // The comparison mode is the paper-§7 demo the bench records in
 // BENCH_fleet.json: on a bursty workload, predictive scaling (EWMA/Holt
@@ -55,6 +57,16 @@
 // one worth looking at. The recorder is a strict observer: a traced run
 // makes bit-identical decisions to an untraced one (scripts/bench.sh
 // checks exactly that), so attaching the exports never changes a report.
+//
+// -multiturn is the prefix-caching demo: multi-turn chat traffic (shared
+// system prompts, growing per-turn histories) swept across the prefix-share
+// axis — the probability a session continues past each turn — on a
+// fixed-size caching fleet with a host offload tier. Each share point runs
+// under cache-affinity routing (warm replicas win ties); with -compare the
+// identical workload also runs cache-blind (AffinityWeight 0), isolating
+// what routing alone is worth at equal provisioned capacity: the affinity
+// arm must beat the blind arm on both served p99 TTFT and total prefill
+// tokens computed, with the gap widening as the share rises.
 //
 // -hetero is the heterogeneous-fleet demo: the same ramp served by a mixed
 // fleet (premium A100-80G replicas plus cheaper economy replicas, RTX-4090
@@ -130,6 +142,13 @@ type options struct {
 	faultR int
 	spare  int
 
+	// Multiturn mode: the affinity arm's routing weight and the session
+	// workload's arrival rate and span.
+	affinityW float64
+	mtRate    float64
+	mtDur     float64
+	mtCap     int
+
 	// rec is the observability recorder the run attaches (nil for an
 	// untraced run — the zero-cost default).
 	rec obs.Recorder
@@ -161,6 +180,12 @@ func main() {
 		slack     = flag.Float64("slack", 1.5, "overload: admission feasibility slack, seconds (reserve for engine-side waits the floor cannot see)")
 		faultsRun = flag.Bool("faults", false, "run the fault-injection trio (no faults / crash storm without recovery / crash storm with recovery) on the disaggregated cluster")
 		faultR    = flag.Int("fault-replicas", 0, "faults: fleet size for the fault trio (0 = 2×replicas; the storm needs scale-out headroom beyond the burst-sized fleet for N+1 spares to provision)")
+		multiturn = flag.Bool("multiturn", false, "run the multi-turn prefix-caching sweep: session traffic at each -shares point served by a caching fleet under cache-affinity routing (with -compare: also cache-blind routing on the identical workload)")
+		mtShares  = flag.String("shares", "0,0.25,0.5,0.75", "multiturn: comma-separated prefix-share sweep (per-turn session continuation probability, each in [0,1))")
+		affinityW = flag.Float64("affinity", 0.5, "multiturn: cache-affinity routing weight for the affinity arm")
+		mtRate    = flag.Float64("mt-rate", 10, "multiturn: session-turn arrival rate, req/s")
+		mtDur     = flag.Float64("mt-duration", 240, "multiturn: workload span, seconds")
+		mtCap     = flag.Int("mt-capacity", 40_000, "multiturn: per-replica KV capacity override, tokens (the caching fleet needs room for resident prefixes on top of in-flight work)")
 		hetero    = flag.Bool("hetero", false, "run the heterogeneous-fleet duo on the same ramp: a mixed premium+economy fleet under the cost-aware planner vs the ramp forced onto the premium flavor alone")
 		econGPU   = flag.String("econ-gpu", "RTX-4090", "hetero: economy GPU flavor (A100-80G, H800, RTX-4090, A30)")
 		econR     = flag.Int("econ", 0, "hetero: economy replicas in the mixed fleet (0 = 2×replicas)")
@@ -233,7 +258,8 @@ func main() {
 		prefill: *prefillR, decodeHR: *decodeHR, linkGBps: *linkGBps, linkLat: *linkLat,
 		overloadX: *overloadX, slack: *slack,
 		econGPU: econ, econR: *econR, heteroHR: *heteroHR,
-		faultR: *faultR,
+		faultR:    *faultR,
+		affinityW: *affinityW, mtRate: *mtRate, mtDur: *mtDur, mtCap: *mtCap,
 	}
 	if opts.econR == 0 {
 		opts.econR = 2 * opts.replicas
@@ -258,7 +284,7 @@ func main() {
 	switch {
 	case *compare && *disagg:
 		modes = []string{"reactive", "predictive", "disaggregated"}
-	case *compare:
+	case *compare && !*multiturn:
 		modes = []string{"reactive", "predictive"}
 	case *disagg:
 		modes = []string{"disaggregated"}
@@ -268,6 +294,8 @@ func main() {
 		// -hetero alone runs just the duo.
 	case *faultsRun:
 		// -faults alone runs just the fault trio.
+	case *multiturn:
+		// -multiturn alone runs just the share sweep.
 	default:
 		modes = []string{opts.scaler}
 	}
@@ -285,6 +313,9 @@ func main() {
 	}
 	if *faultsRun {
 		modes = append(modes, "faults-none", "faults-norecover", "faults-recover")
+	}
+	if *multiturn {
+		modes = append(modes, multiturnModes(parseShares(*mtShares), *compare)...)
 	}
 
 	// Any observability export attaches one collector to the last mode of
@@ -305,6 +336,7 @@ func main() {
 		}
 		rows = append(rows, runOne(opts, *csvPath))
 	}
+	fillPrefillSavings(rows)
 
 	printRows(opts, rows)
 	if *jsonPath != "" {
@@ -406,6 +438,19 @@ type row struct {
 	TransferRetries int     `json:"transfer_retries,omitempty"`
 	RePrefills      int     `json:"re_prefills,omitempty"`
 	MTTR            float64 `json:"mean_time_to_recover_s,omitempty"`
+
+	// Multi-turn prefix-caching fields (the -multiturn sweep). CacheHitRate
+	// is the fraction of arriving prompt tokens served from cache (resident
+	// hits + host-tier restores); PrefillTokens is what prefill actually
+	// encoded; PrefillSavings is the affinity arm's prefill-token reduction
+	// versus the cache-blind arm at the same share point.
+	PrefixShare    float64 `json:"prefix_share,omitempty"`
+	CacheHitRate   float64 `json:"cache_hit_rate,omitempty"`
+	CacheHitTokens int64   `json:"cache_hit_tokens,omitempty"`
+	RestoredTokens int64   `json:"cache_restored_tokens,omitempty"`
+	PrefillTokens  int64   `json:"prefill_compute_tokens,omitempty"`
+	InputTokens    int64   `json:"input_tokens,omitempty"`
+	PrefillSavings float64 `json:"prefill_savings_vs_blind,omitempty"`
 }
 
 // overloadMode returns the admission configuration an overload-trio mode
@@ -466,6 +511,9 @@ func faultsFor(opts options, mode string) *cluster.FaultConfig {
 }
 
 func runOne(opts options, csvPath string) row {
+	if strings.HasPrefix(opts.scaler, "multiturn-") {
+		return runMultiturnOne(opts)
+	}
 	overloaded := strings.HasPrefix(opts.scaler, "overload-")
 	heteroMode := strings.HasPrefix(opts.scaler, "hetero-")
 	faultMode := strings.HasPrefix(opts.scaler, "faults-")
@@ -779,6 +827,7 @@ func printRows(opts options, rows []row) {
 			fmt.Println()
 		}
 	}
+	printMultiturn(rows)
 }
 
 func writeJSON(path string, opts options, rows []row) {

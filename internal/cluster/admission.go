@@ -394,9 +394,17 @@ func (a *admission) infeasible(now float64, r *request.Request) bool {
 // is known.
 func (a *admission) floor(r *request.Request) float64 {
 	c := a.clu
+	// With prefix caching, the best case skips the largest cache coverage
+	// any accepting entry replica holds: only the uncached suffix must
+	// prefill before the first token. Restorable offloaded blocks count
+	// toward the discount with their wire time omitted — the floor is a
+	// lower bound, and pricing restores would overshoot it whenever the
+	// engine restores for less than the prefill it replaces (the only case
+	// it does). Zero discount when caching is off.
+	in := r.InputLen - c.pools[c.entry].bestCachedTokens(r)
 	f := math.Inf(1)
 	for _, fl := range c.pools[c.entry].flavors {
-		if t := fl.pm.PrefillTime(r.InputLen); t < f {
+		if t := fl.pm.PrefillTime(in); t < f {
 			f = t
 		}
 	}

@@ -106,6 +106,11 @@ type PlanSample struct {
 	// because demand did, and the repaired replica is about to need its
 	// slot back.
 	Crashes int
+	// HitRate is the smoothed prefix-cache hit rate the sizing used this
+	// tick (0 with caching off): the fraction of arriving prompt tokens the
+	// caches served, which the TTFT interpolation deducts from the prefill
+	// the fleet must actually compute.
+	HitRate float64
 	// Targets breaks Target down per flavor (flavor order; length 1 for a
 	// homogeneous pool) — the cost-aware placement decision itself.
 	Targets []int
@@ -135,6 +140,11 @@ type planner struct {
 	sumTPOT  float64
 	sheds    int
 	crashes  int
+	// Prefix-cache interval accumulators (cached/restored prompt tokens vs
+	// total prompt tokens over first-pass admissions; fed by the admit hooks
+	// of caching-enabled replicas, so both stay 0 with caching off).
+	sumHit   float64
+	sumHitIn float64
 
 	// Correction factors: smoothed observed/interpolated latency ratios
 	// from past intervals, used to divide the SLA targets — if the fleet
@@ -143,6 +153,13 @@ type planner struct {
 	corrTTFT, corrTPOT float64
 	lastPredTTFT       float64 // interpolated TTFT at the last operating point
 	lastPredTPOT       float64
+
+	// hitRate is the smoothed prefix-cache hit rate (0 with caching off):
+	// sizing prices the prefill side at isl × (1 − hitRate), the mean
+	// uncached suffix a replica actually computes. KV footprints stay at
+	// the full isl — conservative, since sharing saves memory only while
+	// the co-resident requests overlap.
+	hitRate float64
 
 	// Fallbacks when an interval observes no arrivals/finishes.
 	lastISL, lastOSL float64
@@ -199,6 +216,20 @@ func (p *planner) observeFinish(generated int, ttft, tpot float64) {
 	p.sumTPOT += tpot
 }
 
+// observeCacheHit accounts one first-pass admission's prefix-cache
+// coverage: hit is the prompt tokens served by resident or restored cache
+// blocks, input the full prompt. Only caching-enabled replicas feed this.
+func (p *planner) observeCacheHit(hit, input int) {
+	if input <= 0 {
+		return
+	}
+	if hit > input {
+		hit = input
+	}
+	p.sumHit += float64(hit)
+	p.sumHitIn += float64(input)
+}
+
 // observeShed accounts one admission-control refusal charged to this pool —
 // the shed-rate signal: demand arrived that the pool's capacity could not
 // serve inside the SLA.
@@ -250,8 +281,12 @@ func (p *planner) tick(now float64, activeByFlavor []int) []int {
 	p.predRate.Observe(rate)
 	p.predISL.Observe(isl)
 	p.predOSL.Observe(osl)
+	if p.sumHitIn > 0 {
+		p.hitRate = correctionSmoothing*(p.sumHit/p.sumHitIn) + (1-correctionSmoothing)*p.hitRate
+	}
 	p.arrivals, p.sumISL = 0, 0
 	p.finished, p.sumOSL, p.sumTTFT, p.sumTPOT = 0, 0, 0, 0
+	p.sumHit, p.sumHitIn = 0, 0
 
 	predRate := math.Max(p.predRate.Predict(), 0)
 	predISL := math.Max(p.predISL.Predict(), 1)
@@ -354,6 +389,7 @@ func (p *planner) tick(now float64, activeByFlavor []int) []int {
 		Target: total, Active: active, CorrTTFT: p.corrTTFT, CorrTPOT: p.corrTPOT,
 		Shed:    sheds,
 		Crashes: crashes,
+		HitRate: p.hitRate,
 		Targets: append([]int(nil), targets...),
 	})
 	return targets
@@ -503,9 +539,17 @@ func (p *planner) flavorThroughput(f *flavor, isl, osl float64) flavorThr {
 	default:
 		effTTFT := p.cfg.SLA.TTFT / p.corrTTFT
 		effTPOT := p.cfg.SLA.MTPOT / p.corrTPOT
-		thr, predTTFT, predTPOT := replicaThroughput(f.pm, f.capacity, isl, osl, effTTFT, effTPOT)
+		thr, predTTFT, predTPOT := replicaThroughputCached(f.pm, f.capacity, isl, p.prefillISL(isl), osl, effTTFT, effTPOT)
 		return flavorThr{thr: thr, predTTFT: predTTFT, predTPOT: predTPOT}
 	}
+}
+
+// prefillISL returns the mean prompt length the fleet actually computes:
+// the observed shape discounted by the smoothed prefix-cache hit rate (the
+// cached prefix costs no prefill). Identical to isl while the hit rate is
+// 0, so a caching-off planner sizes exactly as before.
+func (p *planner) prefillISL(isl float64) float64 {
+	return isl * (1 - p.hitRate)
 }
 
 // prefillThroughput interpolates the prompt rate one prefill-only replica
@@ -517,7 +561,10 @@ func (p *planner) flavorThroughput(f *flavor, isl, osl float64) flavorThr {
 // the queueing the interpolation cannot see.
 func (p *planner) prefillThroughput(f *flavor, isl float64) flavorThr {
 	effTTFT := p.cfg.SLA.TTFT / p.corrTTFT
-	in := int(isl + 0.5)
+	// Prefill compute covers only the cache-missed suffix; the KV transfer
+	// still ships the full prompt (the decode side needs every block,
+	// cached or not).
+	in := int(p.prefillISL(isl) + 0.5)
 	if in < 1 {
 		in = 1
 	}
@@ -583,7 +630,17 @@ func (p *planner) decodeThroughput(f *flavor, isl, osl float64) flavorThr {
 // — the decode pipeline's B/(osl·t_d) throughput, discounted by the
 // prefill time each admitted request steals from it.
 func replicaThroughput(pm *perf.Model, capacityTokens int, isl, osl, ttft, tpot float64) (ratePerSec, predTTFT, predTPOT float64) {
-	in := int(isl + 0.5)
+	return replicaThroughputCached(pm, capacityTokens, isl, isl, osl, ttft, tpot)
+}
+
+// replicaThroughputCached is replicaThroughput with the prefill side priced
+// at a separate (cache-discounted) prompt length: prefISL is the mean
+// prompt suffix a replica actually encodes, while the KV footprint stays
+// at the full isl — shared prefix blocks save memory only while their
+// sharers overlap, so capacity sizing keeps the full shape. prefISL == isl
+// reduces exactly to the cache-blind rule.
+func replicaThroughputCached(pm *perf.Model, capacityTokens int, isl, prefISL, osl, ttft, tpot float64) (ratePerSec, predTTFT, predTPOT float64) {
+	in := int(prefISL + 0.5)
 	if in < 1 {
 		in = 1
 	}

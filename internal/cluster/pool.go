@@ -97,6 +97,17 @@ type Config struct {
 	// phase it owns: TTFT interpolation for a prefill pool, TPOT for a
 	// decode pool.
 	Planner *PlannerConfig
+	// AffinityWeight blends prefix-cache affinity into FutureHeadroom
+	// routing: a replica's speed-normalized probe score is reduced by
+	// AffinityWeight × the fraction of the request's prompt its resident
+	// prefix cache can serve, so at comparable headroom the request lands
+	// where its cached prefix already lives. The blend only orders
+	// candidates — admission gates and fit thresholds stay on the raw
+	// memory fraction, so affinity never makes an overflowing replica
+	// admissible. 0 (the default) disables the blend, and with prefix
+	// caching off every replica matches zero tokens, so routing is
+	// bit-identical to the cache-blind policy either way.
+	AffinityWeight float64
 	// NaiveProbe computes every FutureHeadroom probe and reactive load with
 	// the reference core.PredictedBatchPeak (one estimator clone+sort per
 	// probe) instead of the warm per-replica estimators. The decisions are
@@ -247,6 +258,9 @@ func newPool(c *Cluster, id int, cfg Config) (*Pool, error) {
 	if cfg.Scale != nil && cfg.Planner != nil {
 		return nil, fmt.Errorf("cluster: reactive Scale and predictive Planner are mutually exclusive")
 	}
+	if cfg.AffinityWeight < 0 {
+		return nil, fmt.Errorf("cluster: negative affinity weight %v", cfg.AffinityWeight)
+	}
 	initial := len(cfg.Replicas)
 	if cfg.Scale != nil {
 		if cfg.Scale.Min < 1 || cfg.Scale.Max > len(cfg.Replicas) || cfg.Scale.Min > cfg.Scale.Max {
@@ -293,6 +307,20 @@ func newPool(c *Cluster, id int, cfg Config) (*Pool, error) {
 				}
 				p.plan.observeFinish(r.Generated, r.TTFT(), tpot)
 			})
+			if rep.eng.PrefixCacheEnabled() {
+				// Feed the planner's hit-rate estimate so sizing prices the
+				// uncached prefill suffix, not the full prompt. First-pass
+				// admissions only: a re-admission after eviction re-reports
+				// the same prompt, and a migrated request arrives with its
+				// KV already in flight.
+				rep.eng.AddAdmitHook(func(_ float64, admitted []*request.Request) {
+					for _, r := range admitted {
+						if r.Admissions == 1 && !r.Migrated {
+							p.plan.observeCacheHit(r.CachedTokens+r.RestoredTokens, r.InputLen)
+						}
+					}
+				})
+			}
 		}
 	}
 	p.rebuildAccepting()
@@ -564,7 +592,7 @@ func (p *Pool) pick(req *request.Request) *replica {
 				frac = p.probe(rep, req)
 			}
 			fits := frac <= 1
-			score := frac / rep.flv.relSpeed
+			score := frac/rep.flv.relSpeed - p.affinity(rep, req)
 			if best == nil || betterFit(fits, score, bestFits, bestScore) {
 				best, bestFits, bestScore = rep, fits, score
 			}
@@ -652,12 +680,63 @@ func (p *Pool) bestProbe(req *request.Request, gate float64) (*replica, float64)
 			continue
 		}
 		fits := f <= 1
-		score := f / rep.flv.relSpeed
+		score := f/rep.flv.relSpeed - p.affinity(rep, req)
 		if bestRep == nil || betterFit(fits, score, bestFits, bestScore) {
 			bestRep, bestFits, bestScore = rep, fits, score
 		}
 	}
 	return bestRep, minFrac
+}
+
+// affinity is the prefix-cache routing bonus subtracted from a replica's
+// speed-normalized probe score: AffinityWeight × the fraction of the
+// request's prompt the replica's resident prefix blocks already hold. The
+// match is an exact read-only probe of the replica's KV pool, evaluated on
+// the cluster thread (the parallel core precomputes only the pure memory
+// fractions; the affinity term reads live cache state, which routing of
+// earlier arrivals mutates). Exactly 0 whenever the blend is off, the
+// request carries no prefix hashes, or caching is disabled — the score then
+// reduces bit-identically to frac/relSpeed.
+func (p *Pool) affinity(rep *replica, req *request.Request) float64 {
+	w := p.cfg.AffinityWeight
+	if w == 0 || len(req.PrefixHashes) == 0 || req.InputLen <= 0 {
+		return 0
+	}
+	hit := rep.eng.Pool().MatchPrefix(req.PrefixHashes)
+	if hit == 0 {
+		return 0
+	}
+	if hit > req.InputLen {
+		hit = req.InputLen
+	}
+	return w * float64(hit) / float64(req.InputLen)
+}
+
+// bestCachedTokens returns the largest prefix-cache coverage — resident
+// hits plus restorable offloaded blocks — any accepting replica could serve
+// for this request, capped at the prompt length. It is the admission
+// floor's optimistic discount: the floor is a best-case bound, so it may
+// assume the request routes to the best-matching replica and that restores
+// are free (the engine prices them at wire time ≥ 0, which the floor
+// omits; a restore it declines prefills instead, which the cache-blind
+// term already covers). 0 whenever caching is off or the request carries
+// no hashes, leaving the floor exactly at its cache-blind value.
+func (p *Pool) bestCachedTokens(r *request.Request) int {
+	if len(r.PrefixHashes) == 0 {
+		return 0
+	}
+	best := 0
+	for _, rep := range p.accepting {
+		kvp := rep.eng.Pool()
+		hit, off := kvp.MatchPrefixDetail(r.PrefixHashes)
+		if t := (hit + off) * kvp.PrefixBlockTokens(); t > best {
+			best = t
+		}
+	}
+	if best > r.InputLen {
+		best = r.InputLen
+	}
+	return best
 }
 
 // load returns the predicted peak of a replica's batch plus queue (no

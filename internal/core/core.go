@@ -159,9 +159,16 @@ func QuantilePrediction(r *request.Request, sampler *dist.Sampler, quantile floa
 
 // QuantileEntry is the estimator entry for a request under the
 // deterministic conditional-quantile prediction rule.
+//
+// Current discounts the tokens served from a shared prefix cache
+// (r.CachedTokens): a hit block's memory is charged to the request that
+// first published it, so counting it again at every sharer would make the
+// estimators — and through them admission, shedding floors, and routing
+// probes — see phantom footprint. CachedTokens is 0 whenever prefix caching
+// is off, keeping this the exact pre-cache entry.
 func QuantileEntry(r *request.Request, sampler *dist.Sampler, quantile float64) Entry {
 	pred := QuantilePrediction(r, sampler, quantile)
-	return Entry{Current: r.Footprint(), Remaining: pred - r.Generated}
+	return Entry{Current: r.Footprint() - r.CachedTokens, Remaining: pred - r.Generated}
 }
 
 // PredictedBatchPeak estimates a batch's future peak memory from the

@@ -209,8 +209,27 @@ type Config struct {
 	// mixture — an extension for the multi-tenant/API deployments whose
 	// mixed distributions the paper observes drifting (§3.2).
 	ClassHistory bool
+	// PrefixCache configures prompt prefix caching. The zero value disables
+	// it, keeping the engine bit-identical to the cache-less code path.
+	PrefixCache PrefixCacheConfig
 
 	Hooks Hooks
+}
+
+// PrefixCacheConfig enables KV prefix caching on the engine's pool:
+// requests carrying prefix hashes share resident prompt blocks and pay
+// prefill only for the uncached suffix. Cold evicted blocks optionally
+// spill to a host offload store; a cache restore streams back over the
+// host link when the wire is cheaper than recomputing the tokens.
+type PrefixCacheConfig struct {
+	// Enabled switches prefix caching on.
+	Enabled bool
+	// BlockTokens is the prefix-block granularity in tokens. 0 selects 64.
+	// Must be a multiple of the engine's BlockSize.
+	BlockTokens int
+	// OffloadCapacityTokens bounds the host offload store evicted prefixes
+	// spill into: 0 disables the offload tier, negative means unbounded.
+	OffloadCapacityTokens int
 }
 
 // Engine is the continuous-batching serving engine. Not safe for concurrent
@@ -251,15 +270,24 @@ type Engine struct {
 	inputTokens     int64
 	recomputeTokens int64
 	swapInTokens    int64
-	pendingSwapIn   float64 // swap-in seconds owed by the next iteration
-	memUtil         stats.TimeWeighted
-	physUtil        stats.TimeWeighted
-	futureReq       stats.Online
-	batchSize       stats.TimeWeighted
-	started         bool
-	startClock      float64
-	admitRetries    int
-	released        bool // a request left the engine during the last Step
+	// Prefix-cache accumulators. Hit/restored tokens are prefill the engine
+	// skipped; prefillComputeTokens is what it actually encoded — the pair
+	// the benchmark's prefill-savings acceptance reads. lastCacheEvict
+	// watermarks the pool's cumulative eviction counter for per-iteration
+	// CacheEvent emission.
+	cacheHitTokens       int64
+	cacheRestoredTokens  int64
+	prefillComputeTokens int64
+	lastCacheEvict       int64
+	pendingSwapIn        float64 // swap-in seconds owed by the next iteration
+	memUtil              stats.TimeWeighted
+	physUtil             stats.TimeWeighted
+	futureReq            stats.Online
+	batchSize            stats.TimeWeighted
+	started              bool
+	startClock           float64
+	admitRetries         int
+	released             bool // a request left the engine during the last Step
 
 	// rec is the optional lifecycle recorder; obsPool/obsRep identify this
 	// engine in the cluster when emitting. nil disables every emission site
@@ -319,12 +347,27 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Role != RoleMixed && cfg.Strategy != PrefillPriority {
 		return nil, fmt.Errorf("engine: role %v requires the prefill-priority strategy, got %v", cfg.Role, cfg.Strategy)
 	}
+	if cfg.PrefixCache.Enabled {
+		if cfg.PrefixCache.BlockTokens == 0 {
+			cfg.PrefixCache.BlockTokens = 64
+		}
+		if cfg.PrefixCache.BlockTokens < 0 || cfg.PrefixCache.BlockTokens%cfg.BlockSize != 0 {
+			return nil, fmt.Errorf("engine: prefix-cache block tokens %d must be a positive multiple of block size %d",
+				cfg.PrefixCache.BlockTokens, cfg.BlockSize)
+		}
+	}
 	e := &Engine{
 		cfg:     cfg,
 		pool:    kv.NewPool(capacity, cfg.BlockSize),
 		history: dist.NewWindow(cfg.HistoryWindow),
 		sched:   cfg.Scheduler,
 		slow:    1,
+	}
+	if cfg.PrefixCache.Enabled {
+		e.pool.EnablePrefixCache(kv.PrefixConfig{
+			BlockTokens:           cfg.PrefixCache.BlockTokens,
+			OffloadCapacityTokens: cfg.PrefixCache.OffloadCapacityTokens,
+		})
 	}
 	if cfg.ClassHistory {
 		e.classHist = map[string]*dist.Window{}
@@ -382,6 +425,10 @@ func (e *Engine) Perf() *perf.Model { return e.cfg.Perf }
 
 // Role returns the engine's serving role (mixed, prefill-only, decode-only).
 func (e *Engine) Role() Role { return e.cfg.Role }
+
+// PrefixCacheEnabled reports whether the engine caches prompt prefixes —
+// the cluster's routing affinity and admission-floor discount key off it.
+func (e *Engine) PrefixCacheEnabled() bool { return e.pool.PrefixCacheEnabled() }
 
 // KVBytesPerToken returns the per-token KV-cache footprint of the served
 // model on this engine — the unit the cluster layer sizes KV transfers in.
@@ -659,20 +706,20 @@ func (e *Engine) Crash() []*request.Request {
 		func(r *request.Request) { orphans = append(orphans, r) },
 	)
 	for _, r := range e.running {
-		e.pool.Free(r.ID)
+		e.free(r)
 		orphans = append(orphans, r)
 	}
 	e.running = e.running[:0]
 	for _, p := range e.prefilling {
 		if e.pool.Allocated(p.req.ID) {
-			e.pool.Free(p.req.ID)
+			e.free(p.req)
 		}
 		orphans = append(orphans, p.req)
 	}
 	e.prefilling = e.prefilling[:0]
 	for _, r := range e.staticBatch {
 		if e.pool.Allocated(r.ID) {
-			e.pool.Free(r.ID)
+			e.free(r)
 		}
 		orphans = append(orphans, r)
 	}
@@ -680,6 +727,10 @@ func (e *Engine) Crash() []*request.Request {
 	for e.arrivals.Len() > 0 {
 		orphans = append(orphans, e.arrivals.pop().r)
 	}
+	// GPU memory died with the replica: every warm cached prefix is gone.
+	// The host offload store survives off-device, so a restarted replica can
+	// still restore spilled prefixes over the wire.
+	e.pool.DropPrefixCache()
 	e.pendingSwapIn = 0
 	e.admitRetries = 0
 	return orphans

@@ -48,6 +48,7 @@ const (
 	efRecFail
 	efRecFinish
 	efRecIteration
+	efRecCacheEvent
 )
 
 type effectItem struct {
@@ -59,7 +60,8 @@ type effectItem struct {
 	// replays every buffer before stepping any engine again.
 	reqs []*request.Request
 	it   Iteration // efHookIteration
-	// efRecIteration scalars.
+	// efRecIteration scalars; iterKind and batch double as the
+	// efRecCacheEvent kind and token count.
 	iterKind string
 	dur      float64
 	batch    int
@@ -170,6 +172,8 @@ func (b *EffectBuffer) Replay() {
 			b.rec.Finish(it.at, it.r, b.pool, b.rep)
 		case efRecIteration:
 			b.rec.Iteration(it.at, b.pool, b.rep, it.iterKind, it.dur, it.batch, it.kvBytes, it.queueLen)
+		case efRecCacheEvent:
+			b.rec.CacheEvent(it.at, b.pool, b.rep, it.iterKind, it.batch)
 		}
 		b.items[i] = effectItem{} // release request pointers
 	}
@@ -217,6 +221,11 @@ func (b *EffectBuffer) Iteration(at float64, pool, rep int, kind string, dur flo
 		kind: efRecIteration, at: at,
 		iterKind: kind, dur: dur, batch: batch, kvBytes: kvBytes, queueLen: queueLen,
 	})
+}
+
+// CacheEvent implements obs.Recorder (captured).
+func (b *EffectBuffer) CacheEvent(at float64, pool, rep int, kind string, tokens int) {
+	b.items = append(b.items, effectItem{kind: efRecCacheEvent, at: at, iterKind: kind, batch: tokens})
 }
 
 // The cluster-side Recorder surface is unreachable from an engine Step; a
@@ -334,7 +343,12 @@ func (e *Engine) EffectFloor() float64 {
 	if head == nil || head.Migrated || head.Swapped {
 		return e.clock
 	}
-	admitLB := e.clock + e.scaled(e.cfg.Perf.PrefillTime(head.Footprint()))
+	// A prefix-cache hit can shrink the head's prefill to its uncached
+	// suffix, so the bound must discount the largest hit its hashes could
+	// possibly score. Exact when caching is off (no hashes, or BlockTokens
+	// is 0 so nothing is discounted).
+	prefill := head.Footprint() - len(head.PrefixHashes)*e.pool.PrefixBlockTokens()
+	admitLB := e.clock + e.scaled(e.cfg.Perf.PrefillTime(prefill))
 	if df := e.decodeFloor(); df < admitLB {
 		return df
 	}

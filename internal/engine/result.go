@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"github.com/lightllm-go/lightllm/internal/kv"
 	"github.com/lightllm-go/lightllm/internal/request"
 )
 
@@ -46,6 +47,19 @@ type Result struct {
 	// SwapInTokens counts KV tokens transferred back from host memory under
 	// the swap eviction policy.
 	SwapInTokens int64
+	// PrefillComputeTokens counts prompt tokens actually encoded by prefill
+	// iterations (fused, chunked, or padded static) — with prefix caching it
+	// falls below InputTokens by exactly the cache's savings.
+	PrefillComputeTokens int64
+	// CacheHitTokens counts prompt tokens served by resident prefix-cache
+	// blocks at admission (prefill skipped for free).
+	CacheHitTokens int64
+	// CacheRestoredTokens counts prompt tokens restored from the host
+	// offload store (prefill replaced by host-link wire time).
+	CacheRestoredTokens int64
+	// PrefixCache is the pool's cache accounting at snapshot time (zero
+	// value when caching is disabled).
+	PrefixCache kv.PrefixStats
 
 	// MemUtilization is the time-weighted mean logical KV occupancy (0..1) —
 	// Table 1's "Current Consumed Memory".
@@ -117,26 +131,30 @@ func (e *Engine) Snapshot() *Result {
 		name = e.sched.Name()
 	}
 	return &Result{
-		Scheduler:          name,
-		Duration:           e.clock - e.startClock,
-		Finished:           append([]*request.Request(nil), e.finished...),
-		Failed:             append([]*request.Request(nil), e.failed...),
-		TimedOut:           append([]*request.Request(nil), e.timedOut...),
-		HandedOff:          append([]*request.Request(nil), e.handedOff...),
-		DecodeSteps:        e.decodeSteps,
-		PrefillIters:       e.prefillIters,
-		Evictions:          e.evictions,
-		Admissions:         e.admissions,
-		OutputTokens:       e.outputTokens,
-		InputTokens:        e.inputTokens,
-		RecomputeTokens:    e.recomputeTokens,
-		SwapInTokens:       e.swapInTokens,
-		MemUtilization:     e.memUtil.Mean(),
-		PhysMemUtilization: e.physUtil.Mean(),
-		FutureRequiredMean: e.futureReq.Mean(),
-		FutureRequiredMax:  e.futureReq.Max(),
-		MeanBatchSize:      e.batchSize.Mean(),
-		PeakUsedTokens:     e.pool.PeakUsedTokens(),
-		CapacityTokens:     e.pool.CapacityTokens(),
+		Scheduler:            name,
+		Duration:             e.clock - e.startClock,
+		Finished:             append([]*request.Request(nil), e.finished...),
+		Failed:               append([]*request.Request(nil), e.failed...),
+		TimedOut:             append([]*request.Request(nil), e.timedOut...),
+		HandedOff:            append([]*request.Request(nil), e.handedOff...),
+		DecodeSteps:          e.decodeSteps,
+		PrefillIters:         e.prefillIters,
+		Evictions:            e.evictions,
+		Admissions:           e.admissions,
+		OutputTokens:         e.outputTokens,
+		InputTokens:          e.inputTokens,
+		RecomputeTokens:      e.recomputeTokens,
+		SwapInTokens:         e.swapInTokens,
+		PrefillComputeTokens: e.prefillComputeTokens,
+		CacheHitTokens:       e.cacheHitTokens,
+		CacheRestoredTokens:  e.cacheRestoredTokens,
+		PrefixCache:          e.pool.PrefixStats(),
+		MemUtilization:       e.memUtil.Mean(),
+		PhysMemUtilization:   e.physUtil.Mean(),
+		FutureRequiredMean:   e.futureReq.Mean(),
+		FutureRequiredMax:    e.futureReq.Max(),
+		MeanBatchSize:        e.batchSize.Mean(),
+		PeakUsedTokens:       e.pool.PeakUsedTokens(),
+		CapacityTokens:       e.pool.CapacityTokens(),
 	}
 }

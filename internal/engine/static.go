@@ -70,6 +70,7 @@ func (e *Engine) formStaticBatch() bool {
 	// Padded prefill: compute cost covers maxIn tokens per request. First
 	// tokens are emitted by the following decode steps.
 	dur := e.scaled(e.cfg.Perf.PrefillTime(maxIn * len(e.staticBatch)))
+	e.prefillComputeTokens += int64(maxIn * len(e.staticBatch))
 	e.clock += dur
 	e.prefillIters++
 	e.observe(e.clock)

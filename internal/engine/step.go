@@ -2,6 +2,7 @@ package engine
 
 import (
 	"github.com/lightllm-go/lightllm/internal/core"
+	"github.com/lightllm-go/lightllm/internal/obs"
 	"github.com/lightllm-go/lightllm/internal/request"
 )
 
@@ -49,6 +50,15 @@ func (e *Engine) Step() bool {
 				e.swapInTokens += int64(need)
 				r.Swapped = false
 				need = 0
+			} else if c := r.CachedTokens + r.RestoredTokens; c > 0 {
+				// Prefix-cache hits need no chunked recompute; restored
+				// blocks charge their host-link wire time to the next mixed
+				// iteration, like swap-in. A fully covered prompt (need 0)
+				// joins the running batch immediately.
+				if r.RestoredTokens > 0 {
+					e.pendingSwapIn += e.cfg.Perf.SwapTime(r.RestoredTokens)
+				}
+				need -= c
 			}
 			e.prefilling = append(e.prefilling, &prefillState{req: r, need: need})
 		}
@@ -168,7 +178,7 @@ func (e *Engine) admit() []*request.Request {
 	admitted := e.admitScratch[:0]
 	for i := 0; i < n; i++ {
 		r := e.queue.Front()
-		if !e.pool.Allocate(r.ID, r.Footprint()) {
+		if !e.allocateFor(r) {
 			break // block fragmentation: physically infeasible, stop here
 		}
 		e.queue.PopFront()
@@ -181,7 +191,7 @@ func (e *Engine) admit() []*request.Request {
 		if !r.Migrated {
 			e.inputTokens += int64(r.InputLen)
 			if r.Generated > 0 && !r.Swapped {
-				e.recomputeTokens += int64(r.Footprint())
+				e.recomputeTokens += int64(r.Footprint() - r.CachedTokens - r.RestoredTokens)
 			}
 		}
 		admitted = append(admitted, r)
@@ -195,8 +205,21 @@ func (e *Engine) admit() []*request.Request {
 		e.cfg.Hooks.OnAdmit(e.clock, admitted)
 	}
 	if e.rec != nil {
+		cached := e.pool.PrefixCacheEnabled()
 		for _, r := range admitted {
 			e.rec.Admit(e.clock, r, e.obsPool, e.obsRep)
+			if !cached || r.Migrated {
+				continue
+			}
+			if r.CachedTokens > 0 {
+				e.rec.CacheEvent(e.clock, e.obsPool, e.obsRep, obs.CacheHit, r.CachedTokens)
+			}
+			if r.RestoredTokens > 0 {
+				e.rec.CacheEvent(e.clock, e.obsPool, e.obsRep, obs.CacheRestore, r.RestoredTokens)
+			}
+			if miss := r.Footprint() - r.CachedTokens - r.RestoredTokens; miss > 0 && !r.Swapped {
+				e.rec.CacheEvent(e.clock, e.obsPool, e.obsRep, obs.CacheMiss, miss)
+			}
 		}
 	}
 	// Record the ground-truth future peak of the post-admission batch
@@ -212,6 +235,49 @@ func (e *Engine) admit() []*request.Request {
 	return admitted
 }
 
+// allocateFor reserves KV memory for an admission. With prefix caching
+// enabled and a hash-carrying fresh prompt, resident prefix blocks are
+// shared instead of reallocated and offloaded blocks are restored over the
+// host link when the wire is cheaper than recomputing them; the request is
+// stamped with the tokens its prefill will not re-encode. Migrated and
+// swapped admissions already carry their KV state and bypass the cache.
+func (e *Engine) allocateFor(r *request.Request) bool {
+	if !e.pool.PrefixCacheEnabled() || len(r.PrefixHashes) == 0 || r.Migrated || r.Swapped {
+		return e.pool.Allocate(r.ID, r.Footprint())
+	}
+	restore := 0
+	hitBlocks, offBlocks := e.pool.MatchPrefixDetail(r.PrefixHashes)
+	if offBlocks > 0 {
+		// Restore-vs-recompute: restoring C tokens pays wire time; skipping
+		// it folds them into the prefill's marginal compute on top of the
+		// tokens that must be encoded anyway.
+		bt := e.pool.PrefixBlockTokens()
+		c := offBlocks * bt
+		miss := r.Footprint() - hitBlocks*bt - c
+		if e.cfg.Perf.SwapTime(c) < e.cfg.Perf.PrefillMarginal(miss, c) {
+			restore = offBlocks
+		}
+	}
+	hit, restored, ok := e.pool.AllocatePrefixed(r.ID, r.Footprint(), r.PrefixHashes, restore)
+	if !ok {
+		return false
+	}
+	r.CachedTokens = hit
+	r.RestoredTokens = restored
+	e.cacheHitTokens += int64(hit)
+	e.cacheRestoredTokens += int64(restored)
+	return true
+}
+
+// free releases a request's KV allocation together with its prefix-cache
+// stamps: once the allocation is gone the shared blocks are unpinned, so
+// the discount must not survive into the estimators or a re-admission.
+func (e *Engine) free(r *request.Request) {
+	e.pool.Free(r.ID)
+	r.CachedTokens = 0
+	r.RestoredTokens = 0
+}
+
 // ensureExtendable evicts running requests (most recently admitted first)
 // until every request in grow can gain one token. Returns the requests that
 // remain extendable; if even a lone request cannot grow, it is failed.
@@ -223,7 +289,9 @@ func (e *Engine) ensureExtendable(grow []*request.Request) {
 				need += e.pool.BlocksNeededToExtendByOne(r.ID)
 			}
 		}
-		if need <= e.pool.FreeBlocks() {
+		// Reclaimable cached blocks count as space: Extend evicts cold cache
+		// LRU-first, so running requests are never preempted to protect it.
+		if need <= e.pool.AvailableBlocks() {
 			return
 		}
 		switch {
@@ -233,7 +301,7 @@ func (e *Engine) ensureExtendable(grow []*request.Request) {
 			// A single running request that cannot grow: unservable.
 			victim := e.running[0]
 			e.running = e.running[:0]
-			e.pool.Free(victim.ID)
+			e.free(victim)
 			e.failRequest(victim)
 		default:
 			return // nothing evictable; callers handle failed extensions
@@ -246,7 +314,7 @@ func (e *Engine) ensureExtendable(grow []*request.Request) {
 func (e *Engine) evictLast() {
 	victim := e.running[len(e.running)-1]
 	e.running = e.running[:len(e.running)-1]
-	e.pool.Free(victim.ID)
+	e.free(victim)
 	victim.State = request.Waiting
 	victim.Evictions++
 	if e.cfg.Eviction == Swap {
@@ -271,6 +339,7 @@ func (e *Engine) evictLast() {
 func (e *Engine) runPrefill(admitted []*request.Request) {
 	promptTokens := 0
 	swapTokens := 0
+	restoreTokens := 0
 	for _, r := range admitted {
 		if r.Migrated {
 			// First admission of a KV migration from a prefill engine: the
@@ -288,9 +357,14 @@ func (e *Engine) runPrefill(admitted []*request.Request) {
 			e.swapInTokens += int64(r.Footprint())
 			continue
 		}
-		promptTokens += r.Footprint() // recompute re-encodes generated tokens
+		// Prefix-cache hits are prompt tokens this iteration never encodes;
+		// offload restores replace their compute with host-link wire time.
+		promptTokens += r.Footprint() - r.CachedTokens - r.RestoredTokens
+		restoreTokens += r.RestoredTokens
 	}
-	dur := e.scaled(e.cfg.Perf.PrefillTime(promptTokens) + e.cfg.Perf.SwapTime(swapTokens))
+	dur := e.scaled(e.cfg.Perf.PrefillTime(promptTokens) + e.cfg.Perf.SwapTime(swapTokens) +
+		e.cfg.Perf.SwapTime(restoreTokens))
+	e.prefillComputeTokens += int64(promptTokens)
 	e.clock += dur
 	e.prefillIters++
 	if e.cfg.Role == RolePrefillOnly {
@@ -320,7 +394,7 @@ func (e *Engine) completePrefills(admitted []*request.Request) {
 			e.rec.FirstToken(e.clock, r, e.obsPool, e.obsRep)
 		}
 		e.outputTokens++
-		e.pool.Free(r.ID)
+		e.free(r)
 		e.released = true
 		if r.Done() {
 			r.Finish(e.clock)
@@ -418,6 +492,7 @@ func (e *Engine) runMixed() {
 	computeTokens := decodeTokens + chunkUsed
 	kvTokens := e.pool.UsedTokens() + len(e.running)
 	dur := e.scaled(e.cfg.Perf.MixedTime(computeTokens, kvTokens) + e.pendingSwapIn)
+	e.prefillComputeTokens += int64(chunkUsed)
 	e.pendingSwapIn = 0
 	e.clock += dur
 	e.mixedIters++
@@ -449,7 +524,7 @@ func (e *Engine) runMixed() {
 // requeue returns a request to the queue front after a failed extension.
 func (e *Engine) requeue(r *request.Request) {
 	if e.pool.Allocated(r.ID) {
-		e.pool.Free(r.ID)
+		e.free(r)
 	}
 	for i, rr := range e.running {
 		if rr == r {
@@ -478,7 +553,7 @@ func (e *Engine) completeDone() {
 			kept = append(kept, r)
 			continue
 		}
-		e.pool.Free(r.ID)
+		e.free(r)
 		e.released = true
 		r.Finish(e.clock)
 		e.recordFinishedLength(r.Class, r.TrueOutputLen)
@@ -508,6 +583,15 @@ func (e *Engine) iterationHook(kind string, dur float64, batch int) {
 		})
 	}
 	if e.rec != nil {
+		// Cache evictions happen inside pool reclaim loops (allocation,
+		// extension); surface the step's total as one event off the pool's
+		// cumulative counter.
+		if e.pool.PrefixCacheEnabled() {
+			if d := e.pool.PrefixStats().EvictedBlocks - e.lastCacheEvict; d > 0 {
+				e.rec.CacheEvent(e.clock, e.obsPool, e.obsRep, obs.CacheEvict, int(d)*e.pool.PrefixBlockTokens())
+				e.lastCacheEvict += d
+			}
+		}
 		kvBytes := int64(e.pool.UsedTokens()) * e.KVBytesPerToken()
 		e.rec.Iteration(e.clock, e.obsPool, e.obsRep, kind, dur, batch, kvBytes, e.queue.Len())
 	}

@@ -24,11 +24,19 @@ type Pool struct {
 	logicalUsed int // sum of allocated logical tokens
 	peakLogical int
 	peakBlocks  int
+
+	// prefix is the opt-in prefix-cache layer (see prefix.go); nil keeps
+	// the allocator bit-identical to the pre-cache behavior.
+	prefix *prefixState
 }
 
 type alloc struct {
-	tokens int // logical tokens
-	blocks int // physical blocks
+	tokens int // logical tokens allocated privately to the request
+	blocks int // physical blocks backing the private tokens
+	// shared are the pinned prefix-cache blocks the request references
+	// (nil outside prefix-caching mode). Shared blocks are accounted once
+	// pool-wide, not per request.
+	shared []*prefixBlock
 }
 
 // NewPool creates a pool with the given capacity in token slots and block
@@ -64,12 +72,25 @@ func (p *Pool) PhysicalUsedTokens() int {
 	return (p.totalBlocks - p.freeBlocks) * p.blockSize
 }
 
-// FreeTokens returns the physical free token slots.
-func (p *Pool) FreeTokens() int { return p.freeBlocks * p.blockSize }
+// FreeTokens returns the token slots an allocation could claim right now:
+// physically free blocks plus, in prefix-caching mode, the reclaimable
+// cached blocks the allocator evicts on demand.
+func (p *Pool) FreeTokens() int {
+	free := p.freeBlocks * p.blockSize
+	if p.prefix != nil {
+		free += p.prefix.freeCnt * p.prefix.blockTokens
+	}
+	return free
+}
 
-// FragmentationWaste returns physical-minus-logical usage: slots lost to
-// partially filled blocks.
-func (p *Pool) FragmentationWaste() int { return p.PhysicalUsedTokens() - p.logicalUsed }
+// FragmentationWaste returns the slots lost to partially filled blocks:
+// physical usage minus logical usage minus reclaimable cache. Cached
+// refs-0 blocks occupy physical memory but are reusable content, not
+// fragmentation, and a shared pinned block counts once however many
+// requests reference it (the refcounted-accounting rule).
+func (p *Pool) FragmentationWaste() int {
+	return p.PhysicalUsedTokens() - p.logicalUsed - p.ReclaimableTokens()
+}
 
 // PeakUsedTokens returns the high-water mark of logical usage.
 func (p *Pool) PeakUsedTokens() int { return p.peakLogical }
@@ -80,10 +101,15 @@ func (p *Pool) Allocated(id int64) bool {
 	return ok
 }
 
-// AllocatedTokens returns the logical tokens held by the request (0 if none).
+// AllocatedTokens returns the logical tokens held by the request (0 if
+// none), shared prefix blocks included.
 func (p *Pool) AllocatedTokens(id int64) int {
 	if a, ok := p.allocs[id]; ok {
-		return a.tokens
+		tokens := a.tokens
+		if p.prefix != nil {
+			tokens += len(a.shared) * p.prefix.blockTokens
+		}
+		return tokens
 	}
 	return 0
 }
@@ -96,14 +122,25 @@ func blocksFor(tokens, blockSize int) int {
 }
 
 // CanAllocate reports whether a fresh allocation of the given logical size
-// would succeed right now.
+// would succeed right now (reclaimable cached blocks count as available).
 func (p *Pool) CanAllocate(tokens int) bool {
-	return blocksFor(tokens, p.blockSize) <= p.freeBlocks
+	return blocksFor(tokens, p.blockSize) <= p.availableBlocks()
+}
+
+// availableBlocks is the free-block budget an allocation can draw on: the
+// free list plus, in prefix-caching mode, the reclaimable cached blocks.
+func (p *Pool) availableBlocks() int {
+	avail := p.freeBlocks
+	if p.prefix != nil {
+		avail += p.prefix.freeCnt * p.prefix.physPerBlock
+	}
+	return avail
 }
 
 // Allocate reserves tokens slots for the request. It returns false (and
-// changes nothing) if the pool lacks physical space. Allocating twice for
-// the same id panics — the engine must Free (eviction) before re-admitting.
+// changes nothing) if the pool lacks physical space — in prefix-caching
+// mode it first reclaims cached blocks LRU-first. Allocating twice for the
+// same id panics — the engine must Free (eviction) before re-admitting.
 func (p *Pool) Allocate(id int64, tokens int) bool {
 	if tokens <= 0 {
 		panic(fmt.Sprintf("kv: allocate %d tokens for request %d", tokens, id))
@@ -113,10 +150,17 @@ func (p *Pool) Allocate(id int64, tokens int) bool {
 	}
 	need := blocksFor(tokens, p.blockSize)
 	if need > p.freeBlocks {
-		return false
+		if need > p.availableBlocks() {
+			return false
+		}
+		p.reclaimFor(need)
 	}
 	p.freeBlocks -= need
-	p.allocs[id] = &alloc{tokens: tokens, blocks: need}
+	if px := p.prefix; px != nil {
+		p.allocs[id] = px.newAlloc(tokens, need, 0)
+	} else {
+		p.allocs[id] = &alloc{tokens: tokens, blocks: need}
+	}
 	p.logicalUsed += tokens
 	p.notePeaks()
 	return true
@@ -124,6 +168,11 @@ func (p *Pool) Allocate(id int64, tokens int) bool {
 
 // FreeBlocks returns the number of free physical blocks.
 func (p *Pool) FreeBlocks() int { return p.freeBlocks }
+
+// AvailableBlocks returns the block budget an allocation or extension can
+// draw on right now: physically free blocks plus, in prefix-caching mode,
+// the reclaimable cached blocks (evicted on demand, LRU-first).
+func (p *Pool) AvailableBlocks() int { return p.availableBlocks() }
 
 // BlocksNeededToExtendByOne returns how many new blocks (0 or 1) extending
 // the request by one token would consume. Unknown ids panic.
@@ -135,18 +184,23 @@ func (p *Pool) BlocksNeededToExtendByOne(id int64) int {
 	return blocksFor(a.tokens+1, p.blockSize) - a.blocks
 }
 
-// CanExtend reports whether growing the request by extra tokens fits.
+// CanExtend reports whether growing the request by extra tokens fits
+// (reclaimable cached blocks count as available).
 func (p *Pool) CanExtend(id int64, extra int) bool {
 	a, ok := p.allocs[id]
 	if !ok {
 		return false
 	}
 	need := blocksFor(a.tokens+extra, p.blockSize) - a.blocks
-	return need <= p.freeBlocks
+	return need <= p.availableBlocks()
 }
 
 // Extend grows an existing allocation by extra tokens, returning false if
-// physical space is exhausted. Extending an unknown id panics.
+// physical space is exhausted — in prefix-caching mode it first reclaims
+// cached blocks LRU-first, so decode never stalls behind cold cache.
+// Extending an unknown id panics. Growth is private: generated tokens are
+// never published into the prefix cache (a follow-up turn republishes them
+// as prompt blocks).
 func (p *Pool) Extend(id int64, extra int) bool {
 	if extra <= 0 {
 		panic(fmt.Sprintf("kv: extend by %d tokens", extra))
@@ -157,7 +211,10 @@ func (p *Pool) Extend(id int64, extra int) bool {
 	}
 	need := blocksFor(a.tokens+extra, p.blockSize) - a.blocks
 	if need > p.freeBlocks {
-		return false
+		if need > p.availableBlocks() {
+			return false
+		}
+		p.reclaimFor(need)
 	}
 	p.freeBlocks -= need
 	a.blocks += need
@@ -168,7 +225,10 @@ func (p *Pool) Extend(id int64, extra int) bool {
 }
 
 // Free releases the request's allocation and returns the logical tokens it
-// held. Freeing an unknown id panics: a double free is an engine bug.
+// held (shared prefix blocks included). Private blocks return to the free
+// list; shared blocks are unpinned and, once unreferenced, stay resident as
+// reclaimable cache. Freeing an unknown id panics: a double free is an
+// engine bug.
 func (p *Pool) Free(id int64) int {
 	a, ok := p.allocs[id]
 	if !ok {
@@ -177,7 +237,11 @@ func (p *Pool) Free(id int64) int {
 	p.freeBlocks += a.blocks
 	p.logicalUsed -= a.tokens
 	delete(p.allocs, id)
-	return a.tokens
+	tokens := a.tokens
+	if p.prefix != nil {
+		tokens += p.releaseShared(a)
+	}
+	return tokens
 }
 
 // Utilization returns logical usage as a fraction of capacity.
@@ -191,15 +255,68 @@ func (p *Pool) Utilization() float64 {
 func (p *Pool) CheckInvariants() error {
 	usedBlocks := 0
 	logical := 0
+	pins := 0
 	for id, a := range p.allocs {
-		if a.tokens <= 0 || a.blocks <= 0 {
+		if a.tokens < 0 || a.blocks < 0 || (a.tokens == 0 && len(a.shared) == 0) {
 			return fmt.Errorf("kv: request %d has empty allocation", id)
 		}
 		if a.blocks != blocksFor(a.tokens, p.blockSize) {
 			return fmt.Errorf("kv: request %d blocks=%d tokens=%d inconsistent", id, a.blocks, a.tokens)
 		}
+		if p.prefix == nil && len(a.shared) != 0 {
+			return fmt.Errorf("kv: request %d holds shared blocks without prefix cache", id)
+		}
+		for _, b := range a.shared {
+			if b.refs <= 0 || b.inLRU {
+				return fmt.Errorf("kv: request %d pins block %x with refs=%d inLRU=%v", id, b.hash, b.refs, b.inLRU)
+			}
+			if p.prefix.resident[b.hash] != b {
+				return fmt.Errorf("kv: request %d pins non-resident block %x", id, b.hash)
+			}
+		}
+		pins += len(a.shared)
 		usedBlocks += a.blocks
 		logical += a.tokens
+	}
+	if px := p.prefix; px != nil {
+		refs, reclaimable := 0, 0
+		for h, b := range px.resident {
+			if b.hash != h {
+				return fmt.Errorf("kv: resident block %x indexed under %x", b.hash, h)
+			}
+			refs += b.refs
+			if b.refs == 0 {
+				reclaimable++
+				if !b.inLRU {
+					return fmt.Errorf("kv: refs-0 block %x off the reclaim list", h)
+				}
+			} else {
+				if b.inLRU {
+					return fmt.Errorf("kv: pinned block %x on the reclaim list", h)
+				}
+				logical += px.blockTokens // referenced shared blocks count once
+			}
+			if _, off := px.offload[h]; off {
+				return fmt.Errorf("kv: block %x both resident and offloaded", h)
+			}
+		}
+		if refs != pins {
+			return fmt.Errorf("kv: refcount drift: %d pins vs %d refs", pins, refs)
+		}
+		if reclaimable != px.freeCnt {
+			return fmt.Errorf("kv: reclaim count drift: %d listed vs %d counted", px.freeCnt, reclaimable)
+		}
+		walked := 0
+		for b := px.lruHead; b != nil; b = b.next {
+			if b.refs != 0 || !b.inLRU {
+				return fmt.Errorf("kv: reclaim list holds pinned block %x", b.hash)
+			}
+			walked++
+		}
+		if walked != px.freeCnt {
+			return fmt.Errorf("kv: reclaim list length %d vs freeCnt %d", walked, px.freeCnt)
+		}
+		usedBlocks += len(px.resident) * px.physPerBlock
 	}
 	if usedBlocks+p.freeBlocks != p.totalBlocks {
 		return fmt.Errorf("kv: blocks leak: used=%d free=%d total=%d", usedBlocks, p.freeBlocks, p.totalBlocks)

@@ -471,3 +471,19 @@ func (c *Collector) PlanPoint(at float64, pool, target, active int) {
 	row.Target, row.Active = target, active
 	row.hasPlan = true
 }
+
+// CacheEvent implements Recorder: prefix-cache token flows accumulate into
+// the pool's interval row, from which the CSV derives the per-pool hit rate.
+func (c *Collector) CacheEvent(at float64, pool, rep int, kind string, tokens int) {
+	row := c.pool(at, pool)
+	switch kind {
+	case CacheHit:
+		row.CacheHitTokens += int64(tokens)
+	case CacheMiss:
+		row.CacheMissTokens += int64(tokens)
+	case CacheRestore:
+		row.CacheRestoreTokens += int64(tokens)
+	case CacheEvict:
+		row.CacheEvictTokens += int64(tokens)
+	}
+}

@@ -34,6 +34,19 @@ const (
 	ShedFlush = "flush"
 )
 
+// CacheEvent kinds, mirroring the engine's prefix-cache emission sites.
+const (
+	// CacheHit: prompt tokens served by resident prefix blocks at admission.
+	CacheHit = "hit"
+	// CacheMiss: prompt tokens the prefill had to encode (cache-enabled
+	// admissions only; the hit rate is hit/(hit+miss)).
+	CacheMiss = "miss"
+	// CacheRestore: prompt tokens restored from the host offload store.
+	CacheRestore = "restore"
+	// CacheEvict: cached tokens reclaimed from resident blocks for memory.
+	CacheEvict = "evict"
+)
+
 // Recorder receives lifecycle events from the simulator. All methods are
 // called single-threaded from the cluster event loop (or the engine's step
 // loop) with `at` in simulated seconds; implementations must not mutate the
@@ -96,4 +109,8 @@ type Recorder interface {
 	// PlanPoint: one planner evaluation — the replica target it chose and
 	// the active count after applying it.
 	PlanPoint(at float64, pool, target, active int)
+	// CacheEvent: a prefix-cache accounting event on a replica — kind is one
+	// of CacheHit, CacheMiss, CacheRestore, CacheEvict, and tokens is the
+	// event's token count. Never fires when prefix caching is disabled.
+	CacheEvent(at float64, pool, rep int, kind string, tokens int)
 }

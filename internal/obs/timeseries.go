@@ -38,6 +38,20 @@ type TSRow struct {
 	KVBytesPeak                             int64
 	Target, Active                          int
 	hasPlan                                 bool
+
+	// Prefix-cache token flows within the interval (0 when caching is off).
+	CacheHitTokens, CacheMissTokens      int64
+	CacheRestoreTokens, CacheEvictTokens int64
+}
+
+// CacheHitRate returns the interval's prompt-token hit rate
+// hit/(hit+miss), or -1 when no cache-enabled admission happened.
+func (r *TSRow) CacheHitRate() float64 {
+	total := r.CacheHitTokens + r.CacheMissTokens
+	if total == 0 {
+		return -1
+	}
+	return float64(r.CacheHitTokens) / float64(total)
 }
 
 func (r *TSRow) peakHeld(v int) {
@@ -120,6 +134,7 @@ var tsHeader = []string{
 	"crashes", "orphans", "recoveries",
 	"batch_peak", "queue_peak", "kv_bytes_peak",
 	"target", "active",
+	"cache_hit_tokens", "cache_miss_tokens", "cache_restore_tokens", "cache_evict_tokens", "cache_hit_rate",
 }
 
 // WriteTimeSeriesCSV writes the interval rollup. The scope column is
@@ -134,6 +149,10 @@ func (c *Collector) WriteTimeSeriesCSV(w io.Writer) error {
 		if r.Scope != scopeFront {
 			scope = "pool" + strconv.Itoa(r.Scope)
 		}
+		hitRate := ""
+		if hr := r.CacheHitRate(); hr >= 0 {
+			hitRate = formatFloat(hr)
+		}
 		rec := []string{
 			formatFloat(r.T), scope,
 			strconv.Itoa(r.Arrivals), strconv.Itoa(r.Places), strconv.Itoa(r.Holds), strconv.Itoa(r.Releases), strconv.Itoa(r.HeldPeak),
@@ -143,6 +162,9 @@ func (c *Collector) WriteTimeSeriesCSV(w io.Writer) error {
 			strconv.Itoa(r.Crashes), strconv.Itoa(r.Orphans), strconv.Itoa(r.Recoveries),
 			strconv.Itoa(r.BatchPeak), strconv.Itoa(r.QueuePeak), strconv.FormatInt(r.KVBytesPeak, 10),
 			strconv.Itoa(r.Target), strconv.Itoa(r.Active),
+			strconv.FormatInt(r.CacheHitTokens, 10), strconv.FormatInt(r.CacheMissTokens, 10),
+			strconv.FormatInt(r.CacheRestoreTokens, 10), strconv.FormatInt(r.CacheEvictTokens, 10),
+			hitRate,
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -139,6 +139,21 @@ func (m *Model) PrefillTime(promptTokens int) float64 {
 	return m.overhead + maxf(compute, weights)
 }
 
+// PrefillMarginal returns the extra prefill time from adding extra prompt
+// tokens to an iteration already processing base tokens — the recompute
+// price the prefix-cache restore decision weighs against the offload tier's
+// wire time. Marginal cost can be zero while the iteration sits on the
+// weight-pass floor.
+func (m *Model) PrefillMarginal(base, extra int) float64 {
+	if extra <= 0 {
+		return 0
+	}
+	if base < 0 {
+		base = 0
+	}
+	return m.PrefillTime(base+extra) - m.PrefillTime(base)
+}
+
 // DecodeTime returns the duration of one decode step for a batch of
 // batchSize requests whose KV caches total kvTokens tokens.
 func (m *Model) DecodeTime(batchSize, kvTokens int) float64 {

@@ -145,6 +145,30 @@ type Request struct {
 	// it fell back to re-prefill) increments it. A completed request with
 	// Retries > 0 was recovered; a shed one with Retries > 0 was re-shed.
 	Retries int
+
+	// Prefix-cache identity (immutable, stamped by the workload generator).
+	//
+	// PrefixHashes are the chained block hashes covering the leading
+	// len(PrefixHashes)·BlockTokens prompt tokens, in prompt order (see
+	// kv.PrefixHash). Nil/empty means the request carries no cacheable
+	// prefix — and a caching-disabled fleet ignores them entirely, which is
+	// what the disabled-path equivalence pin relies on.
+	PrefixHashes []uint64
+	// SessionID groups the turns of one multi-turn conversation (0 for
+	// single-turn traffic); Turn is the 1-based turn index within it.
+	SessionID int64
+	Turn      int
+
+	// Prefix-cache runtime state, owned by the admitting engine and cleared
+	// whenever the allocation is released (eviction, crash, retry).
+	//
+	// CachedTokens is how many prompt tokens were served by resident cache
+	// blocks at admission — prefill that never runs, and footprint the
+	// estimators must not double count (the block's creator counts it).
+	CachedTokens int
+	// RestoredTokens is how many prompt tokens were restored from the host
+	// offload store at admission — prefill replaced by wire time.
+	RestoredTokens int
 }
 
 // New constructs a request. trueOutputLen is clamped to [1, maxNewTokens]:
@@ -294,6 +318,8 @@ func (r *Request) ResetForRetry() {
 	r.Migrated = false
 	r.PrefillDoneAt = -1
 	r.DeliveredAt = -1
+	r.CachedTokens = 0
+	r.RestoredTokens = 0
 	r.Retries++
 }
 

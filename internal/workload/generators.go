@@ -135,10 +135,21 @@ func (c *Concat) Sample(r *rng.RNG) (int, int) {
 // output length, as a real deployment's max_new_tokens parameter would.
 // Generators implementing ClassedGenerator label each request with its own
 // sample's class; others label all requests with the generator's name.
+// SessionGenerators additionally stamp session identity and prefix hashes.
 func Build(gen Generator, r *rng.RNG, n int, firstID int64, maxNew int) []*request.Request {
 	classed, _ := gen.(ClassedGenerator)
+	sessed, _ := gen.(SessionGenerator)
 	reqs := make([]*request.Request, n)
 	for i := range reqs {
+		if sessed != nil {
+			sm := sessed.SampleSession(r)
+			reqs[i] = request.New(firstID+int64(i), sm.In, sm.Out, maxNew, 0)
+			reqs[i].Class = sm.Class
+			reqs[i].SessionID = sm.SessionID
+			reqs[i].Turn = sm.Turn
+			reqs[i].PrefixHashes = sm.PrefixHashes
+			continue
+		}
 		var in, out int
 		class := gen.Name()
 		if classed != nil {

@@ -42,6 +42,7 @@ type StreamConfig struct {
 type Stream struct {
 	cfg     StreamConfig
 	classed ClassedGenerator
+	sessed  SessionGenerator
 
 	produced int
 	t        float64
@@ -80,6 +81,7 @@ func NewStream(cfg StreamConfig) *Stream {
 		end:      cfg.StartTime,
 	}
 	s.classed, _ = cfg.Gen.(ClassedGenerator)
+	s.sessed, _ = cfg.Gen.(SessionGenerator)
 	for _, ph := range cfg.Phases {
 		s.end += ph.Duration
 	}
@@ -93,8 +95,12 @@ func (s *Stream) Next() *request.Request {
 		return nil
 	}
 	var in, out int
+	var sm SessionSample
 	class := s.cfg.Gen.Name()
-	if s.classed != nil {
+	if s.sessed != nil {
+		sm = s.sessed.SampleSession(s.cfg.Lengths)
+		in, out, class = sm.In, sm.Out, sm.Class
+	} else if s.classed != nil {
 		in, out, class = s.classed.SampleWithClass(s.cfg.Lengths)
 	} else {
 		in, out = s.cfg.Gen.Sample(s.cfg.Lengths)
@@ -106,6 +112,11 @@ func (s *Stream) Next() *request.Request {
 	s.t += s.cfg.Arrivals.Exp(1 / s.cfg.Phases[s.phase].Rate)
 	req := request.New(s.cfg.FirstID+int64(s.produced), in, out, s.cfg.MaxNew, s.t)
 	req.Class = class
+	if s.sessed != nil {
+		req.SessionID = sm.SessionID
+		req.Turn = sm.Turn
+		req.PrefixHashes = sm.PrefixHashes
+	}
 	s.produced++
 	return req
 }

@@ -9,13 +9,17 @@
 #
 # The micro suite covers BenchmarkAdmitHotPath, BenchmarkFutureRequiredMemory,
 # BenchmarkWindowSampler, the fleet-scale BenchmarkFleetRoute series, the
-# cluster-front admission deadline heap, and the MaxPrefillTokens trim. The
-# fleet suite runs the cmd/fleetsim scenario family on one bursty ramp:
-# reactive vs predictive autoscaling, disaggregated prefill/decode, the 2×
-# overload-ramp admission comparison (shed on/off), the heterogeneous
-# mixed-GPU fleet (cost-aware planner vs the premium flavor alone, compared
-# on CostSeconds), and the crash-storm fault trio (no faults / no recovery /
-# full recovery, compared on SLA-met completions and served p99 TTFT).
+# cluster-front admission deadline heap, the MaxPrefillTokens trim, and the
+# prefix-cache longest-match lookup (BenchmarkPrefixMatch, 0 allocs steady
+# state). The fleet suite runs the cmd/fleetsim scenario family on one
+# bursty ramp: reactive vs predictive autoscaling, disaggregated
+# prefill/decode, the 2× overload-ramp admission comparison (shed on/off),
+# the heterogeneous mixed-GPU fleet (cost-aware planner vs the premium
+# flavor alone, compared on CostSeconds), the crash-storm fault trio (no
+# faults / no recovery / full recovery, compared on SLA-met completions and
+# served p99 TTFT), and the multi-turn prefix-share sweep (cache-affinity vs
+# cache-blind routing at equal provisioned capacity, compared on hit rate,
+# served p99 TTFT, and prefill tokens computed).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -34,6 +38,8 @@ run_micro() {
 		-benchmem ./internal/cluster/ | tee -a "$tmp"
 	go test -run '^$' -bench 'BenchmarkPrefillTrim' \
 		-benchmem ./internal/engine/ | tee -a "$tmp"
+	go test -run '^$' -bench 'BenchmarkPrefixMatch' \
+		-benchmem ./internal/kv/ | tee -a "$tmp"
 
 	awk '
 	BEGIN { print "["; first = 1 }
@@ -59,10 +65,13 @@ run_fleet() {
 	# predictive (Holt) autoscaling, the disaggregated prefill/decode
 	# cluster with its dual-pool planner, the 2× overload ramp served three
 	# ways (route-on-arrival, admission hold, deadline-aware shedding), the
-	# heterogeneous mixed-GPU fleet judged on normalized CostSeconds, and
-	# the mid-burst crash-storm trio (no faults / no recovery / recovery
-	# with retries, re-admission, and N+1 spares).
-	go run ./cmd/fleetsim -disagg -compare -overload -hetero -faults -json BENCH_fleet.json
+	# heterogeneous mixed-GPU fleet judged on normalized CostSeconds, the
+	# mid-burst crash-storm trio (no faults / no recovery / recovery
+	# with retries, re-admission, and N+1 spares), and the multi-turn
+	# prefix-share sweep (cache-affinity vs cache-blind routing on a fixed
+	# caching fleet, judged on hit rate, served p99 TTFT, and prefill
+	# tokens computed).
+	go run ./cmd/fleetsim -disagg -compare -overload -hetero -faults -multiturn -json BENCH_fleet.json
 
 	# Fail loudly if the comparison did not refresh the record: a stale
 	# BENCH_fleet.json would silently misreport the fleet trajectory.
@@ -80,6 +89,14 @@ run_fleet() {
 	}
 	grep -q '"mode": "faults-recover"' BENCH_fleet.json || {
 		echo "BENCH_fleet.json is stale: no fault-recovery mode recorded" >&2
+		exit 1
+	}
+	grep -q '"mode": "multiturn-0.75-affinity"' BENCH_fleet.json || {
+		echo "BENCH_fleet.json is stale: no multi-turn prefix-caching sweep recorded" >&2
+		exit 1
+	}
+	grep -q '"prefill_savings_vs_blind"' BENCH_fleet.json || {
+		echo "BENCH_fleet.json is stale: no cache-blind baseline for the prefix sweep" >&2
 		exit 1
 	}
 
