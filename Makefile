@@ -59,14 +59,17 @@ bench-scale:
 # backoff/busy-monotonicity properties, the 4-seed faults-disabled
 # bit-identical equivalence pin, the parallel-core fault-storm sweep
 # (batched core vs sequential reference, decision-for-decision, per seed),
-# the 4-seed prefix-caching-disabled equivalence pin, and exactly-once
+# the 4-seed prefix-caching-disabled equivalence pin, exactly-once
 # conservation through the full KV reuse hierarchy (cache hits, eviction,
-# offload, crash-induced cache drops) under a crash storm.
+# offload, crash-induced cache drops) under a crash storm, the chunked-
+# prefill pins (chunking-disabled bit-identity, chunked parallel-core
+# equivalence, greedy-vs-degenerate-SLO policy equivalence), and exactly-once
+# conservation through chunked prefill × prefix-cache hits × crash storms.
 # Widen with e.g. `make chaos CHAOS_SEEDS=50`.
 CHAOS_SEEDS ?= 5
 chaos:
 	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 \
-		-run 'TestFaultConservation|TestNoRecoveryLosesTerminally|TestCrashRecoveryWithoutAdmission|TestFaultsDisabledEquivalence|TestBackoffProperties|TestLinkBusyNeverRegresses|TestCrashEvacuatesEverything|TestParallelFaultStormChaos|TestPrefixDisabledEquivalence|TestPrefixCacheConservation' \
+		-run 'TestFaultConservation|TestNoRecoveryLosesTerminally|TestCrashRecoveryWithoutAdmission|TestFaultsDisabledEquivalence|TestBackoffProperties|TestLinkBusyNeverRegresses|TestCrashEvacuatesEverything|TestParallelFaultStormChaos|TestPrefixDisabledEquivalence|TestPrefixCacheConservation|TestChunkingDisabledEquivalence|TestChunkedParallelEquivalence|TestChunkedConservation|TestChunkPolicyEquivalence' \
 		./internal/cluster/ ./internal/kv/ ./internal/engine/
 
 ci: build vet fmt-check staticcheck test chaos

@@ -149,6 +149,15 @@ type options struct {
 	mtDur     float64
 	mtCap     int
 
+	// Longctx mode: the blended workload's arrival rate and span, the
+	// big-KV per-replica capacity, the chunk size, and the long-document
+	// class's looser TTFT budget.
+	lcRate     float64
+	lcDur      float64
+	lcCap      int
+	lcChunk    int
+	lcLongTTFT float64
+
 	// rec is the observability recorder the run attaches (nil for an
 	// untraced run — the zero-cost default).
 	rec obs.Recorder
@@ -186,10 +195,17 @@ func main() {
 		mtRate    = flag.Float64("mt-rate", 10, "multiturn: session-turn arrival rate, req/s")
 		mtDur     = flag.Float64("mt-duration", 240, "multiturn: workload span, seconds")
 		mtCap     = flag.Int("mt-capacity", 40_000, "multiturn: per-replica KV capacity override, tokens (the caching fleet needs room for resident prefixes on top of in-flight work)")
+		longctx   = flag.Bool("longctx", false, "run the long-context chunked-prefill sweep: chat traffic blended with 32k+ prompts at each -lc-shares point, served with SLO-aware chunked prefill (with -compare: also unchunked and greedy fixed-chunk on the identical workload)")
+		lcShares  = flag.String("lc-shares", "0.02,0.05,0.10", "longctx: comma-separated long-prompt request shares, each in [0,1)")
+		lcRate    = flag.Float64("lc-rate", 4, "longctx: blended arrival rate, req/s")
+		lcDur     = flag.Float64("lc-duration", 240, "longctx: workload span, seconds")
+		lcCap     = flag.Int("lc-capacity", 131_072, "longctx: per-replica KV capacity override, tokens (a 64k prompt must fit beside in-flight chat work)")
+		lcChunk   = flag.Int("lc-chunk", 512, "longctx: prefill chunk size, tokens (greedy arm's fixed size; slo arm's default when no deadline presses)")
+		lcTTFT    = flag.Float64("lc-long-ttft", 20, "longctx: TTFT budget for the long-document class, seconds (the chat class keeps -ttft)")
 		hetero    = flag.Bool("hetero", false, "run the heterogeneous-fleet duo on the same ramp: a mixed premium+economy fleet under the cost-aware planner vs the ramp forced onto the premium flavor alone")
 		econGPU   = flag.String("econ-gpu", "RTX-4090", "hetero: economy GPU flavor (A100-80G, H800, RTX-4090, A30)")
 		econR     = flag.Int("econ", 0, "hetero: economy replicas in the mixed fleet (0 = 2×replicas)")
-		heteroHR  = flag.Float64("hetero-headroom", 0.65, "hetero: mixed-fleet planner utilization target (slower GPUs pay proportionally longer absolute queueing at equal utilization, so the mixed fleet runs slacker than the premium baseline)")
+		heteroHR  = flag.Float64("hetero-headroom", 0, "hetero: global mixed-fleet planner utilization target override (0 = speed-aware per-flavor targets derived from -headroom: the fastest flavor runs at -headroom and slower flavors keep the same absolute slack time, replacing the old uniform 0.65)")
 		prefillR  = flag.Int("prefill", 0, "disagg: prefill pool replicas (0 = replicas/4, min 1; the rest decode)")
 		decodeHR  = flag.Float64("decode-headroom", 0.7, "disagg: decode pool planner utilization target (decode queueing costs MTPOT; the MTPOT correction loop lets this run tighter than the old 0.6 default)")
 		linkGBps  = flag.Float64("link-gbps", 64, "disagg: KV-transfer link bandwidth, GB/s (0 = latency-only)")
@@ -260,6 +276,7 @@ func main() {
 		econGPU: econ, econR: *econR, heteroHR: *heteroHR,
 		faultR:    *faultR,
 		affinityW: *affinityW, mtRate: *mtRate, mtDur: *mtDur, mtCap: *mtCap,
+		lcRate: *lcRate, lcDur: *lcDur, lcCap: *lcCap, lcChunk: *lcChunk, lcLongTTFT: *lcTTFT,
 	}
 	if opts.econR == 0 {
 		opts.econR = 2 * opts.replicas
@@ -284,7 +301,7 @@ func main() {
 	switch {
 	case *compare && *disagg:
 		modes = []string{"reactive", "predictive", "disaggregated"}
-	case *compare && !*multiturn:
+	case *compare && !*multiturn && !*longctx:
 		modes = []string{"reactive", "predictive"}
 	case *disagg:
 		modes = []string{"disaggregated"}
@@ -296,6 +313,8 @@ func main() {
 		// -faults alone runs just the fault trio.
 	case *multiturn:
 		// -multiturn alone runs just the share sweep.
+	case *longctx:
+		// -longctx alone runs just the chunking sweep.
 	default:
 		modes = []string{opts.scaler}
 	}
@@ -316,6 +335,9 @@ func main() {
 	}
 	if *multiturn {
 		modes = append(modes, multiturnModes(parseShares(*mtShares), *compare)...)
+	}
+	if *longctx {
+		modes = append(modes, longctxModes(parseShares(*lcShares), *compare)...)
 	}
 
 	// Any observability export attaches one collector to the last mode of
@@ -451,6 +473,20 @@ type row struct {
 	PrefillTokens  int64   `json:"prefill_compute_tokens,omitempty"`
 	InputTokens    int64   `json:"input_tokens,omitempty"`
 	PrefillSavings float64 `json:"prefill_savings_vs_blind,omitempty"`
+
+	// Long-context chunked-prefill fields (the -longctx sweep). The short-*
+	// axes cover the chat class's served requests; LongAttainment is the
+	// long-document class's deadline attainment over all its arrivals, so
+	// an arm cannot win the short axis by starving the long prompts.
+	LongShare       float64 `json:"long_share,omitempty"`
+	ChunkPolicy     string  `json:"chunk_policy,omitempty"`
+	ShortP99TTFT    float64 `json:"short_p99_ttft_s,omitempty"`
+	ShortAttainment float64 `json:"short_ttft_attainment,omitempty"`
+	LongAttainment  float64 `json:"long_attainment,omitempty"`
+	ShortServed     int     `json:"short_served,omitempty"`
+	LongServed      int     `json:"long_served,omitempty"`
+	ChunkIters      int     `json:"chunk_iters,omitempty"`
+	PrefillChunks   int64   `json:"prefill_chunks,omitempty"`
 }
 
 // overloadMode returns the admission configuration an overload-trio mode
@@ -513,6 +549,9 @@ func faultsFor(opts options, mode string) *cluster.FaultConfig {
 func runOne(opts options, csvPath string) row {
 	if strings.HasPrefix(opts.scaler, "multiturn-") {
 		return runMultiturnOne(opts)
+	}
+	if strings.HasPrefix(opts.scaler, "longctx-") {
+		return runLongctxOne(opts)
 	}
 	overloaded := strings.HasPrefix(opts.scaler, "overload-")
 	heteroMode := strings.HasPrefix(opts.scaler, "hetero-")
@@ -708,14 +747,22 @@ func buildHetero(opts options) *cluster.Fleet {
 	// the workload generator (seed+1000), so no scheduler shares an RNG
 	// stream with the stream that generated its load.
 	engines := append(mkEngines(premium, opts.replicas, opts, 0), mkEngines(econ, opts.econR, opts, 1_000_000)...)
+	// Speed-aware by default: the fastest flavor runs at the standard
+	// -headroom target and slower flavors derive theirs from absolute slack
+	// time. A non-zero -hetero-headroom restores the old uniform override.
+	plan := &cluster.PlannerConfig{
+		SLA: opts.sla, Min: opts.min, Max: len(engines),
+		Interval: opts.interval, Predictor: opts.predictor,
+		ActivationDelay: opts.delay, Headroom: opts.headroom, SpeedAware: true,
+	}
+	if opts.heteroHR > 0 {
+		plan.Headroom = opts.heteroHR
+		plan.SpeedAware = false
+	}
 	f, err := cluster.New(cluster.Config{
 		Replicas: engines,
 		Policy:   opts.policy,
-		Planner: &cluster.PlannerConfig{
-			SLA: opts.sla, Min: opts.min, Max: len(engines),
-			Interval: opts.interval, Predictor: opts.predictor,
-			ActivationDelay: opts.delay, Headroom: opts.heteroHR,
-		},
+		Planner:  plan,
 		Recorder: opts.rec,
 	})
 	if err != nil {
@@ -828,6 +875,7 @@ func printRows(opts options, rows []row) {
 		}
 	}
 	printMultiturn(rows)
+	printLongctx(rows)
 }
 
 func writeJSON(path string, opts options, rows []row) {

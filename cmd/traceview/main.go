@@ -175,6 +175,21 @@ func spanReport(w io.Writer, path string, top int) error {
 			share*100, strings.Repeat("#", int(share*40+0.5)))
 	}
 
+	// Chunked prefill, when present: how many prompts landed in pieces and
+	// how finely. The prefill stage above already contains the chunked time;
+	// this line says how it was scheduled.
+	chunked, chunks := 0, 0
+	for _, s := range served {
+		if s.Chunks > 0 {
+			chunked++
+			chunks += s.Chunks
+		}
+	}
+	if chunked > 0 {
+		fmt.Fprintf(w, "  chunked prefill: %d/%d served requests, %d chunks (%.1f per chunked prompt)\n",
+			chunked, len(served), chunks, float64(chunks)/float64(chunked))
+	}
+
 	// The worst offenders, each with its own waterfall so the dominating
 	// stage is visible per request, not just in aggregate.
 	sort.Slice(served, func(i, j int) bool { return served[i].TTFT > served[j].TTFT })
@@ -188,6 +203,9 @@ func spanReport(w io.Writer, path string, top int) error {
 		fmt.Fprintf(w, "  #%-6d %-14s ttft %7.3fs  [%s]  pool %d/%d", s.ID, s.Class, s.TTFT, waterfall(s, 40), s.Pool, s.Replica)
 		if s.Retries > 0 {
 			fmt.Fprintf(w, "  retries %d", s.Retries)
+		}
+		if s.Chunks > 0 {
+			fmt.Fprintf(w, "  chunks %d", s.Chunks)
 		}
 		if s.Held {
 			fmt.Fprint(w, "  held")

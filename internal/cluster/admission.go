@@ -404,7 +404,13 @@ func (a *admission) floor(r *request.Request) float64 {
 	in := r.InputLen - c.pools[c.entry].bestCachedTokens(r)
 	f := math.Inf(1)
 	for _, fl := range c.pools[c.entry].flavors {
-		if t := fl.pm.PrefillTime(in); t < f {
+		t := fl.pm.PrefillTime(in)
+		// Chunked prefill lands the prompt over several iterations; the
+		// per-chunk overhead is part of the best case.
+		if fl.chunkOver != nil {
+			t += fl.chunkOver(float64(in))
+		}
+		if t < f {
 			f = t
 		}
 	}

@@ -40,6 +40,14 @@ type PlannerConfig struct {
 	// throughput the planner is willing to load it to (utilization target).
 	// 0 selects 0.8.
 	Headroom float64
+	// SpeedAware derives a per-flavor utilization target from absolute
+	// service time instead of applying Headroom uniformly: the fastest
+	// feasible flavor is loaded to exactly Headroom, and every other flavor
+	// reserves the same absolute slack time per request — so a slower GPU,
+	// whose requests occupy it longer, keeps a larger fractional reserve
+	// against the same burst. On a single-flavor pool the derived target is
+	// exactly Headroom, so homogeneous fleets size bit-identically.
+	SpeedAware bool
 	// ScaleInPatience is the number of consecutive evaluations that must
 	// want a smaller fleet before the planner scales in (scale-out is
 	// always immediate: under-provisioning breaks the SLA, a spare replica
@@ -440,6 +448,17 @@ func (p *planner) targetVec(rate, isl, osl float64) []int {
 		p.targets[i] = 0
 		p.order[i] = i
 	}
+	// Speed-aware headroom anchors on the fastest feasible flavor's
+	// absolute service time; headroomFor derives each flavor's target from
+	// it. 0 when speed-aware is off or nothing is feasible.
+	fastest := 0.0
+	if p.cfg.SpeedAware {
+		for i := range p.thrs {
+			if p.thrs[i].thr > fastest {
+				fastest = p.thrs[i].thr
+			}
+		}
+	}
 	sort.Slice(p.order, func(x, y int) bool {
 		a, b := p.order[x], p.order[y]
 		ta, tb := p.thrs[a].thr, p.thrs[b].thr
@@ -478,7 +497,8 @@ func (p *planner) targetVec(rate, isl, osl float64) []int {
 		if avail <= 0 {
 			continue
 		}
-		need := int(math.Ceil(remaining / (op.thr * p.cfg.Headroom)))
+		hr := p.headroomFor(op.thr, fastest)
+		need := int(math.Ceil(remaining / (op.thr * hr)))
 		if need <= avail {
 			if need > 0 {
 				p.targets[fi] = need
@@ -489,7 +509,7 @@ func (p *planner) targetVec(rate, isl, osl float64) []int {
 		}
 		p.targets[fi] = avail
 		total += avail
-		remaining -= float64(avail) * op.thr * p.cfg.Headroom
+		remaining -= float64(avail) * op.thr * hr
 	}
 	if !met {
 		// Feasible capacity exhausted (or nothing feasible at this shape):
@@ -527,6 +547,23 @@ func (p *planner) targetVec(rate, isl, osl float64) []int {
 	return p.targets
 }
 
+// headroomFor returns the utilization target for a flavor with feasible
+// rate thr. Uniform mode returns Headroom as-is. Speed-aware mode converts
+// Headroom into the absolute slack time W the fastest flavor reserves per
+// unit of service (W = t_fast·H/(1−H)) and grants every flavor the same W
+// against its own service time t = 1/thr, so h = W/(W + t). The fastest
+// flavor (and therefore any single-flavor pool) short-circuits to exactly
+// Headroom, keeping homogeneous sizing bit-identical.
+func (p *planner) headroomFor(thr, fastest float64) float64 {
+	h := p.cfg.Headroom
+	if !p.cfg.SpeedAware || fastest <= 0 || thr <= 0 || h >= 1 || thr >= fastest {
+		return h
+	}
+	tFast := 1 / fastest
+	w := tFast * h / (1 - h)
+	return w / (w + 1/thr)
+}
+
 // flavorThroughput interpolates, from one flavor's perf curves, the
 // request rate one of its replicas sustains inside the
 // (correction-tightened) SLA under the pool's role-specific sizing rule.
@@ -539,7 +576,7 @@ func (p *planner) flavorThroughput(f *flavor, isl, osl float64) flavorThr {
 	default:
 		effTTFT := p.cfg.SLA.TTFT / p.corrTTFT
 		effTPOT := p.cfg.SLA.MTPOT / p.corrTPOT
-		thr, predTTFT, predTPOT := replicaThroughputCached(f.pm, f.capacity, isl, p.prefillISL(isl), osl, effTTFT, effTPOT)
+		thr, predTTFT, predTPOT := replicaThroughputCached(f.pm, f.capacity, isl, p.prefillISL(isl), osl, effTTFT, effTPOT, f.chunkOver)
 		return flavorThr{thr: thr, predTTFT: predTTFT, predTPOT: predTPOT}
 	}
 }
@@ -569,6 +606,12 @@ func (p *planner) prefillThroughput(f *flavor, isl float64) flavorThr {
 		in = 1
 	}
 	prefill := f.pm.PrefillTime(in)
+	// A chunked prefill engine lands the prompt over several iterations;
+	// its sustainable prompt rate and lone-prompt TTFT both carry the
+	// per-chunk overhead.
+	if f.chunkOver != nil {
+		prefill += f.chunkOver(float64(in))
+	}
 	xfer := 0.0
 	if f.xfer != nil {
 		xfer = f.xfer(isl)
@@ -630,7 +673,7 @@ func (p *planner) decodeThroughput(f *flavor, isl, osl float64) flavorThr {
 // — the decode pipeline's B/(osl·t_d) throughput, discounted by the
 // prefill time each admitted request steals from it.
 func replicaThroughput(pm *perf.Model, capacityTokens int, isl, osl, ttft, tpot float64) (ratePerSec, predTTFT, predTPOT float64) {
-	return replicaThroughputCached(pm, capacityTokens, isl, isl, osl, ttft, tpot)
+	return replicaThroughputCached(pm, capacityTokens, isl, isl, osl, ttft, tpot, nil)
 }
 
 // replicaThroughputCached is replicaThroughput with the prefill side priced
@@ -638,8 +681,11 @@ func replicaThroughput(pm *perf.Model, capacityTokens int, isl, osl, ttft, tpot 
 // prompt suffix a replica actually encodes, while the KV footprint stays
 // at the full isl — shared prefix blocks save memory only while their
 // sharers overlap, so capacity sizing keeps the full shape. prefISL == isl
-// reduces exactly to the cache-blind rule.
-func replicaThroughputCached(pm *perf.Model, capacityTokens int, isl, prefISL, osl, ttft, tpot float64) (ratePerSec, predTTFT, predTPOT float64) {
+// reduces exactly to the cache-blind rule. chunkOver, when non-nil, adds
+// the engine's per-chunk overhead for prompts of the computed suffix
+// length (chunked prefill trades a little prefill throughput for
+// interleaving); nil reduces exactly to the unchunked rule.
+func replicaThroughputCached(pm *perf.Model, capacityTokens int, isl, prefISL, osl, ttft, tpot float64, chunkOver func(float64) float64) (ratePerSec, predTTFT, predTPOT float64) {
 	in := int(prefISL + 0.5)
 	if in < 1 {
 		in = 1
@@ -649,6 +695,9 @@ func replicaThroughputCached(pm *perf.Model, capacityTokens int, isl, prefISL, o
 		out = 1
 	}
 	prefill := pm.PrefillTime(in)
+	if chunkOver != nil {
+		prefill += chunkOver(float64(in))
+	}
 	if prefill > ttft {
 		return 0, prefill, 0 // a lone prompt already busts the TTFT target
 	}

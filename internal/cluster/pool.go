@@ -162,6 +162,10 @@ type flavor struct {
 	// xfer estimates the expected KV-transfer delay for a mean input length
 	// when this flavor prefills into a disaggregated decode pool; nil = free.
 	xfer func(isl float64) float64
+	// chunkOver prices the per-chunk overhead of chunking a prompt of the
+	// given length on this flavor's engines; nil when chunked prefill is
+	// disabled, keeping every pre-chunking decision bit-identical.
+	chunkOver func(promptTokens float64) float64
 }
 
 // FlavorInfo describes one replica flavor for reports and observers.
@@ -341,11 +345,12 @@ func (p *Pool) buildFlavors(c *Cluster) {
 		f := seen[k]
 		if f == nil {
 			f = &flavor{
-				name:     k.pm.Cluster().Name(),
-				pm:       k.pm,
-				capacity: k.capacity,
-				cost:     k.pm.CostWeight(),
-				xfer:     c.transferEstimate(k.pm.Spec().KVBytesPerToken()),
+				name:      k.pm.Cluster().Name(),
+				pm:        k.pm,
+				capacity:  k.capacity,
+				cost:      k.pm.CostWeight(),
+				xfer:      c.transferEstimate(k.pm.Spec().KVBytesPerToken()),
+				chunkOver: rep.eng.ChunkOverheadCurve(),
 			}
 			seen[k] = f
 			p.flavors = append(p.flavors, f)

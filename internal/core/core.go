@@ -168,7 +168,9 @@ func QuantilePrediction(r *request.Request, sampler *dist.Sampler, quantile floa
 // is off, keeping this the exact pre-cache entry.
 func QuantileEntry(r *request.Request, sampler *dist.Sampler, quantile float64) Entry {
 	pred := QuantilePrediction(r, sampler, quantile)
-	return Entry{Current: r.Footprint() - r.CachedTokens, Remaining: pred - r.Generated}
+	// Chunked prefill: only KVLanded() is resident now; the unprefilled
+	// tail rides in Remaining so the projected peak is unchanged.
+	return Entry{Current: r.KVLanded() - r.CachedTokens, Remaining: pred - r.Generated + r.PrefillRemaining()}
 }
 
 // PredictedBatchPeak estimates a batch's future peak memory from the

@@ -148,7 +148,10 @@ func (pf *PastFuture) Admit(v *View, queue []*request.Request) int {
 	for _, r := range v.Running {
 		pred := pf.predict(pf.samplerFor(v, global, r), r, multi)
 		r.PredictedLen = pred
-		e := Entry{Current: r.Footprint(), Remaining: pred - r.Generated}
+		// Mid-chunk requests have only KVLanded() tokens resident; the
+		// unprefilled prompt tail is charged as guaranteed future growth so
+		// the eventual peak matches the unchunked view.
+		e := Entry{Current: r.KVLanded(), Remaining: pred - r.Generated + r.PrefillRemaining()}
 		if pf.cfg.NaivePeak {
 			pf.entries = append(pf.entries, e)
 		} else {

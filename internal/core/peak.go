@@ -173,5 +173,5 @@ func (pe *PeakEstimator) PeakWith(cand Entry) int {
 // PushTrue pushes a request's ground-truth memory trajectory — the oracle's
 // and the metrics layer's view of the batch.
 func (pe *PeakEstimator) PushTrue(r *request.Request) {
-	pe.Push(Entry{Current: r.Footprint(), Remaining: r.RemainingTrue()})
+	pe.Push(Entry{Current: r.KVLanded(), Remaining: r.RemainingTrue() + r.PrefillRemaining()})
 }

@@ -212,8 +212,63 @@ type Config struct {
 	// PrefixCache configures prompt prefix caching. The zero value disables
 	// it, keeping the engine bit-identical to the cache-less code path.
 	PrefixCache PrefixCacheConfig
+	// Chunked configures chunked prefill. The zero value disables it,
+	// keeping the engine bit-identical to the fused-prefill code path.
+	Chunked ChunkConfig
 
 	Hooks Hooks
+}
+
+// ChunkPolicy selects how the chunked-prefill scheduler sizes each chunk.
+type ChunkPolicy int
+
+const (
+	// ChunkGreedyFixed carves every chunk at ChunkTokens — the classic
+	// Sarathi/DeepSpeed-FastGen fixed-chunk policy, kept as the reference
+	// the SLO-aware sizer is decision-equivalence-checked against.
+	ChunkGreedyFixed ChunkPolicy = iota
+	// ChunkSLOAware sizes each chunk from the TTFT slack of the tightest-
+	// deadline request waiting behind it: plentiful slack grows the chunk
+	// toward MaxChunkTokens (fewer per-chunk overheads), a tight deadline
+	// behind a long prompt shrinks it toward MinChunkTokens so the waiter
+	// reaches the batch sooner.
+	ChunkSLOAware
+)
+
+// String implements fmt.Stringer.
+func (p ChunkPolicy) String() string {
+	switch p {
+	case ChunkGreedyFixed:
+		return "greedy-fixed"
+	case ChunkSLOAware:
+		return "slo-aware"
+	default:
+		return fmt.Sprintf("chunk-policy(%d)", int(p))
+	}
+}
+
+// ChunkConfig enables chunked prefill under the PrefillPriority strategy:
+// long prompts land chunk by chunk, interleaved with decode steps for the
+// running batch, so a 32k-token prompt no longer head-of-line-blocks every
+// short request behind it. The zero value disables chunking and reproduces
+// the fused-prefill engine bit-identically.
+type ChunkConfig struct {
+	// Enabled switches chunked prefill on. Requires PrefillPriority.
+	Enabled bool
+	// Policy selects the chunk sizer (greedy fixed or SLO-aware).
+	Policy ChunkPolicy
+	// ChunkTokens is the greedy policy's fixed chunk size and the SLO-aware
+	// policy's no-signal fallback. 0 selects 512.
+	ChunkTokens int
+	// MinChunkTokens floors the SLO-aware sizer so starved budgets still
+	// make forward progress. 0 selects 128.
+	MinChunkTokens int
+	// MaxChunkTokens caps the SLO-aware sizer when slack is plentiful.
+	// 0 selects 4096.
+	MaxChunkTokens int
+	// SlackShare is the fraction of the tightest waiter's remaining TTFT
+	// budget one chunk may consume. 0 selects 0.25.
+	SlackShare float64
 }
 
 // PrefixCacheConfig enables KV prefix caching on the engine's pool:
@@ -246,7 +301,14 @@ type Engine struct {
 
 	queue      reqDeque           // FCFS wait queue; evictions push front
 	running    []*request.Request // decoding batch, admission order
-	prefilling []*prefillState    // splitfuse: prompts being chunked
+	prefilling []*prefillState    // splitfuse/chunked: prompts being chunked
+
+	// chunkPending is the total prompt tokens reserved but not yet landed
+	// across e.prefilling under chunked prefill — the gap between the KV
+	// pool's UsedTokens (full reservations) and the KV that physically
+	// exists, which iteration pricing must not charge for. Always 0 when
+	// chunking is disabled.
+	chunkPending int
 
 	// Per-step scratch buffers, reused so a steady-state Step performs no
 	// heap allocations. Valid only within one Step call.
@@ -256,6 +318,11 @@ type Engine struct {
 	viewScratch  core.View          // the scheduler's read-only state
 	truePeak     core.PeakEstimator // ground-truth M* bookkeeping
 
+	// Chunked-prefill per-step scratch (see chunk.go).
+	finishScratch    []*request.Request // prompts whose last chunk landed
+	chunkEmitScratch []chunkEmit        // deferred recorder emissions
+	chunkSuffix      []float64          // suffix-min pipeline deadlines
+
 	// Counters and accumulators for Result.
 	finished        []*request.Request
 	failed          []*request.Request
@@ -264,6 +331,8 @@ type Engine struct {
 	decodeSteps     int
 	prefillIters    int
 	mixedIters      int
+	chunkIters      int   // chunked-prefill iterations executed
+	prefillChunks   int64 // prefill chunks carved across them
 	evictions       int
 	admissions      int
 	outputTokens    int64
@@ -347,6 +416,33 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Role != RoleMixed && cfg.Strategy != PrefillPriority {
 		return nil, fmt.Errorf("engine: role %v requires the prefill-priority strategy, got %v", cfg.Role, cfg.Strategy)
 	}
+	if cfg.Chunked.Enabled {
+		if cfg.Strategy != PrefillPriority {
+			return nil, fmt.Errorf("engine: chunked prefill requires the prefill-priority strategy, got %v", cfg.Strategy)
+		}
+		if cfg.Chunked.ChunkTokens == 0 {
+			cfg.Chunked.ChunkTokens = 512
+		}
+		if cfg.Chunked.MinChunkTokens == 0 {
+			cfg.Chunked.MinChunkTokens = 128
+		}
+		if cfg.Chunked.MaxChunkTokens == 0 {
+			cfg.Chunked.MaxChunkTokens = 4096
+		}
+		if cfg.Chunked.SlackShare == 0 {
+			cfg.Chunked.SlackShare = 0.25
+		}
+		if cfg.Chunked.ChunkTokens < 0 || cfg.Chunked.MinChunkTokens < 0 || cfg.Chunked.MaxChunkTokens < 0 {
+			return nil, fmt.Errorf("engine: negative chunk sizes %+v", cfg.Chunked)
+		}
+		if cfg.Chunked.MinChunkTokens > cfg.Chunked.MaxChunkTokens {
+			return nil, fmt.Errorf("engine: chunk floor %d above cap %d",
+				cfg.Chunked.MinChunkTokens, cfg.Chunked.MaxChunkTokens)
+		}
+		if cfg.Chunked.SlackShare < 0 || cfg.Chunked.SlackShare > 1 {
+			return nil, fmt.Errorf("engine: chunk slack share %v outside [0,1]", cfg.Chunked.SlackShare)
+		}
+	}
 	if cfg.PrefixCache.Enabled {
 		if cfg.PrefixCache.BlockTokens == 0 {
 			cfg.PrefixCache.BlockTokens = 64
@@ -429,6 +525,35 @@ func (e *Engine) Role() Role { return e.cfg.Role }
 // PrefixCacheEnabled reports whether the engine caches prompt prefixes —
 // the cluster's routing affinity and admission-floor discount key off it.
 func (e *Engine) PrefixCacheEnabled() bool { return e.pool.PrefixCacheEnabled() }
+
+// ChunkedPrefillEnabled reports whether the engine lands prompts chunk by
+// chunk — the cluster's admission floor and planner add the per-chunk
+// overhead penalty exactly when this is on.
+func (e *Engine) ChunkedPrefillEnabled() bool { return e.cfg.Chunked.Enabled }
+
+// ChunkOverheadCurve returns the extra prefill seconds chunking costs a
+// prompt of the given length on this engine (chunk count at the configured
+// chunk size × the perf model's per-chunk overhead), or nil when chunking
+// is disabled — so cluster-side floors and throughput curves price chunked
+// replicas honestly and leave unchunked fleets bit-identical.
+func (e *Engine) ChunkOverheadCurve() func(promptTokens float64) float64 {
+	if !e.cfg.Chunked.Enabled {
+		return nil
+	}
+	chunk := float64(e.cfg.Chunked.ChunkTokens)
+	per := e.cfg.Perf.ChunkOverhead()
+	return func(promptTokens float64) float64 {
+		if promptTokens <= 0 {
+			return 0
+		}
+		chunks := promptTokens / chunk
+		n := int(chunks)
+		if chunks > float64(n) {
+			n++
+		}
+		return float64(n) * per
+	}
+}
 
 // KVBytesPerToken returns the per-token KV-cache footprint of the served
 // model on this engine — the unit the cluster layer sizes KV transfers in.
@@ -732,6 +857,7 @@ func (e *Engine) Crash() []*request.Request {
 	// still restore spilled prefixes over the wire.
 	e.pool.DropPrefixCache()
 	e.pendingSwapIn = 0
+	e.chunkPending = 0
 	e.admitRetries = 0
 	return orphans
 }

@@ -49,6 +49,7 @@ const (
 	efRecFinish
 	efRecIteration
 	efRecCacheEvent
+	efRecChunk
 )
 
 type effectItem struct {
@@ -174,6 +175,8 @@ func (b *EffectBuffer) Replay() {
 			b.rec.Iteration(it.at, b.pool, b.rep, it.iterKind, it.dur, it.batch, it.kvBytes, it.queueLen)
 		case efRecCacheEvent:
 			b.rec.CacheEvent(it.at, b.pool, b.rep, it.iterKind, it.batch)
+		case efRecChunk:
+			b.rec.Chunk(it.at, it.r, b.pool, b.rep, it.batch, it.queueLen, int(it.kvBytes))
 		}
 		b.items[i] = effectItem{} // release request pointers
 	}
@@ -226,6 +229,14 @@ func (b *EffectBuffer) Iteration(at float64, pool, rep int, kind string, dur flo
 // CacheEvent implements obs.Recorder (captured).
 func (b *EffectBuffer) CacheEvent(at float64, pool, rep int, kind string, tokens int) {
 	b.items = append(b.items, effectItem{kind: efRecCacheEvent, at: at, iterKind: kind, batch: tokens})
+}
+
+// Chunk implements obs.Recorder (captured): tokens/done/total ride the
+// batch, queueLen, and kvBytes scalars.
+func (b *EffectBuffer) Chunk(at float64, r *request.Request, pool, rep int, tokens, done, total int) {
+	b.items = append(b.items, effectItem{
+		kind: efRecChunk, at: at, r: r, batch: tokens, queueLen: done, kvBytes: int64(total),
+	})
 }
 
 // The cluster-side Recorder surface is unreachable from an engine Step; a
@@ -309,9 +320,9 @@ func (b *EffectBuffer) PlanPoint(float64, int, int, int) { panic("engine: PlanPo
 // timeouts, eviction pressure, migrated zero-cost prefills) conservatively
 // return the clock.
 func (e *Engine) EffectFloor() float64 {
-	if !e.started || e.cfg.Strategy != PrefillPriority {
+	if !e.started || e.cfg.Strategy != PrefillPriority || e.cfg.Chunked.Enabled {
 		// The first Step may jump the clock to the first arrival and admit in
-		// the same call; splitfuse/static iterations are not analyzed.
+		// the same call; splitfuse/static/chunked iterations are not analyzed.
 		return e.clock
 	}
 	if e.cfg.QueueTimeout > 0 && (e.queue.Len() > 0 || e.arrivals.Len() > 0) {

@@ -33,6 +33,10 @@ type Result struct {
 	DecodeSteps int
 	// PrefillIters counts fused prefill iterations.
 	PrefillIters int
+	// ChunkIters counts chunked-prefill iterations (chunked mode only).
+	ChunkIters int
+	// PrefillChunks counts prefill chunks carved across them.
+	PrefillChunks int64
 	// Evictions counts eviction events (one request can be evicted several
 	// times) — the numerator of Table 1's "Evicted Reqs".
 	Evictions int
@@ -139,6 +143,8 @@ func (e *Engine) Snapshot() *Result {
 		HandedOff:            append([]*request.Request(nil), e.handedOff...),
 		DecodeSteps:          e.decodeSteps,
 		PrefillIters:         e.prefillIters,
+		ChunkIters:           e.chunkIters,
+		PrefillChunks:        e.prefillChunks,
 		Evictions:            e.evictions,
 		Admissions:           e.admissions,
 		OutputTokens:         e.outputTokens,

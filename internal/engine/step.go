@@ -67,6 +67,14 @@ func (e *Engine) Step() bool {
 			return true
 		}
 	default: // PrefillPriority
+		if e.cfg.Chunked.Enabled {
+			e.enqueueChunked(admitted)
+			if len(e.running)+len(e.prefilling) > 0 {
+				e.runChunked()
+				return true
+			}
+			break
+		}
 		if len(admitted) > 0 {
 			e.runPrefill(admitted)
 			return true
@@ -163,7 +171,10 @@ func (e *Engine) admit() []*request.Request {
 	if n <= 0 {
 		return nil
 	}
-	if e.cfg.Strategy == PrefillPriority && e.cfg.MaxPrefillTokens > 0 {
+	if e.cfg.Strategy == PrefillPriority && e.cfg.MaxPrefillTokens > 0 && !e.cfg.Chunked.Enabled {
+		// Chunked prefill repurposes MaxPrefillTokens as the per-iteration
+		// chunk budget instead of an admission trim: admissions reserve KV
+		// immediately and their prompts land chunk by chunk.
 		// Trim the admitted prefix to the prefill token budget via the
 		// deque's maintained prefix sums — one O(log n) search instead of
 		// re-walking every candidate's footprint. At least one request is
@@ -276,6 +287,8 @@ func (e *Engine) free(r *request.Request) {
 	e.pool.Free(r.ID)
 	r.CachedTokens = 0
 	r.RestoredTokens = 0
+	r.ChunkedPrefill = false
+	r.PrefillDone = 0
 }
 
 // ensureExtendable evicts running requests (most recently admitted first)

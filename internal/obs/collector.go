@@ -56,6 +56,9 @@ type Span struct {
 	Deliveries int
 	// ShedWhere is the shed site ("" if never shed).
 	ShedWhere string
+	// Chunks counts the prefill chunks that landed for the request (0 when
+	// chunked prefill is off or the prompt was fully cache-covered).
+	Chunks int
 	// Segs are the contiguous stage intervals, in time order.
 	Segs []seg
 
@@ -470,6 +473,31 @@ func (c *Collector) PlanPoint(at float64, pool, target, active int) {
 	row := c.pool(at, pool)
 	row.Target, row.Active = target, active
 	row.hasPlan = true
+}
+
+// Chunk implements Recorder: one prefill chunk landed. The span's prefill
+// stage splits at the chunk boundary — each chunk becomes its own seg in
+// the waterfall — while the bucket totals (and so the exact TTFT
+// decomposition) are untouched: a chunk boundary is a sub-division of
+// prefill time, not a new stage. Interval rows count chunks and tokens.
+func (c *Collector) Chunk(at float64, r *request.Request, pool, rep int, tokens, done, total int) {
+	if s := c.span(at, r); s != nil && !s.terminal() {
+		s.Chunks++
+		if s.stage == stPrefill {
+			// Close the running prefill segment at the chunk boundary so the
+			// waterfall shows per-chunk bars; stay in stPrefill.
+			s.advance(at)
+			if s.lastAt > s.segStart {
+				s.Segs = append(s.Segs, seg{Stage: stPrefill, Start: s.segStart, End: s.lastAt})
+				s.segStart = s.lastAt
+			}
+		} else {
+			s.advance(at)
+		}
+	}
+	row := c.pool(at, pool)
+	row.ChunkCount++
+	row.ChunkTokens += int64(tokens)
 }
 
 // CacheEvent implements Recorder: prefix-cache token flows accumulate into

@@ -113,4 +113,9 @@ type Recorder interface {
 	// of CacheHit, CacheMiss, CacheRestore, CacheEvict, and tokens is the
 	// event's token count. Never fires when prefix caching is disabled.
 	CacheEvent(at float64, pool, rep int, kind string, tokens int)
+	// Chunk: one prefill chunk of `tokens` prompt tokens landed for the
+	// request at the end of a chunked iteration; done/total is the chunk
+	// cursor after the chunk against the prefill target. Never fires when
+	// chunked prefill is disabled.
+	Chunk(at float64, r *request.Request, pool, rep int, tokens, done, total int)
 }

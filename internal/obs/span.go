@@ -16,7 +16,7 @@ var spanHeader = []string{
 	"first_token", "finish", "ttft",
 	"hold", "queue", "prefill", "wire", "outage",
 	"pool", "replica", "flavor",
-	"held", "migrations", "retries", "evictions",
+	"held", "migrations", "retries", "evictions", "chunks",
 }
 
 // WriteSpanCSV writes one row per request in first-seen order.
@@ -40,6 +40,7 @@ func (c *Collector) WriteSpanCSV(w io.Writer) error {
 			formatFloat(s.Wire), formatFloat(s.Outage),
 			strconv.Itoa(s.Pool), strconv.Itoa(s.Rep), s.Flavor,
 			held, strconv.Itoa(s.Deliveries), strconv.Itoa(r.Retries), strconv.Itoa(r.Evictions),
+			strconv.Itoa(s.Chunks),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -74,6 +75,7 @@ type SpanRow struct {
 	Flavor                             string
 	Held                               bool
 	Migrations, Retries, Evictions     int
+	Chunks                             int
 }
 
 // StageSum returns the decomposed TTFT (the sum of the stage columns).
@@ -152,6 +154,9 @@ func parseSpanRow(row []string) (SpanRow, error) {
 		return fail(err)
 	}
 	if s.Evictions, err = strconv.Atoi(row[20]); err != nil {
+		return fail(err)
+	}
+	if s.Chunks, err = strconv.Atoi(row[21]); err != nil {
 		return fail(err)
 	}
 	return s, nil

@@ -42,6 +42,10 @@ type TSRow struct {
 	// Prefix-cache token flows within the interval (0 when caching is off).
 	CacheHitTokens, CacheMissTokens      int64
 	CacheRestoreTokens, CacheEvictTokens int64
+
+	// Chunked-prefill flows within the interval (0 when chunking is off).
+	ChunkCount  int
+	ChunkTokens int64
 }
 
 // CacheHitRate returns the interval's prompt-token hit rate
@@ -135,6 +139,7 @@ var tsHeader = []string{
 	"batch_peak", "queue_peak", "kv_bytes_peak",
 	"target", "active",
 	"cache_hit_tokens", "cache_miss_tokens", "cache_restore_tokens", "cache_evict_tokens", "cache_hit_rate",
+	"chunk_count", "chunk_tokens",
 }
 
 // WriteTimeSeriesCSV writes the interval rollup. The scope column is
@@ -165,6 +170,7 @@ func (c *Collector) WriteTimeSeriesCSV(w io.Writer) error {
 			strconv.FormatInt(r.CacheHitTokens, 10), strconv.FormatInt(r.CacheMissTokens, 10),
 			strconv.FormatInt(r.CacheRestoreTokens, 10), strconv.FormatInt(r.CacheEvictTokens, 10),
 			hitRate,
+			strconv.Itoa(r.ChunkCount), strconv.FormatInt(r.ChunkTokens, 10),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -40,12 +40,19 @@ type Config struct {
 	// Speedup is a static kernel-quality multiplier (>1 = faster than the
 	// reference implementation; TensorRT-LLM uses ~1.25). 0 selects 1.0.
 	Speedup float64
+	// ChunkOverhead is the fixed per-chunk cost of chunked prefill in
+	// seconds (attention re-reads the landed prefix KV once per chunk, plus
+	// chunk launch bookkeeping) — what makes total prefill compute strictly
+	// monotone in chunk count. 0 selects the default (0.5 ms). Negative
+	// disables the default and means zero.
+	ChunkOverhead float64
 }
 
 const (
-	defaultFlopsEff = 0.55
-	defaultBwEff    = 0.80
-	defaultOverhead = 0.003
+	defaultFlopsEff      = 0.55
+	defaultBwEff         = 0.80
+	defaultOverhead      = 0.003
+	defaultChunkOverhead = 0.0005
 )
 
 // Model computes iteration latencies for one deployment.
@@ -57,6 +64,7 @@ type Model struct {
 	flops    float64 // achievable FLOP/s
 	bw       float64 // achievable bytes/s
 	overhead float64 // seconds per iteration
+	chunkOH  float64 // seconds per prefill chunk
 }
 
 // New validates the config and derives the deployment's KV capacity.
@@ -92,6 +100,12 @@ func New(cfg Config) (*Model, error) {
 	if sp < 0 {
 		return nil, fmt.Errorf("perf: negative speedup %v", sp)
 	}
+	coh := cfg.ChunkOverhead
+	if coh == 0 {
+		coh = defaultChunkOverhead
+	} else if coh < 0 {
+		coh = 0
+	}
 	return &Model{
 		spec:     cfg.Model,
 		cluster:  cfg.Cluster,
@@ -99,6 +113,7 @@ func New(cfg Config) (*Model, error) {
 		flops:    cfg.Cluster.EffectiveFLOPS() * fe * sp,
 		bw:       cfg.Cluster.EffectiveBandwidth() * be * sp,
 		overhead: oh,
+		chunkOH:  coh,
 	}, nil
 }
 
@@ -177,6 +192,42 @@ func (m *Model) MixedTime(computeTokens, kvTokens int) float64 {
 	bytes := float64(m.spec.WeightBytes()) + float64(kvTokens)*float64(m.spec.KVBytesPerToken())
 	memory := bytes / m.bw
 	return m.overhead + maxf(compute, memory)
+}
+
+// ChunkOverhead returns the fixed per-chunk cost of chunked prefill in
+// seconds. An N-chunk prefill pays N·ChunkOverhead on top of the fused
+// prefill compute, so splitting is never free.
+func (m *Model) ChunkOverhead() float64 { return m.chunkOH }
+
+// ChunkedTime returns the duration of one chunked-prefill iteration:
+// chunkTokens prompt tokens (across chunks prefill chunks, each paying the
+// per-chunk overhead) fused with a decodeBatch-wide decode step against a
+// running KV footprint of kvTokens. With chunks == 0 it degrades to
+// MixedTime exactly, which is how a pure-decode iteration under chunked
+// scheduling prices identically to DecodeTime.
+func (m *Model) ChunkedTime(chunkTokens, chunks, decodeBatch, kvTokens int) float64 {
+	t := m.MixedTime(chunkTokens+decodeBatch, kvTokens)
+	if chunks > 0 {
+		t += float64(chunks) * m.chunkOH
+	}
+	return t
+}
+
+// PrefillTokensWithin returns the largest number of prompt tokens whose
+// compute term fits the given budget — the slack-aware chunk sizer's
+// inversion of PrefillTime's compute component. It ignores the fixed
+// iteration overhead and the weight-pass floor (those are paid once per
+// iteration regardless of chunk size) and never returns less than 1, so a
+// starved budget still makes forward progress. Allocation-free.
+func (m *Model) PrefillTokensWithin(budget float64) int {
+	if budget <= 0 {
+		return 1
+	}
+	n := int(budget * m.flops / m.spec.FLOPsPerToken())
+	if n < 1 {
+		return 1
+	}
+	return n
 }
 
 // SwapTime returns the time to move tokens' worth of KV cache across the

@@ -169,6 +169,17 @@ type Request struct {
 	// RestoredTokens is how many prompt tokens were restored from the host
 	// offload store at admission — prefill replaced by wire time.
 	RestoredTokens int
+
+	// Chunked-prefill cursor, owned by the admitting engine and cleared
+	// whenever the allocation is released (eviction, crash, retry).
+	//
+	// ChunkedPrefill marks a request whose prefill is landing chunk by
+	// chunk; PrefillDone is the KV footprint materialised so far (cached,
+	// restored, and already-computed chunk tokens). While mid-chunk, the
+	// request holds a full-footprint reservation but only PrefillDone
+	// tokens of it exist — estimators charge the rest as Remaining growth.
+	ChunkedPrefill bool
+	PrefillDone    int
 }
 
 // New constructs a request. trueOutputLen is clamped to [1, maxNewTokens]:
@@ -206,6 +217,30 @@ func New(id int64, inputLen, trueOutputLen, maxNewTokens int, arrival float64) *
 
 // Footprint returns the KV tokens the request occupies while running.
 func (r *Request) Footprint() int { return r.InputLen + r.Generated }
+
+// PrefillRemaining returns the prompt tokens a mid-chunk request has yet
+// to materialise: footprint growth the estimators must still charge. Zero
+// for every request outside chunked prefill, so chunking-disabled paths
+// are untouched.
+func (r *Request) PrefillRemaining() int {
+	if !r.ChunkedPrefill {
+		return 0
+	}
+	if rem := r.Footprint() - r.PrefillDone; rem > 0 {
+		return rem
+	}
+	return 0
+}
+
+// KVLanded returns the KV tokens that physically exist for this request:
+// the full footprint once prefill is done, the chunk cursor while it is
+// still landing. Equal to Footprint for every non-chunked request.
+func (r *Request) KVLanded() int {
+	if !r.ChunkedPrefill {
+		return r.Footprint()
+	}
+	return r.PrefillDone
+}
 
 // RemainingTrue returns the ground-truth tokens still to generate.
 // Scheduler code other than the oracle must not call this.
@@ -320,6 +355,8 @@ func (r *Request) ResetForRetry() {
 	r.DeliveredAt = -1
 	r.CachedTokens = 0
 	r.RestoredTokens = 0
+	r.ChunkedPrefill = false
+	r.PrefillDone = 0
 	r.Retries++
 }
 

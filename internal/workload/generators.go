@@ -94,6 +94,29 @@ var ShareGPTO1 = LogNormal{
 	OutMu: 7.5, OutSigma: 0.65, OutLo: 64, OutHi: 8192,
 }
 
+// LongContext approximates a document-analysis / RAG workload: very long
+// prompts (32k median, up to 64k) with short summarisation-style outputs.
+// A fused prefill of one of these prompts monopolises an engine for
+// seconds — the head-of-line regime chunked prefill exists for.
+var LongContext = LogNormal{
+	Label: "LongContext",
+	InMu:  10.4, InSigma: 0.35, InLo: 16384, InHi: 65536,
+	OutMu: 4.8, OutSigma: 0.6, OutLo: 16, OutHi: 512,
+}
+
+// LongCtxMix blends the LongContext class into the interactive ShareGPT
+// chat traffic at the given request share (0..1). Because Mixed implements
+// ClassedGenerator, Build and NewStream both stamp each request with its
+// class ("LongContext" or "ShareGPT"), so per-class SLA reporting needs no
+// side channel.
+func LongCtxMix(longShare float64) Mixed {
+	return Mixed{
+		Label:   fmt.Sprintf("LongCtx(%.0f%%)", longShare*100),
+		Parts:   []Generator{ShareGPT, LongContext},
+		Weights: []float64{1 - longShare, longShare},
+	}
+}
+
 // TextVQA approximates the TextVQA validation workload for a multimodal
 // model: imageTokens prompt tokens per image plus a short question, and a
 // short answer.

@@ -9,17 +9,21 @@
 #
 # The micro suite covers BenchmarkAdmitHotPath, BenchmarkFutureRequiredMemory,
 # BenchmarkWindowSampler, the fleet-scale BenchmarkFleetRoute series, the
-# cluster-front admission deadline heap, the MaxPrefillTokens trim, and the
+# cluster-front admission deadline heap, the MaxPrefillTokens trim, the
 # prefix-cache longest-match lookup (BenchmarkPrefixMatch, 0 allocs steady
-# state). The fleet suite runs the cmd/fleetsim scenario family on one
-# bursty ramp: reactive vs predictive autoscaling, disaggregated
-# prefill/decode, the 2× overload-ramp admission comparison (shed on/off),
-# the heterogeneous mixed-GPU fleet (cost-aware planner vs the premium
-# flavor alone, compared on CostSeconds), the crash-storm fault trio (no
-# faults / no recovery / full recovery, compared on SLA-met completions and
-# served p99 TTFT), and the multi-turn prefix-share sweep (cache-affinity vs
-# cache-blind routing at equal provisioned capacity, compared on hit rate,
-# served p99 TTFT, and prefill tokens computed).
+# state), and the SLO-aware chunk sizer (BenchmarkChunkSchedule, 0 allocs —
+# it runs inside every chunked iteration). The fleet suite runs the
+# cmd/fleetsim scenario family on one bursty ramp: reactive vs predictive
+# autoscaling, disaggregated prefill/decode, the 2× overload-ramp admission
+# comparison (shed on/off), the heterogeneous mixed-GPU fleet (cost-aware
+# planner vs the premium flavor alone, compared on CostSeconds), the
+# crash-storm fault trio (no faults / no recovery / full recovery, compared
+# on SLA-met completions and served p99 TTFT), the multi-turn prefix-share
+# sweep (cache-affinity vs cache-blind routing at equal provisioned
+# capacity, compared on hit rate, served p99 TTFT, and prefill tokens
+# computed), and the long-context chunked-prefill sweep (unchunked vs greedy
+# fixed-chunk vs SLO-aware chunk scheduling at fixed capacity, compared on
+# short-request served p99 TTFT and long-prompt attainment).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -36,7 +40,7 @@ run_micro() {
 		-benchmem ./internal/dist/ | tee -a "$tmp"
 	go test -run '^$' -bench 'BenchmarkFleetRoute|BenchmarkClusterAdmit' \
 		-benchmem ./internal/cluster/ | tee -a "$tmp"
-	go test -run '^$' -bench 'BenchmarkPrefillTrim' \
+	go test -run '^$' -bench 'BenchmarkPrefillTrim|BenchmarkChunkSchedule' \
 		-benchmem ./internal/engine/ | tee -a "$tmp"
 	go test -run '^$' -bench 'BenchmarkPrefixMatch' \
 		-benchmem ./internal/kv/ | tee -a "$tmp"
@@ -67,11 +71,14 @@ run_fleet() {
 	# ways (route-on-arrival, admission hold, deadline-aware shedding), the
 	# heterogeneous mixed-GPU fleet judged on normalized CostSeconds, the
 	# mid-burst crash-storm trio (no faults / no recovery / recovery
-	# with retries, re-admission, and N+1 spares), and the multi-turn
+	# with retries, re-admission, and N+1 spares), the multi-turn
 	# prefix-share sweep (cache-affinity vs cache-blind routing on a fixed
 	# caching fleet, judged on hit rate, served p99 TTFT, and prefill
-	# tokens computed).
-	go run ./cmd/fleetsim -disagg -compare -overload -hetero -faults -multiturn -json BENCH_fleet.json
+	# tokens computed), and the long-context chunked-prefill sweep
+	# (long-prompt share × chunk policy {none, greedy, slo} at fixed
+	# capacity, judged on short-request served p99 TTFT and long-prompt
+	# attainment — the head-of-line-blocking acceptance axis).
+	go run ./cmd/fleetsim -disagg -compare -overload -hetero -faults -multiturn -longctx -json BENCH_fleet.json
 
 	# Fail loudly if the comparison did not refresh the record: a stale
 	# BENCH_fleet.json would silently misreport the fleet trajectory.
@@ -97,6 +104,14 @@ run_fleet() {
 	}
 	grep -q '"prefill_savings_vs_blind"' BENCH_fleet.json || {
 		echo "BENCH_fleet.json is stale: no cache-blind baseline for the prefix sweep" >&2
+		exit 1
+	}
+	grep -q '"chunk_policy": "slo"' BENCH_fleet.json || {
+		echo "BENCH_fleet.json is stale: no SLO-aware chunked-prefill arm recorded" >&2
+		exit 1
+	}
+	grep -q '"chunk_policy": "none"' BENCH_fleet.json || {
+		echo "BENCH_fleet.json is stale: no unchunked baseline for the long-context sweep" >&2
 		exit 1
 	}
 
